@@ -1,0 +1,87 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mussti::bench {
+
+std::string
+fidelityCell(const Metrics &metrics)
+{
+    const double f = metrics.fidelity();
+    char buf[64];
+    if (f >= 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.2f", f);
+    } else if (f > 0.0) {
+        std::snprintf(buf, sizeof(buf), "%.1e", f);
+    } else {
+        // Below double range: report via log10 like "1e-340".
+        std::snprintf(buf, sizeof(buf), "1e%.0f",
+                      metrics.log10Fidelity());
+    }
+    return buf;
+}
+
+std::string
+intCell(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+}
+
+std::string
+timeCell(double value_us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value_us);
+    return buf;
+}
+
+CompileResult
+runMussti(const Circuit &circuit, const MusstiConfig &config,
+          const PhysicalParams &params)
+{
+    return MusstiCompiler(config, params).compile(circuit);
+}
+
+CompileResult
+runBaseline(const std::string &which, const Circuit &circuit,
+            const GridConfig &grid, const PhysicalParams &params)
+{
+    const std::string name = toLower(which);
+    if (name == "murali") {
+        MuraliCompiler compiler(grid, params);
+        return compiler.compile(circuit);
+    }
+    if (name == "dai") {
+        DaiCompiler compiler(grid, params);
+        return compiler.compile(circuit);
+    }
+    if (name == "mqt") {
+        MqtLikeCompiler compiler(grid, params);
+        return compiler.compile(circuit);
+    }
+    fatal("unknown baseline: " + which);
+}
+
+GridConfig smallGrid22() { return GridConfig{2, 2, 12}; }
+GridConfig smallGrid23() { return GridConfig{3, 2, 8}; }
+GridConfig smallGrid()   { return GridConfig{2, 2, 16}; }
+GridConfig mediumGrid()  { return GridConfig{4, 3, 16}; }
+GridConfig largeGrid()   { return GridConfig{5, 4, 16}; }
+
+void
+printHeader(const std::string &experiment, const std::string &description)
+{
+    std::cout << "==========================================================\n"
+              << experiment << "\n" << description << "\n"
+              << "MUSS-TI reproduction (paper: MICRO 2025, "
+                 "arXiv:2509.25988)\n"
+              << "==========================================================\n";
+}
+
+} // namespace mussti::bench

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction bench binaries: compiler
+ * invocation shortcuts, formatting of the paper's table cells, and the
+ * standard architecture settings of section 4.
+ */
+#ifndef MUSSTI_BENCH_BENCH_COMMON_H
+#define MUSSTI_BENCH_BENCH_COMMON_H
+
+#include <string>
+
+#include "arch/grid_device.h"
+#include "baselines/dai.h"
+#include "baselines/mqt_like.h"
+#include "baselines/murali.h"
+#include "common/csv.h"
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+namespace mussti::bench {
+
+/** Pretty fidelity cell: fixed for >= 1e-3, scientific otherwise. */
+std::string fidelityCell(const Metrics &metrics);
+
+/** Integer cell. */
+std::string intCell(double value);
+
+/** Execution-time cell in microseconds. */
+std::string timeCell(double value_us);
+
+/** Compile with MUSS-TI paper defaults (overridable). */
+CompileResult runMussti(const Circuit &circuit,
+                        const MusstiConfig &config = {},
+                        const PhysicalParams &params = {});
+
+/** Compile with one of the named baselines on a grid. */
+CompileResult runBaseline(const std::string &which, const Circuit &circuit,
+                          const GridConfig &grid,
+                          const PhysicalParams &params = {});
+
+/** The paper's grid settings per suite (section 4). */
+GridConfig smallGrid22();   ///< 2x2, capacity 12 (Table 2).
+GridConfig smallGrid23();   ///< 2x3, capacity 8  (Table 2).
+GridConfig smallGrid();     ///< 2x2, capacity 16 (Fig 6 small).
+GridConfig mediumGrid();    ///< 3x4, capacity 16 (Fig 6 medium).
+GridConfig largeGrid();     ///< 4x5, capacity 16 (Fig 6 large).
+
+/** Section-4 architecture banner printed by every bench binary. */
+void printHeader(const std::string &experiment,
+                 const std::string &description);
+
+} // namespace mussti::bench
+
+#endif // MUSSTI_BENCH_BENCH_COMMON_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Fig 12: circuit fidelity with one versus two entanglement
+ * (optical) zones per module, over the large-scale suite (256-299
+ * qubits). Paper shape: two zones win on most applications by spreading
+ * fiber-port heat and eviction pressure.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace mussti;
+using namespace mussti::bench;
+
+int
+main()
+{
+    printHeader("Figure 12",
+                "Single vs two entanglement zones (log10 fidelity)");
+    TextTable table;
+    table.setHeader({"Application", "SingleZone", "TwoZones", "winner"});
+
+    int two_zone_wins = 0;
+    for (const auto &spec : largeScaleSuite()) {
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+
+        MusstiConfig one;
+        const auto single = runMussti(qc, one);
+
+        MusstiConfig two;
+        two.device.numOpticalZones = 2;
+        const auto dual = runMussti(qc, two);
+
+        char single_cell[32], dual_cell[32];
+        std::snprintf(single_cell, sizeof(single_cell), "%.1f",
+                      single.metrics.log10Fidelity());
+        std::snprintf(dual_cell, sizeof(dual_cell), "%.1f",
+                      dual.metrics.log10Fidelity());
+        const bool dual_wins =
+            dual.metrics.lnFidelity >= single.metrics.lnFidelity;
+        two_zone_wins += dual_wins;
+        table.addRow({spec.label(), single_cell, dual_cell,
+                      dual_wins ? "two" : "single"});
+    }
+    table.print(std::cout);
+    std::cout << "Two zones win on " << two_zone_wins << "/"
+              << table.rowCount()
+              << " apps (paper: most applications favour two zones).\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig 6: shuttle count (top row), execution time (middle
+ * row), and fidelity (bottom row) for MUSS-TI vs the QCCD baselines
+ * [55] and [13] across the small (2x2), medium (3x4), and large (4x5)
+ * suites.
+ */
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace mussti;
+using namespace mussti::bench;
+
+namespace {
+
+void
+runSuite(const std::string &label,
+         const std::vector<BenchmarkSpec> &suite, const GridConfig &grid,
+         bool fidelity_row)
+{
+    std::cout << "\n--- " << label << " (grid " << grid.width << "x"
+              << grid.height << ", trap capacity " << grid.trapCapacity
+              << ") ---\n";
+    TextTable table;
+    std::vector<std::string> header{"Application",
+                                    "Shuttle(MUSS-TI)", "Shuttle[13]",
+                                    "Shuttle[55]", "Time(MUSS-TI)",
+                                    "Time[13]", "Time[55]"};
+    if (fidelity_row) {
+        header.insert(header.end(), {"Fid(MUSS-TI)", "Fid[13]",
+                                     "Fid[55]"});
+    }
+    table.setHeader(header);
+
+    std::vector<double> murali_shuttles, ours_shuttles;
+    std::vector<double> murali_times, ours_times;
+
+    for (const auto &spec : suite) {
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+        const auto ours = runMussti(qc);
+        const auto dai = runBaseline("dai", qc, grid);
+        const auto murali = runBaseline("murali", qc, grid);
+
+        std::vector<std::string> row{
+            spec.label(),
+            intCell(ours.metrics.shuttleCount),
+            intCell(dai.metrics.shuttleCount),
+            intCell(murali.metrics.shuttleCount),
+            timeCell(ours.metrics.executionTimeUs),
+            timeCell(dai.metrics.executionTimeUs),
+            timeCell(murali.metrics.executionTimeUs)};
+        if (fidelity_row) {
+            row.push_back(fidelityCell(ours.metrics));
+            row.push_back(fidelityCell(dai.metrics));
+            row.push_back(fidelityCell(murali.metrics));
+        }
+        table.addRow(row);
+
+        murali_shuttles.push_back(murali.metrics.shuttleCount);
+        ours_shuttles.push_back(ours.metrics.shuttleCount);
+        murali_times.push_back(murali.metrics.executionTimeUs);
+        ours_times.push_back(ours.metrics.executionTimeUs);
+    }
+    table.print(std::cout);
+    std::cout << "Shuttle reduction vs [55]: "
+              << averageReductionPercent(murali_shuttles, ours_shuttles)
+              << "%\n";
+    std::cout << "Execution-time reduction vs [55]: "
+              << averageReductionPercent(murali_times, ours_times)
+              << "%\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Figure 6",
+                "Architectural comparison across application scales "
+                "(paper: 41.74% / 73.38% / 59.82% shuttle reductions)");
+    // The paper omits QFT fidelity at medium/large scale; our suites
+    // only include QFT at small scale, matching Fig 6's x-axes.
+    runSuite("Small scale (30-32 qubits)", smallScaleSuite(),
+             smallGrid(), true);
+    runSuite("Medium scale (117-128 qubits)", mediumScaleSuite(),
+             mediumGrid(), true);
+    runSuite("Large scale (256-299 qubits)", largeScaleSuite(),
+             largeGrid(), true);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compiler pipeline stages:
+ * DAG construction, trivial/SABRE mapping, full compilation, and the
+ * baseline compilers, sized to show the O(n*g) scaling of section 5.6.
+ */
+#include <benchmark/benchmark.h>
+
+#include "baselines/murali.h"
+#include "core/compiler.h"
+#include "core/mapper.h"
+#include "dag/dag.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace mussti;
+
+void
+BM_DagConstruction(benchmark::State &state)
+{
+    const Circuit qc = makeRandomCircuit(
+        static_cast<int>(state.range(0)),
+        static_cast<int>(state.range(0)) * 10, 3);
+    for (auto _ : state) {
+        DependencyDag dag(qc);
+        benchmark::DoNotOptimize(dag.remaining());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DagConstruction)->Range(32, 256)->Complexity();
+
+void
+BM_TrivialMapping(benchmark::State &state)
+{
+    MusstiConfig config;
+    const int n = static_cast<int>(state.range(0));
+    const EmlDevice device(config.device, n);
+    for (auto _ : state) {
+        Placement p = trivialPlacement(device, n);
+        benchmark::DoNotOptimize(p.allPlaced());
+    }
+}
+BENCHMARK(BM_TrivialMapping)->Range(32, 256);
+
+void
+BM_CompileGhzTrivial(benchmark::State &state)
+{
+    MusstiConfig config;
+    config.mapping = MappingKind::Trivial;
+    const MusstiCompiler compiler(config);
+    const Circuit qc = makeGhz(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto result = compiler.compile(qc);
+        benchmark::DoNotOptimize(result.metrics.shuttleCount);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompileGhzTrivial)->Range(32, 256)->Complexity();
+
+void
+BM_CompileAdderSabre(benchmark::State &state)
+{
+    const MusstiCompiler compiler;
+    const Circuit qc = makeAdder(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto result = compiler.compile(qc);
+        benchmark::DoNotOptimize(result.metrics.shuttleCount);
+    }
+}
+BENCHMARK(BM_CompileAdderSabre)->Range(32, 128);
+
+void
+BM_CompileSqrtFull(benchmark::State &state)
+{
+    const MusstiCompiler compiler;
+    const Circuit qc = makeSqrt(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto result = compiler.compile(qc);
+        benchmark::DoNotOptimize(result.metrics.shuttleCount);
+    }
+}
+BENCHMARK(BM_CompileSqrtFull)->Arg(63)->Arg(117);
+
+void
+BM_BaselineMurali(benchmark::State &state)
+{
+    const PhysicalParams params;
+    const Circuit qc = makeAdder(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        MuraliCompiler compiler(GridConfig{3, 4, 16}, params);
+        auto result = compiler.compile(qc);
+        benchmark::DoNotOptimize(result.metrics.shuttleCount);
+    }
+}
+BENCHMARK(BM_BaselineMurali)->Arg(32)->Arg(128);
+
+} // namespace

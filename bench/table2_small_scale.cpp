@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Table 2: small-scale comparison of shuttle count,
+ * execution time, and fidelity for [55] (Murali), [13] (Dai), [70]
+ * (MQT-like), and MUSS-TI, on Grid 2x2 (capacity 12) and Grid 2x3
+ * (capacity 8), over the 30-32 qubit suite.
+ */
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace mussti;
+using namespace mussti::bench;
+
+namespace {
+
+void
+runStructure(const std::string &label, const GridConfig &grid,
+             const EmlConfig &eml)
+{
+    std::cout << "\n--- Structure: " << label << " (trap capacity "
+              << grid.trapCapacity << ") ---\n";
+    TextTable table;
+    table.setHeader({"Application",
+                     "Shut[55]", "Shut[13]", "Shut[70]", "ShutOurs",
+                     "Time[55]", "Time[13]", "Time[70]", "TimeOurs",
+                     "Fid[55]", "Fid[13]", "Fid[70]", "FidOurs"});
+
+    std::vector<double> base_shuttles, our_shuttles;
+    std::vector<double> base_times, our_times;
+
+    for (const auto &spec : smallScaleSuite()) {
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+
+        const auto murali = runBaseline("murali", qc, grid);
+        const auto dai = runBaseline("dai", qc, grid);
+        const auto mqt = runBaseline("mqt", qc, grid);
+
+        MusstiConfig config;
+        config.device = eml;
+        const auto ours = runMussti(qc, config);
+
+        table.addRow({spec.label(),
+                      intCell(murali.metrics.shuttleCount),
+                      intCell(dai.metrics.shuttleCount),
+                      intCell(mqt.metrics.shuttleCount),
+                      intCell(ours.metrics.shuttleCount),
+                      timeCell(murali.metrics.executionTimeUs),
+                      timeCell(dai.metrics.executionTimeUs),
+                      timeCell(mqt.metrics.executionTimeUs),
+                      timeCell(ours.metrics.executionTimeUs),
+                      fidelityCell(murali.metrics),
+                      fidelityCell(dai.metrics),
+                      fidelityCell(mqt.metrics),
+                      fidelityCell(ours.metrics)});
+
+        base_shuttles.push_back(std::min(
+            {static_cast<double>(murali.metrics.shuttleCount),
+             static_cast<double>(dai.metrics.shuttleCount),
+             static_cast<double>(mqt.metrics.shuttleCount)}));
+        our_shuttles.push_back(ours.metrics.shuttleCount);
+        base_times.push_back(std::min(murali.metrics.executionTimeUs,
+                                      dai.metrics.executionTimeUs));
+        our_times.push_back(ours.metrics.executionTimeUs);
+    }
+
+    table.print(std::cout);
+    std::cout << "Average shuttle reduction vs best baseline: "
+              << averageReductionPercent(base_shuttles, our_shuttles)
+              << "% (paper: 77.6% on 2x2, 79.45% on 2x3 vs [55])\n";
+    std::cout << "Average execution-time reduction vs best baseline: "
+              << averageReductionPercent(base_times, our_times)
+              << "% (paper: 58.9% small-scale average)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    printHeader("Table 2",
+                "Small-scale applications (30-32 qubits): shuttle count, "
+                "execution time (us), fidelity");
+    // The 12 / 8 trap capacities describe the baseline QCCD grids. The
+    // EML module mirrors each structure's zone count: "2x2" = 4 zones
+    // (optical, operation, 2 storage) at the paper's MUSS-TI capacity of
+    // 16 (section 4); "2x3" = 6 zones (2 optical, 2 operation, 2
+    // storage) at capacity 8, keeping 32 gate-zone slots per module.
+    EmlConfig eml22;
+    eml22.trapCapacity = 16;
+
+    EmlConfig eml23;
+    eml23.trapCapacity = 8;
+    eml23.numOpticalZones = 2;
+    eml23.numOperationZones = 2;
+    eml23.numStorageZones = 2;
+
+    runStructure("Grid 2x2", smallGrid22(), eml22);
+    runStructure("Grid 2x3", smallGrid23(), eml23);
+    return 0;
+}

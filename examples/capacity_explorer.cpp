@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architecture co-design example (paper section 5.3): sweep the EML
+ * trap capacity for a workload supplied on the command line and report
+ * where fidelity peaks. Usage:
+ *
+ *   capacity_explorer [family] [qubits]
+ *   capacity_explorer sqrt 117
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mussti;
+
+    const std::string family = argc > 1 ? argv[1] : "bv";
+    const int qubits = argc > 2 ? std::atoi(argv[2]) : 128;
+
+    const Circuit circuit = makeBenchmark(family, qubits);
+    std::cout << "Trap-capacity sweep for " << circuit.name() << " ("
+              << circuit.twoQubitCount() << " two-qubit gates)\n\n";
+    std::cout << "capacity  shuttles  time(us)   log10(fidelity)\n";
+
+    int best_capacity = 0;
+    double best = -1e300;
+    for (int capacity = 12; capacity <= 20; capacity += 2) {
+        MusstiConfig config;
+        config.device.trapCapacity = capacity;
+        const auto result = MusstiCompiler(config).compile(circuit);
+        std::printf("%8d  %8d  %9.0f  %15.2f\n", capacity,
+                    result.metrics.shuttleCount,
+                    result.metrics.executionTimeUs,
+                    result.metrics.log10Fidelity());
+        if (result.metrics.lnFidelity > best) {
+            best = result.metrics.lnFidelity;
+            best_capacity = capacity;
+        }
+    }
+    std::cout << "\nBest capacity for " << circuit.name() << ": "
+              << best_capacity
+              << " (paper: 14-18 is consistently good in EML-QCCD)\n";
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Command-line compiler driver: the "downstream user" entry point.
+ *
+ *   compile_cli [options] <family|file.qasm> [qubits]
+ *
+ * Options:
+ *   --trivial            use trivial mapping (default: SABRE)
+ *   --no-swap-insert     disable section-3.3 SWAP insertion
+ *   --capacity N         trap capacity (default 16)
+ *   --optical N          optical zones per module (default 1)
+ *   --lookahead K        weight-table window (default 8)
+ *   --policy P           anticipatory-lru | lru | fifo | random
+ *   --trace [N]          print the first N schedule ops (default 40)
+ *   --validate           run the schedule validator and report
+ *
+ * Examples:
+ *   compile_cli sqrt 117
+ *   compile_cli --capacity 20 --optical 2 ran 256
+ *   compile_cli --trace 20 --validate my_circuit.qasm
+ */
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "circuit/qasm.h"
+#include "core/compiler.h"
+#include "sim/trace.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+using namespace mussti;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr <<
+        "usage: compile_cli [options] <family|file.qasm> [qubits]\n"
+        "  families: adder bv ghz qaoa qft sqrt ran sc ising qv wstate\n"
+        "  options: --trivial --no-swap-insert --capacity N --optical N\n"
+        "           --lookahead K --policy P --trace [N] --validate\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    MusstiConfig config;
+    bool trace = false;
+    int trace_ops = 40;
+    bool validate = false;
+    std::string target;
+    int qubits = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trivial") {
+            config.mapping = MappingKind::Trivial;
+        } else if (arg == "--no-swap-insert") {
+            config.enableSwapInsertion = false;
+        } else if (arg == "--capacity" && i + 1 < argc) {
+            config.device.trapCapacity = std::atoi(argv[++i]);
+        } else if (arg == "--optical" && i + 1 < argc) {
+            config.device.numOpticalZones = std::atoi(argv[++i]);
+        } else if (arg == "--lookahead" && i + 1 < argc) {
+            config.lookAhead = std::atoi(argv[++i]);
+        } else if (arg == "--policy" && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "anticipatory-lru")
+                config.replacement = ReplacementPolicy::AnticipatoryLru;
+            else if (p == "lru")
+                config.replacement = ReplacementPolicy::Lru;
+            else if (p == "fifo")
+                config.replacement = ReplacementPolicy::Fifo;
+            else if (p == "random")
+                config.replacement = ReplacementPolicy::Random;
+            else {
+                usage();
+                return 2;
+            }
+        } else if (arg == "--trace") {
+            trace = true;
+            if (i + 1 < argc && std::isdigit(
+                    static_cast<unsigned char>(argv[i + 1][0])))
+                trace_ops = std::atoi(argv[++i]);
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+            return 2;
+        } else if (target.empty()) {
+            target = arg;
+        } else {
+            qubits = std::atoi(arg.c_str());
+        }
+    }
+    if (target.empty()) {
+        usage();
+        return 2;
+    }
+
+    Circuit circuit(1);
+    if (target.size() > 5 &&
+        target.compare(target.size() - 5, 5, ".qasm") == 0) {
+        std::ifstream in(target);
+        if (!in) {
+            std::cerr << "cannot open " << target << "\n";
+            return 1;
+        }
+        circuit = fromQasmStream(in, target);
+    } else {
+        circuit = makeBenchmark(target, qubits > 0 ? qubits : 32);
+    }
+
+    const MusstiCompiler compiler(config);
+    const auto result = compiler.compile(circuit);
+    const EmlDevice device = compiler.deviceFor(circuit);
+
+    std::cout << "circuit      : " << circuit.name() << " ("
+              << circuit.numQubits() << " qubits, "
+              << circuit.twoQubitCount() << " 2q gates)\n"
+              << "device       : " << device.numModules()
+              << " modules, capacity "
+              << config.device.trapCapacity << ", "
+              << config.device.numOpticalZones << " optical zone(s)\n"
+              << "schedule     : " << summarizeSchedule(result.schedule)
+              << "\n"
+              << "swap inserts : " << result.swapInsertions << "\n"
+              << "evictions    : " << result.evictions << "\n"
+              << "exec time    : " << result.metrics.executionTimeUs
+              << " us\n"
+              << "fidelity     : " << result.metrics.fidelity()
+              << " (log10 " << result.metrics.log10Fidelity() << ")\n"
+              << "compile time : " << result.compileTimeSec << " s\n";
+
+    if (trace) {
+        std::cout << "\n" << formatSchedule(result.schedule,
+                                            device.zoneInfos(),
+                                            trace_ops);
+    }
+    if (validate) {
+        const auto report = ScheduleValidator(device.zoneInfos())
+                                .validate(result.schedule, result.lowered);
+        std::cout << "validation   : "
+                  << (report ? "PASS" : "FAIL: " + report.firstError)
+                  << "\n";
+        return report ? 0 : 1;
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Distributed arithmetic example: a 128-qubit ripple-carry adder spans
+ * four EML-QCCD modules. Shows how SWAP insertion migrates qubits whose
+ * future work lives on another module, and compares against disabling
+ * the mechanism — the paper's Fig 5 scenario at application scale.
+ */
+#include <iostream>
+
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+int
+main()
+{
+    using namespace mussti;
+
+    const Circuit circuit = makeAdder(128);
+
+    MusstiConfig with_swaps;            // paper defaults
+    MusstiConfig without_swaps;
+    without_swaps.enableSwapInsertion = false;
+
+    const auto on = MusstiCompiler(with_swaps).compile(circuit);
+    const auto off = MusstiCompiler(without_swaps).compile(circuit);
+
+    std::cout << "Adder_n128 on a 4-module EML-QCCD\n\n";
+    std::cout << "                       with SWAP-insert   without\n";
+    std::cout << "shuttles             : " << on.metrics.shuttleCount
+              << "\t\t" << off.metrics.shuttleCount << "\n";
+    std::cout << "fiber gates          : " << on.metrics.fiberGateCount
+              << "\t\t" << off.metrics.fiberGateCount << "\n";
+    std::cout << "inserted SWAPs       : " << on.swapInsertions
+              << "\t\t" << off.swapInsertions << "\n";
+    std::cout << "execution time (us)  : " << on.metrics.executionTimeUs
+              << "\t" << off.metrics.executionTimeUs << "\n";
+    std::cout << "log10 fidelity       : " << on.metrics.log10Fidelity()
+              << "\t" << off.metrics.log10Fidelity() << "\n";
+
+    // Walk the op stream and show the first inserted logical SWAP.
+    int shown = 0;
+    for (const auto &op : on.schedule.ops) {
+        if (op.inserted && shown < 3) {
+            std::cout << "inserted gate        : " << op.describe()
+                      << "\n";
+            ++shown;
+        }
+    }
+    if (shown == 0)
+        std::cout << "(no SWAPs were inserted for this mapping)\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * QASM workflow example: import an OpenQASM 2.0 file (or a built-in
+ * demo if none is given), compile it with MUSS-TI, report metrics, and
+ * export the (SWAP-lowered) circuit back to QASM on stdout.
+ *
+ *   qasm_roundtrip [file.qasm]
+ */
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/qasm.h"
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mussti;
+
+    Circuit circuit(1);
+    if (argc > 1) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::cerr << "cannot open " << argv[1] << "\n";
+            return 1;
+        }
+        circuit = fromQasmStream(in, argv[1]);
+    } else {
+        // Demo: generate, export, and re-import a QFT to show the
+        // round trip.
+        const Circuit qft = makeQft(16);
+        circuit = fromQasm(toQasm(qft), qft.name());
+    }
+
+    const MusstiCompiler compiler;
+    const auto result = compiler.compile(circuit);
+
+    std::cerr << "parsed " << circuit.name() << ": "
+              << circuit.numQubits() << " qubits, "
+              << circuit.twoQubitCount() << " two-qubit gates\n"
+              << "shuttles: " << result.metrics.shuttleCount
+              << ", execution " << result.metrics.executionTimeUs
+              << " us, log10 fidelity "
+              << result.metrics.log10Fidelity() << "\n"
+              << "-- lowered QASM on stdout --\n";
+    std::cout << toQasm(result.lowered);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Quickstart: compile a 64-qubit GHZ circuit onto a 2-module EML-QCCD
+ * device with paper-default settings and print the headline metrics.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+int
+main()
+{
+    using namespace mussti;
+
+    // 1. Get a circuit: a 64-qubit GHZ state (or parse your own QASM
+    //    via fromQasm()).
+    const Circuit circuit = makeGhz(64);
+
+    // 2. Configure the compiler. Defaults reproduce the paper: look-
+    //    ahead k=8, SWAP threshold T=4, SABRE mapping, trap capacity
+    //    16, one optical + one operation + two storage zones per
+    //    module, a module per 32 qubits.
+    MusstiConfig config;
+    const MusstiCompiler compiler(config);
+
+    // 3. Compile.
+    const CompileResult result = compiler.compile(circuit);
+
+    // 4. Inspect.
+    const EmlDevice device = compiler.deviceFor(circuit);
+    std::cout << "circuit           : " << circuit.name() << "\n"
+              << "qubits            : " << circuit.numQubits() << "\n"
+              << "two-qubit gates   : " << circuit.twoQubitCount() << "\n"
+              << "modules           : " << device.numModules() << "\n"
+              << "shuttle ops       : " << result.metrics.shuttleCount
+              << "\n"
+              << "fiber gates       : " << result.metrics.fiberGateCount
+              << "\n"
+              << "inserted SWAPs    : " << result.swapInsertions << "\n"
+              << "execution time    : " << result.metrics.executionTimeUs
+              << " us\n"
+              << "fidelity          : " << result.metrics.fidelity()
+              << "  (log10 = " << result.metrics.log10Fidelity() << ")\n"
+              << "compile time      : " << result.compileTimeSec
+              << " s\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+#include "arch/eml_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
+    : config_(config), numQubits_(num_qubits)
+{
+    MUSSTI_REQUIRE(num_qubits > 0, "device needs a positive qubit count");
+    MUSSTI_REQUIRE(config.trapCapacity >= 2,
+                   "trap capacity must be >= 2 (two-qubit gates need "
+                   "co-located ions)");
+    MUSSTI_REQUIRE(config.numOperationZones >= 1,
+                   "each module needs an operation zone");
+    MUSSTI_REQUIRE(config.numOpticalZones >= 1,
+                   "each module needs an optical zone");
+
+    numModules_ = config.forcedNumModules >= 1
+        ? config.forcedNumModules
+        : (num_qubits + config.maxQubitsPerModule - 1) /
+              config.maxQubitsPerModule;
+
+    const int zones_per_module = config.numStorageZones +
+        config.numOperationZones + config.numOpticalZones;
+    const int slots_per_module = zones_per_module * config.trapCapacity;
+
+    // Capacity sanity: the per-module qubit share must fit with at least
+    // one free slot per gate zone so routing can always make progress.
+    const int max_assigned = std::min(config.maxQubitsPerModule,
+                                      num_qubits);
+    MUSSTI_REQUIRE(slots_per_module >= max_assigned + 2,
+                   "module slots (" << slots_per_module
+                   << ") cannot hold per-module qubits (" << max_assigned
+                   << ") plus routing headroom; enlarge capacity or add "
+                   "zones");
+
+    moduleZones_.resize(numModules_);
+    for (int m = 0; m < numModules_; ++m) {
+        // Spatial order: storage half, operation, optical, storage half.
+        std::vector<ZoneKind> order;
+        const int lead_storage = config.numStorageZones / 2;
+        for (int i = 0; i < lead_storage; ++i)
+            order.push_back(ZoneKind::Storage);
+        for (int i = 0; i < config.numOperationZones; ++i)
+            order.push_back(ZoneKind::Operation);
+        for (int i = 0; i < config.numOpticalZones; ++i)
+            order.push_back(ZoneKind::Optical);
+        for (int i = lead_storage; i < config.numStorageZones; ++i)
+            order.push_back(ZoneKind::Storage);
+
+        for (std::size_t slot = 0; slot < order.size(); ++slot) {
+            ZoneInfo info;
+            info.kind = order[slot];
+            info.module = m;
+            info.capacity = config.trapCapacity;
+            info.positionUm = static_cast<double>(slot) * config.zonePitchUm;
+            moduleZones_[m].push_back(static_cast<int>(zones_.size()));
+            zones_.push_back(info);
+        }
+    }
+}
+
+const ZoneInfo &
+EmlDevice::zone(int zone_id) const
+{
+    MUSSTI_ASSERT(zone_id >= 0 && zone_id < numZones(),
+                  "zone id " << zone_id << " out of range");
+    return zones_[zone_id];
+}
+
+const std::vector<int> &
+EmlDevice::zonesOfModule(int module) const
+{
+    MUSSTI_ASSERT(module >= 0 && module < numModules_,
+                  "module " << module << " out of range");
+    return moduleZones_[module];
+}
+
+std::vector<int>
+EmlDevice::zonesOfKind(int module, ZoneKind kind) const
+{
+    std::vector<int> out;
+    for (int z : zonesOfModule(module)) {
+        if (zones_[z].kind == kind)
+            out.push_back(z);
+    }
+    return out;
+}
+
+std::vector<int>
+EmlDevice::gateZonesOfModule(int module) const
+{
+    std::vector<int> out;
+    for (int z : zonesOfModule(module)) {
+        if (zones_[z].gateCapable())
+            out.push_back(z);
+    }
+    return out;
+}
+
+double
+EmlDevice::distanceUm(int zone_a, int zone_b) const
+{
+    const ZoneInfo &a = zone(zone_a);
+    const ZoneInfo &b = zone(zone_b);
+    MUSSTI_ASSERT(a.module == b.module,
+                  "distanceUm across modules " << a.module << " and "
+                  << b.module << "; ions cannot shuttle between modules");
+    return std::fabs(a.positionUm - b.positionUm);
+}
+
+bool
+EmlDevice::fiberLinked(int zone_a, int zone_b) const
+{
+    const ZoneInfo &a = zone(zone_a);
+    const ZoneInfo &b = zone(zone_b);
+    return a.kind == ZoneKind::Optical && b.kind == ZoneKind::Optical &&
+           a.module != b.module;
+}
+
+int
+EmlDevice::moduleSlotCount(int module) const
+{
+    int slots = 0;
+    for (int z : zonesOfModule(module))
+        slots += zones_[z].capacity;
+    return slots;
+}
+
+std::pair<int, int>
+EmlDevice::moduleQubitRange(int module) const
+{
+    const int per = config_.maxQubitsPerModule;
+    const int lo = module * per;
+    const int hi = std::min(numQubits_, lo + per);
+    return {lo, std::max(lo, hi)};
+}
+
+} // namespace mussti

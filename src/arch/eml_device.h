@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Entanglement-module-linked QCCD device model (paper Fig 2).
+ *
+ * A device is a set of QCCD modules. Each module is a linear arrangement
+ * of traps partitioned into storage / operation / optical zones. Optical
+ * zones of distinct modules are connected through a switched fiber, so a
+ * remote entangling gate may execute between any pair of optical zones in
+ * different modules. Ions physically shuttle only inside a module; they
+ * cross modules only logically via inserted SWAP gates.
+ */
+#ifndef MUSSTI_ARCH_EML_DEVICE_H
+#define MUSSTI_ARCH_EML_DEVICE_H
+
+#include <utility>
+#include <vector>
+
+#include "arch/zone.h"
+
+namespace mussti {
+
+/** Construction parameters for an EML-QCCD device (paper section 4). */
+struct EmlConfig
+{
+    int trapCapacity = 16;        ///< Ions per trap (12-20 in Fig 7).
+    int numStorageZones = 2;      ///< Storage traps per module.
+    int numOperationZones = 1;    ///< Operation traps per module.
+    int numOpticalZones = 1;      ///< Optical traps per module (2 in
+                                  ///< the Fig 12 study).
+    int maxQubitsPerModule = 32;  ///< A new module per 32 qubits.
+    double zonePitchUm = 200.0;   ///< Distance between adjacent traps.
+    int forcedNumModules = -1;    ///< >=1 overrides the derived count.
+};
+
+/**
+ * Immutable device topology: zones, module membership, geometry.
+ * All runtime state (ion placement, heat) lives elsewhere.
+ */
+class EmlDevice
+{
+  public:
+    /**
+     * Build a device sized for `num_qubits` program qubits: the module
+     * count is ceil(n / maxQubitsPerModule) unless forcedNumModules
+     * overrides it. fatal() if the device cannot hold the program.
+     */
+    EmlDevice(const EmlConfig &config, int num_qubits);
+
+    const EmlConfig &config() const { return config_; }
+    int numModules() const { return numModules_; }
+    int numZones() const { return static_cast<int>(zones_.size()); }
+    int numQubits() const { return numQubits_; }
+
+    /** Static zone descriptor by global zone id. */
+    const ZoneInfo &zone(int zone_id) const;
+
+    /** All zone descriptors (evaluator/validator input). */
+    const std::vector<ZoneInfo> &zoneInfos() const { return zones_; }
+
+    /** Global zone ids belonging to one module, in spatial order. */
+    const std::vector<int> &zonesOfModule(int module) const;
+
+    /** Zone ids of one kind within a module. */
+    std::vector<int> zonesOfKind(int module, ZoneKind kind) const;
+
+    /** Gate-capable zone ids (operation + optical) within a module. */
+    std::vector<int> gateZonesOfModule(int module) const;
+
+    /** Intra-module center-to-center distance in micrometers. */
+    double distanceUm(int zone_a, int zone_b) const;
+
+    /** True if a fiber gate may couple these two zones. */
+    bool fiberLinked(int zone_a, int zone_b) const;
+
+    /** Total ion slots in a module (sum of zone capacities). */
+    int moduleSlotCount(int module) const;
+
+    /** Qubits assigned to a module by the ceil(n/32) split: [lo, hi). */
+    std::pair<int, int> moduleQubitRange(int module) const;
+
+  private:
+    EmlConfig config_;
+    int numQubits_;
+    int numModules_;
+    std::vector<ZoneInfo> zones_;
+    std::vector<std::vector<int>> moduleZones_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_ARCH_EML_DEVICE_H

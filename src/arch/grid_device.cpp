@@ -1,0 +1,66 @@
+#include "arch/grid_device.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+GridDevice::GridDevice(const GridConfig &config) : config_(config)
+{
+    MUSSTI_REQUIRE(config.width >= 1 && config.height >= 1,
+                   "grid needs positive dimensions");
+    MUSSTI_REQUIRE(config.trapCapacity > 0, "trap capacity must be > 0");
+    for (int t = 0; t < numTraps(); ++t) {
+        ZoneInfo info;
+        info.kind = ZoneKind::Operation;
+        info.module = 0;
+        info.capacity = config.trapCapacity;
+        // 1D projection of the 2D position; hop metrics use row/col.
+        info.positionUm = (rowOf(t) + colOf(t)) * config.pitchUm;
+        zones_.push_back(info);
+    }
+}
+
+std::vector<int>
+GridDevice::neighbors(int trap) const
+{
+    std::vector<int> out;
+    const int row = rowOf(trap);
+    const int col = colOf(trap);
+    if (row > 0)
+        out.push_back(trapAt(row - 1, col));
+    if (row + 1 < config_.height)
+        out.push_back(trapAt(row + 1, col));
+    if (col > 0)
+        out.push_back(trapAt(row, col - 1));
+    if (col + 1 < config_.width)
+        out.push_back(trapAt(row, col + 1));
+    return out;
+}
+
+int
+GridDevice::hopDistance(int trap_a, int trap_b) const
+{
+    return std::abs(rowOf(trap_a) - rowOf(trap_b)) +
+           std::abs(colOf(trap_a) - colOf(trap_b));
+}
+
+std::vector<int>
+GridDevice::path(int from, int to) const
+{
+    std::vector<int> out;
+    int row = rowOf(from);
+    int col = colOf(from);
+    while (row != rowOf(to)) {
+        row += rowOf(to) > row ? 1 : -1;
+        out.push_back(trapAt(row, col));
+    }
+    while (col != colOf(to)) {
+        col += colOf(to) > col ? 1 : -1;
+        out.push_back(trapAt(row, col));
+    }
+    return out;
+}
+
+} // namespace mussti

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Monolithic QCCD grid device (paper Fig 1b), the substrate the baseline
+ * compilers [55], [13], [70] run on. W x H traps connected through an
+ * X-junction lattice; every trap is gate-capable; ions shuttle hop by hop
+ * between 4-neighbours.
+ */
+#ifndef MUSSTI_ARCH_GRID_DEVICE_H
+#define MUSSTI_ARCH_GRID_DEVICE_H
+
+#include <vector>
+
+#include "arch/zone.h"
+
+namespace mussti {
+
+/** Construction parameters for a grid QCCD. */
+struct GridConfig
+{
+    int width = 2;            ///< Traps per row.
+    int height = 2;           ///< Rows.
+    int trapCapacity = 16;    ///< Ions per trap.
+    double pitchUm = 200.0;   ///< Trap center spacing.
+};
+
+/** Immutable grid topology; traps are zones with ZoneKind::Operation. */
+class GridDevice
+{
+  public:
+    explicit GridDevice(const GridConfig &config);
+
+    const GridConfig &config() const { return config_; }
+    int numTraps() const { return config_.width * config_.height; }
+    int width() const { return config_.width; }
+    int height() const { return config_.height; }
+
+    /** Zone descriptors; all traps are gate-capable, module 0. */
+    const std::vector<ZoneInfo> &zoneInfos() const { return zones_; }
+
+    /** Row/column of a trap. */
+    int rowOf(int trap) const { return trap / config_.width; }
+    int colOf(int trap) const { return trap % config_.width; }
+    int trapAt(int row, int col) const { return row * config_.width + col; }
+
+    /** 4-neighbourhood of a trap. */
+    std::vector<int> neighbors(int trap) const;
+
+    /** Manhattan hop distance between two traps. */
+    int hopDistance(int trap_a, int trap_b) const;
+
+    /**
+     * A shortest hop path from `from` to `to`, excluding `from` and
+     * including `to`; row-first then column (deterministic).
+     */
+    std::vector<int> path(int from, int to) const;
+
+    /** Total ion slots on the device. */
+    int slotCount() const { return numTraps() * config_.trapCapacity; }
+
+  private:
+    GridConfig config_;
+    std::vector<ZoneInfo> zones_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_ARCH_GRID_DEVICE_H

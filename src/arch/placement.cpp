@@ -1,0 +1,167 @@
+#include "arch/placement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+Placement::Placement(int num_qubits, int num_zones)
+    : qubitZone_(num_qubits, -1), chains_(num_zones)
+{
+    MUSSTI_REQUIRE(num_qubits > 0, "placement needs qubits");
+    MUSSTI_REQUIRE(num_zones > 0, "placement needs zones");
+}
+
+void
+Placement::checkQubit(int qubit) const
+{
+    MUSSTI_ASSERT(qubit >= 0 && qubit < numQubits(),
+                  "qubit " << qubit << " out of range");
+}
+
+void
+Placement::checkZone(int zone) const
+{
+    MUSSTI_ASSERT(zone >= 0 && zone < numZones(),
+                  "zone " << zone << " out of range");
+}
+
+int
+Placement::zoneOf(int qubit) const
+{
+    checkQubit(qubit);
+    return qubitZone_[qubit];
+}
+
+const std::deque<int> &
+Placement::chain(int zone) const
+{
+    checkZone(zone);
+    return chains_[zone];
+}
+
+int
+Placement::sizeOf(int zone) const
+{
+    checkZone(zone);
+    return static_cast<int>(chains_[zone].size());
+}
+
+int
+Placement::chainIndex(int qubit) const
+{
+    checkQubit(qubit);
+    const int zone = qubitZone_[qubit];
+    MUSSTI_ASSERT(zone >= 0, "chainIndex of unplaced qubit " << qubit);
+    const auto &ch = chains_[zone];
+    const auto it = std::find(ch.begin(), ch.end(), qubit);
+    MUSSTI_ASSERT(it != ch.end(), "qubit " << qubit << " missing from its "
+                  "zone chain (placement corrupted)");
+    return static_cast<int>(it - ch.begin());
+}
+
+int
+Placement::extractionSwaps(int qubit) const
+{
+    const int zone = zoneOf(qubit);
+    MUSSTI_ASSERT(zone >= 0, "extractionSwaps of unplaced qubit");
+    const int idx = chainIndex(qubit);
+    const int size = sizeOf(zone);
+    return std::min(idx, size - 1 - idx);
+}
+
+ChainEnd
+Placement::cheaperEnd(int qubit) const
+{
+    const int idx = chainIndex(qubit);
+    const int size = sizeOf(zoneOf(qubit));
+    return idx <= size - 1 - idx ? ChainEnd::Front : ChainEnd::Back;
+}
+
+void
+Placement::insert(int qubit, int zone, ChainEnd end)
+{
+    checkQubit(qubit);
+    checkZone(zone);
+    MUSSTI_ASSERT(qubitZone_[qubit] < 0,
+                  "insert of already-placed qubit " << qubit);
+    if (end == ChainEnd::Front)
+        chains_[zone].push_front(qubit);
+    else
+        chains_[zone].push_back(qubit);
+    qubitZone_[qubit] = zone;
+}
+
+void
+Placement::removeAtEdge(int qubit)
+{
+    const int zone = zoneOf(qubit);
+    MUSSTI_ASSERT(zone >= 0, "remove of unplaced qubit " << qubit);
+    auto &ch = chains_[zone];
+    if (!ch.empty() && ch.front() == qubit) {
+        ch.pop_front();
+    } else if (!ch.empty() && ch.back() == qubit) {
+        ch.pop_back();
+    } else {
+        panic("removeAtEdge: qubit not at a chain edge");
+    }
+    qubitZone_[qubit] = -1;
+}
+
+void
+Placement::removeAnywhere(int qubit)
+{
+    const int zone = zoneOf(qubit);
+    MUSSTI_ASSERT(zone >= 0, "remove of unplaced qubit " << qubit);
+    auto &ch = chains_[zone];
+    const auto it = std::find(ch.begin(), ch.end(), qubit);
+    MUSSTI_ASSERT(it != ch.end(), "placement corrupted");
+    ch.erase(it);
+    qubitZone_[qubit] = -1;
+}
+
+void
+Placement::swapToward(int qubit, ChainEnd end)
+{
+    const int zone = zoneOf(qubit);
+    MUSSTI_ASSERT(zone >= 0, "swapToward of unplaced qubit");
+    auto &ch = chains_[zone];
+    const int idx = chainIndex(qubit);
+    if (end == ChainEnd::Front) {
+        MUSSTI_ASSERT(idx > 0, "swapToward front at front already");
+        std::swap(ch[idx], ch[idx - 1]);
+    } else {
+        MUSSTI_ASSERT(idx + 1 < sizeOf(zone),
+                      "swapToward back at back already");
+        std::swap(ch[idx], ch[idx + 1]);
+    }
+}
+
+void
+Placement::exchange(int qubit_a, int qubit_b)
+{
+    checkQubit(qubit_a);
+    checkQubit(qubit_b);
+    const int zone_a = qubitZone_[qubit_a];
+    const int zone_b = qubitZone_[qubit_b];
+    MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0,
+                  "exchange of unplaced qubits");
+    auto &chain_a = chains_[zone_a];
+    auto &chain_b = chains_[zone_b];
+    const auto it_a = std::find(chain_a.begin(), chain_a.end(), qubit_a);
+    const auto it_b = std::find(chain_b.begin(), chain_b.end(), qubit_b);
+    MUSSTI_ASSERT(it_a != chain_a.end() && it_b != chain_b.end(),
+                  "placement corrupted in exchange");
+    std::iter_swap(it_a, it_b);
+    std::swap(qubitZone_[qubit_a], qubitZone_[qubit_b]);
+}
+
+bool
+Placement::allPlaced() const
+{
+    return std::all_of(qubitZone_.begin(), qubitZone_.end(),
+                       [](int z) { return z >= 0; });
+}
+
+} // namespace mussti

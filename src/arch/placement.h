@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime ion placement: which zone each logical qubit occupies and the
+ * linear chain order inside each trap. Shuttles may only extract ions
+ * from chain edges (paper Fig 2c), so chain order determines how many
+ * physical in-trap swaps a relocation costs.
+ */
+#ifndef MUSSTI_ARCH_PLACEMENT_H
+#define MUSSTI_ARCH_PLACEMENT_H
+
+#include <deque>
+#include <vector>
+
+namespace mussti {
+
+/** Which chain edge an ion enters or leaves through. */
+enum class ChainEnd { Front, Back };
+
+/**
+ * Mutable placement of `numQubits` logical qubits across `numZones`
+ * trap chains. Unplaced qubits have zone -1.
+ */
+class Placement
+{
+  public:
+    Placement(int num_qubits, int num_zones);
+
+    int numQubits() const { return static_cast<int>(qubitZone_.size()); }
+    int numZones() const { return static_cast<int>(chains_.size()); }
+
+    /** Zone holding a qubit, or -1 if unplaced. */
+    int zoneOf(int qubit) const;
+
+    /** Chain order (front..back) of a zone. */
+    const std::deque<int> &chain(int zone) const;
+
+    /** Number of ions resident in a zone. */
+    int sizeOf(int zone) const;
+
+    /** Position of the qubit in its chain (0 = front). */
+    int chainIndex(int qubit) const;
+
+    /**
+     * Minimum number of adjacent-ion swaps to bring the qubit to a chain
+     * edge (0 if already at an edge or alone).
+     */
+    int extractionSwaps(int qubit) const;
+
+    /** The cheaper extraction edge for the qubit. */
+    ChainEnd cheaperEnd(int qubit) const;
+
+    /** Insert an unplaced qubit at the given edge of a zone. */
+    void insert(int qubit, int zone, ChainEnd end);
+
+    /** Remove a placed qubit from its chain (must be at an edge). */
+    void removeAtEdge(int qubit);
+
+    /** Remove regardless of position (initial-mapping construction). */
+    void removeAnywhere(int qubit);
+
+    /** Swap a qubit with its chain neighbour toward the given edge. */
+    void swapToward(int qubit, ChainEnd end);
+
+    /**
+     * Exchange the placements of two qubits (logical SWAP insertion):
+     * each takes the other's zone and chain slot.
+     */
+    void exchange(int qubit_a, int qubit_b);
+
+    /** True if every qubit is placed. */
+    bool allPlaced() const;
+
+  private:
+    std::vector<int> qubitZone_;
+    std::vector<std::deque<int>> chains_;
+
+    void checkQubit(int qubit) const;
+    void checkZone(int zone) const;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_ARCH_PLACEMENT_H

@@ -1,0 +1,35 @@
+#include "arch/zone.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+int
+zoneLevel(ZoneKind kind)
+{
+    switch (kind) {
+      case ZoneKind::Storage: return 0;
+      case ZoneKind::Operation: return 1;
+      case ZoneKind::Optical: return 2;
+    }
+    panic("unhandled ZoneKind in zoneLevel");
+}
+
+bool
+isGateCapable(ZoneKind kind)
+{
+    return kind != ZoneKind::Storage;
+}
+
+const char *
+zoneKindName(ZoneKind kind)
+{
+    switch (kind) {
+      case ZoneKind::Storage: return "storage";
+      case ZoneKind::Operation: return "operation";
+      case ZoneKind::Optical: return "optical";
+    }
+    panic("unhandled ZoneKind in zoneKindName");
+}
+
+} // namespace mussti

@@ -1,0 +1,199 @@
+#include "baselines/grid_compiler_base.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/logging.h"
+#include "sim/evaluator.h"
+
+namespace mussti {
+
+GridCompilerBase::Pass::Pass(const GridDevice &device,
+                             const PhysicalParams &params,
+                             const Circuit &lowered,
+                             const Placement &initial)
+    : placement(initial),
+      lru(lowered.numQubits()),
+      emitter(device.zoneInfos(), params, placement, schedule),
+      dag(lowered),
+      remainingDegree(lowered.twoQubitDegrees())
+{
+    schedule.initialChains = Schedule::snapshotChains(initial);
+}
+
+Placement
+GridCompilerBase::initialPlacement(int num_qubits) const
+{
+    MUSSTI_REQUIRE(num_qubits <= device_.slotCount(),
+                   "circuit does not fit on the grid: " << num_qubits
+                   << " qubits vs " << device_.slotCount() << " slots");
+    Placement placement(num_qubits, device_.numTraps());
+    int next = 0;
+    for (int t = 0; t < device_.numTraps() && next < num_qubits; ++t) {
+        for (int slot = 0; slot < device_.config().trapCapacity &&
+             next < num_qubits; ++slot) {
+            placement.insert(next, t, ChainEnd::Back);
+            ++next;
+        }
+    }
+    return placement;
+}
+
+bool
+GridCompilerBase::executable(const Pass &pass, const Gate &gate) const
+{
+    const int ta = pass.placement.zoneOf(gate.q0);
+    return ta >= 0 && ta == pass.placement.zoneOf(gate.q1) &&
+           gateAllowedIn(ta);
+}
+
+int
+GridCompilerBase::nearestTrapWithSpace(const Pass &pass, int from,
+                                       int exclude) const
+{
+    int best = -1;
+    int best_dist = std::numeric_limits<int>::max();
+    for (int t = 0; t < device_.numTraps(); ++t) {
+        if (t == exclude)
+            continue;
+        if (pass.placement.sizeOf(t) >= device_.config().trapCapacity)
+            continue;
+        const int dist = device_.hopDistance(from, t);
+        if (dist < best_dist) {
+            best_dist = dist;
+            best = t;
+        }
+    }
+    return best;
+}
+
+void
+GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
+                           const std::vector<int> &protect)
+{
+    const int from = pass.placement.zoneOf(qubit);
+    MUSSTI_ASSERT(from >= 0, "grid relocate of unplaced qubit");
+    if (from == target_trap)
+        return;
+
+    // Spill until the target has a slot.
+    std::vector<int> guarded = protect;
+    guarded.push_back(qubit);
+    while (pass.placement.sizeOf(target_trap) >=
+           device_.config().trapCapacity) {
+        const int victim = pass.lru.victim(pass.placement.chain(target_trap),
+                                           guarded);
+        MUSSTI_ASSERT(victim >= 0, "grid spill dead-lock in trap "
+                      << target_trap);
+        const int spill_to = nearestTrapWithSpace(pass, target_trap,
+                                                  target_trap);
+        MUSSTI_ASSERT(spill_to >= 0, "grid completely full");
+        const int hops = device_.hopDistance(target_trap, spill_to);
+        pass.emitter.relocate(victim, spill_to,
+                              hops * device_.config().pitchUm);
+        pass.schedule.addExtraShuttles(hops - 1);
+    }
+
+    const int hops = device_.hopDistance(from, target_trap);
+    pass.emitter.relocate(qubit, target_trap,
+                          hops * device_.config().pitchUm);
+    pass.schedule.addExtraShuttles(hops - 1);
+}
+
+void
+GridCompilerBase::executeNode(Pass &pass, DagNodeId id)
+{
+    const DagNode &node = pass.dag.node(id);
+    const Gate &gate = node.gate;
+    MUSSTI_ASSERT(executable(pass, gate),
+                  "executeNode on split operands");
+
+    for (const Gate &g1 : node.leading1q) {
+        if (!isSingleQubit(g1.kind))
+            continue;
+        ScheduledOp op;
+        op.kind = OpKind::Gate1Q;
+        op.q0 = g1.q0;
+        op.zoneFrom = pass.placement.zoneOf(g1.q0);
+        op.zoneTo = op.zoneFrom;
+        op.durationUs = params_.gate1qTimeUs;
+        pass.schedule.push(op);
+    }
+
+    const int trap = pass.placement.zoneOf(gate.q0);
+    ScheduledOp op;
+    op.kind = OpKind::Gate2Q;
+    op.q0 = gate.q0;
+    op.q1 = gate.q1;
+    op.zoneFrom = trap;
+    op.zoneTo = trap;
+    op.durationUs = params_.gate2qTimeUs;
+    op.circuitGate = node.circuitIndex;
+    pass.schedule.push(op);
+
+    pass.lru.touch(gate.q0);
+    pass.lru.touch(gate.q1);
+    --pass.remainingDegree[gate.q0];
+    --pass.remainingDegree[gate.q1];
+    pass.dag.complete(id);
+}
+
+void
+GridCompilerBase::drainExecutable(Pass &pass)
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        const std::vector<DagNodeId> snapshot = pass.dag.frontier();
+        for (DagNodeId id : snapshot) {
+            if (pass.dag.isReady(id) &&
+                executable(pass, pass.dag.node(id).gate)) {
+                executeNode(pass, id);
+                progressed = true;
+            }
+        }
+    }
+}
+
+CompileResult
+GridCompilerBase::compile(const Circuit &circuit)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    CompileResult result(circuit.withSwapsDecomposed());
+    Pass pass(device_, params_, result.lowered,
+              initialPlacement(circuit.numQubits()));
+
+    while (!pass.dag.empty()) {
+        drainExecutable(pass);
+        if (pass.dag.empty())
+            break;
+        scheduleStep(pass);
+    }
+
+    // Trailing single-qubit gates.
+    for (const Gate &g1 : pass.dag.trailing1q()) {
+        if (!isSingleQubit(g1.kind))
+            continue;
+        ScheduledOp op;
+        op.kind = OpKind::Gate1Q;
+        op.q0 = g1.q0;
+        op.zoneFrom = pass.placement.zoneOf(g1.q0);
+        op.zoneTo = op.zoneFrom;
+        op.durationUs = params_.gate1qTimeUs;
+        pass.schedule.push(op);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.compileTimeSec = std::chrono::duration<double>(t1 - t0).count();
+    result.schedule = std::move(pass.schedule);
+    result.finalChains = Schedule::snapshotChains(pass.placement);
+
+    const Evaluator evaluator(params_);
+    result.metrics = evaluator.evaluate(result.schedule,
+                                        device_.zoneInfos());
+    return result;
+}
+
+} // namespace mussti

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared machinery of the baseline compilers that target monolithic
+ * QCCD grids: initial row-major placement, hop-counted relocations with
+ * LRU spill handling, executable-gate draining, and evaluation, so each
+ * baseline only contributes its shuttle *strategy*.
+ */
+#ifndef MUSSTI_BASELINES_GRID_COMPILER_BASE_H
+#define MUSSTI_BASELINES_GRID_COMPILER_BASE_H
+
+#include <vector>
+
+#include "arch/grid_device.h"
+#include "arch/placement.h"
+#include "core/compiler.h"
+#include "core/lru.h"
+#include "dag/dag.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+#include "sim/shuttle_emitter.h"
+
+namespace mussti {
+
+/**
+ * Base class for grid-QCCD baseline compilers. Subclasses implement
+ * scheduleStep(), which must make progress on the FCFS frontier gate.
+ */
+class GridCompilerBase
+{
+  public:
+    GridCompilerBase(const GridConfig &grid, const PhysicalParams &params)
+        : device_(grid), params_(params)
+    {}
+    virtual ~GridCompilerBase() = default;
+
+    /** Compile a circuit and evaluate it on the grid device. */
+    CompileResult compile(const Circuit &circuit);
+
+    const GridDevice &device() const { return device_; }
+
+  protected:
+    GridDevice device_;
+    PhysicalParams params_;
+
+    /** Per-pass working state visible to strategies. */
+    struct Pass
+    {
+        Placement placement;
+        Schedule schedule;
+        LruTracker lru;
+        ShuttleEmitter emitter;
+        DependencyDag dag;
+        std::vector<int> remainingDegree; ///< Future 2q gates per qubit.
+
+        Pass(const GridDevice &device, const PhysicalParams &params,
+             const Circuit &lowered, const Placement &initial);
+    };
+
+    /**
+     * One strategy step: the pass's frontier is non-empty and contains
+     * no executable gate; bring the FCFS gate's qubits together.
+     */
+    virtual void scheduleStep(Pass &pass) = 0;
+
+    /** True if both operands share a trap the strategy may gate in. */
+    bool executable(const Pass &pass, const Gate &gate) const;
+
+    /**
+     * Strategy hook: whether a gate may execute in the given trap.
+     * Default allows any trap (standard QCCD); the MQT-like baseline
+     * restricts execution to its processing trap.
+     */
+    virtual bool gateAllowedIn(int trap) const { (void)trap; return true; }
+
+    /**
+     * Relocate a qubit to a target trap: spills LRU victims from the
+     * target to the nearest trap with space, then emits one relocation
+     * triple booking hop-count shuttles.
+     */
+    void relocate(Pass &pass, int qubit, int target_trap,
+                  const std::vector<int> &protect);
+
+    /** Row-major initial fill. */
+    Placement initialPlacement(int num_qubits) const;
+
+    /** Execute every currently executable frontier gate. */
+    void drainExecutable(Pass &pass);
+
+    /** Execute one ready node (gate + leading 1q costing). */
+    void executeNode(Pass &pass, DagNodeId id);
+
+    /** Nearest trap with a free slot, by hop distance from `from`. */
+    int nearestTrapWithSpace(const Pass &pass, int from,
+                             int exclude) const;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_BASELINES_GRID_COMPILER_BASE_H

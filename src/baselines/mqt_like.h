@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Baseline: processing-zone compiler in the style of the Munich Quantum
+ * Toolkit ion shuttler (Schoenberger et al., IEEE TCAD 2024) —
+ * reference [70] of the paper.
+ *
+ * That flow targets architectures with one dedicated processing zone:
+ * every two-qubit gate requires both ions to be shuttled into the
+ * processing trap, and displaced ions are spilled back toward storage.
+ * The resulting schedules are correct but shuttle-heavy, which is the
+ * behaviour Table 2 of the paper shows for [70].
+ */
+#ifndef MUSSTI_BASELINES_MQT_LIKE_H
+#define MUSSTI_BASELINES_MQT_LIKE_H
+
+#include "baselines/grid_compiler_base.h"
+
+namespace mussti {
+
+/** Dedicated-processing-zone shuttling (reference [70]). */
+class MqtLikeCompiler : public GridCompilerBase
+{
+  public:
+    MqtLikeCompiler(const GridConfig &grid, const PhysicalParams &params)
+        : GridCompilerBase(grid, params),
+          processingTrap_(grid.width / 2 + (grid.height / 2) * grid.width)
+    {}
+
+    /** The trap all gates execute in. */
+    int processingTrap() const { return processingTrap_; }
+
+  protected:
+    void scheduleStep(Pass &pass) override;
+
+    /** Gates execute only inside the processing trap. */
+    bool
+    gateAllowedIn(int trap) const override
+    {
+        return trap == processingTrap_;
+    }
+
+  private:
+    int processingTrap_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_BASELINES_MQT_LIKE_H

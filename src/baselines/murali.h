@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Baseline: greedy QCCD compiler after Murali et al., "Architecting
+ * Noisy Intermediate-Scale Trapped Ion Quantum Computers" (ISCA 2020)
+ * — reference [55] of the paper.
+ *
+ * Strategy: for the FCFS frontier gate whose operands sit in different
+ * traps, shuttle one operand to the other's trap along a shortest
+ * junction path. The mover is the operand with fewer remaining gates
+ * (the one whose locality is cheaper to disturb); spills evict the LRU
+ * ion of the destination to the nearest trap with space.
+ */
+#ifndef MUSSTI_BASELINES_MURALI_H
+#define MUSSTI_BASELINES_MURALI_H
+
+#include "baselines/grid_compiler_base.h"
+
+namespace mussti {
+
+/** Greedy nearest-destination shuttling (reference [55]). */
+class MuraliCompiler : public GridCompilerBase
+{
+  public:
+    MuraliCompiler(const GridConfig &grid, const PhysicalParams &params)
+        : GridCompilerBase(grid, params)
+    {}
+
+  protected:
+    void scheduleStep(Pass &pass) override;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_BASELINES_MURALI_H

@@ -1,0 +1,116 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    MUSSTI_REQUIRE(num_qubits > 0, "circuit needs at least one qubit");
+}
+
+void
+Circuit::add(const Gate &gate)
+{
+    const int arity = gateArity(gate.kind);
+    if (arity >= 1) {
+        MUSSTI_ASSERT(gate.q0 >= 0 && gate.q0 < numQubits_,
+                      "gate operand q0=" << gate.q0 << " out of range for "
+                      << numQubits_ << " qubits");
+    }
+    if (arity == 2) {
+        MUSSTI_ASSERT(gate.q1 >= 0 && gate.q1 < numQubits_,
+                      "gate operand q1=" << gate.q1 << " out of range");
+        MUSSTI_ASSERT(gate.q0 != gate.q1,
+                      "two-qubit gate with identical operands q=" << gate.q0);
+    }
+    gates_.push_back(gate);
+}
+
+int
+Circuit::twoQubitCount() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return g.twoQubit(); }));
+}
+
+int
+Circuit::singleQubitCount() const
+{
+    return static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return isSingleQubit(g.kind); }));
+}
+
+Circuit
+Circuit::reversed() const
+{
+    Circuit out(numQubits_, name_ + "_rev");
+    out.gates_.assign(gates_.rbegin(), gates_.rend());
+    return out;
+}
+
+Circuit
+Circuit::withSwapsDecomposed() const
+{
+    Circuit out(numQubits_, name_);
+    for (const Gate &g : gates_) {
+        if (g.kind == GateKind::Swap) {
+            out.cx(g.q0, g.q1);
+            out.cx(g.q1, g.q0);
+            out.cx(g.q0, g.q1);
+        } else {
+            out.add(g);
+        }
+    }
+    return out;
+}
+
+CircuitStats
+Circuit::stats() const
+{
+    CircuitStats s;
+    s.numQubits = numQubits_;
+    s.totalGates = static_cast<int>(gates_.size());
+    s.twoQubitGates = twoQubitCount();
+    s.singleQubitGates = singleQubitCount();
+    s.measurements = static_cast<int>(std::count_if(
+        gates_.begin(), gates_.end(),
+        [](const Gate &g) { return g.kind == GateKind::Measure; }));
+
+    // Two-qubit depth: longest chain of dependent 2q gates.
+    std::vector<int> qubit_depth(numQubits_, 0);
+    double dist_sum = 0.0;
+    for (const Gate &g : gates_) {
+        if (!g.twoQubit())
+            continue;
+        const int d = std::max(qubit_depth[g.q0], qubit_depth[g.q1]) + 1;
+        qubit_depth[g.q0] = d;
+        qubit_depth[g.q1] = d;
+        s.depth = std::max(s.depth, d);
+        dist_sum += std::abs(g.q0 - g.q1);
+    }
+    if (s.twoQubitGates > 0)
+        s.avgInteractionDistance = dist_sum / s.twoQubitGates;
+    return s;
+}
+
+std::vector<int>
+Circuit::twoQubitDegrees() const
+{
+    std::vector<int> degree(numQubits_, 0);
+    for (const Gate &g : gates_) {
+        if (!g.twoQubit())
+            continue;
+        ++degree[g.q0];
+        ++degree[g.q1];
+    }
+    return degree;
+}
+
+} // namespace mussti

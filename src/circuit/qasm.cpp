@@ -1,0 +1,194 @@
+#include "circuit/qasm.h"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mussti {
+
+namespace {
+
+/** Render one gate as a QASM statement line. */
+std::string
+gateToQasm(const Gate &g)
+{
+    char buf[128];
+    switch (gateArity(g.kind)) {
+      case 0:
+        return "barrier q;";
+      case 1:
+        if (g.kind == GateKind::Measure) {
+            std::snprintf(buf, sizeof(buf), "measure q[%d] -> c[%d];",
+                          g.q0, g.q0);
+        } else if (g.kind == GateKind::Rx || g.kind == GateKind::Ry ||
+                   g.kind == GateKind::Rz || g.kind == GateKind::U) {
+            std::snprintf(buf, sizeof(buf), "%s(%.12g) q[%d];",
+                          gateName(g.kind), g.param, g.q0);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s q[%d];",
+                          gateName(g.kind), g.q0);
+        }
+        return buf;
+      case 2:
+        if (g.kind == GateKind::Ms) {
+            std::snprintf(buf, sizeof(buf), "rxx(%.12g) q[%d],q[%d];",
+                          g.param == 0.0 ? M_PI / 2 : g.param, g.q0, g.q1);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%s q[%d],q[%d];",
+                          gateName(g.kind), g.q0, g.q1);
+        }
+        return buf;
+      default:
+        panic("unreachable gate arity");
+    }
+}
+
+/** Parse "q[7]" -> 7; fatal on other register names. */
+int
+parseOperand(const std::string &token, const std::string &reg_name)
+{
+    const std::string t = trim(token);
+    const std::size_t lb = t.find('[');
+    const std::size_t rb = t.find(']');
+    MUSSTI_REQUIRE(lb != std::string::npos && rb != std::string::npos &&
+                   rb > lb, "malformed operand: " + token);
+    const std::string reg = trim(t.substr(0, lb));
+    MUSSTI_REQUIRE(reg == reg_name,
+                   "unsupported register `" + reg + "` (expected " +
+                   reg_name + ")");
+    return std::stoi(t.substr(lb + 1, rb - lb - 1));
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out << "OPENQASM 2.0;\n";
+    out << "include \"qelib1.inc\";\n";
+    out << "// " << circuit.name() << "\n";
+    out << "qreg q[" << circuit.numQubits() << "];\n";
+    out << "creg c[" << circuit.numQubits() << "];\n";
+    for (const Gate &g : circuit.gates())
+        out << gateToQasm(g) << "\n";
+    return out.str();
+}
+
+Circuit
+fromQasmStream(std::istream &in, const std::string &name)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromQasm(buffer.str(), name);
+}
+
+Circuit
+fromQasm(const std::string &text, const std::string &name)
+{
+    int num_qubits = -1;
+    std::string qreg_name = "q";
+    std::vector<Gate> pending;
+
+    // Statement-split on ';', tolerating newlines and // comments.
+    std::string cleaned;
+    cleaned.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+            while (i < text.size() && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        cleaned += text[i] == '\n' ? ' ' : text[i];
+    }
+
+    for (const std::string &raw : split(cleaned, ';')) {
+        const std::string stmt = trim(raw);
+        if (stmt.empty())
+            continue;
+        if (startsWith(stmt, "OPENQASM") || startsWith(stmt, "include"))
+            continue;
+        if (startsWith(stmt, "creg"))
+            continue;
+        if (startsWith(stmt, "qreg")) {
+            MUSSTI_REQUIRE(num_qubits < 0,
+                           "multiple qreg declarations are unsupported");
+            const std::size_t lb = stmt.find('[');
+            const std::size_t rb = stmt.find(']');
+            MUSSTI_REQUIRE(lb != std::string::npos && rb > lb,
+                           "malformed qreg: " + stmt);
+            qreg_name = trim(stmt.substr(4, lb - 4));
+            num_qubits = std::stoi(stmt.substr(lb + 1, rb - lb - 1));
+            continue;
+        }
+        MUSSTI_REQUIRE(!startsWith(stmt, "gate") && !startsWith(stmt, "if"),
+                       "unsupported QASM construct: " + stmt);
+        MUSSTI_REQUIRE(num_qubits > 0, "gate before qreg declaration");
+
+        // Mnemonic [("params")] operands
+        std::size_t cut = stmt.find_first_of(" (");
+        MUSSTI_REQUIRE(cut != std::string::npos, "malformed stmt: " + stmt);
+        const std::string mnemonic = stmt.substr(0, cut);
+        double param = 0.0;
+        std::string rest = stmt.substr(cut);
+        if (!rest.empty() && trim(rest)[0] == '(') {
+            const std::size_t open = rest.find('(');
+            const std::size_t close = rest.find(')');
+            MUSSTI_REQUIRE(close != std::string::npos,
+                           "unterminated parameter list: " + stmt);
+            const std::string params = rest.substr(open + 1, close - open - 1);
+            // Accept "pi/2"-style fragments commonly emitted by QASMBench.
+            std::string first = trim(split(params, ',')[0]);
+            if (first.find("pi") != std::string::npos) {
+                double scale = 1.0;
+                const auto frac = split(first, '/');
+                if (frac.size() == 2)
+                    scale = 1.0 / std::stod(frac[1]);
+                double sign = startsWith(first, "-") ? -1.0 : 1.0;
+                param = sign * M_PI * scale;
+            } else if (!first.empty()) {
+                param = std::stod(first);
+            }
+            rest = rest.substr(close + 1);
+        }
+
+        const GateKind kind = gateKindFromName(mnemonic);
+        if (kind == GateKind::Barrier) {
+            pending.emplace_back(kind, -1);
+            continue;
+        }
+        if (kind == GateKind::Measure) {
+            const std::string lhs = split(rest, '-')[0];
+            pending.emplace_back(kind, parseOperand(lhs, qreg_name));
+            continue;
+        }
+        const auto operands = split(rest, ',');
+        if (gateArity(kind) == 2) {
+            MUSSTI_REQUIRE(operands.size() == 2,
+                           "two-qubit gate needs two operands: " + stmt);
+            pending.emplace_back(kind, parseOperand(operands[0], qreg_name),
+                                 parseOperand(operands[1], qreg_name), param);
+        } else {
+            MUSSTI_REQUIRE(operands.size() == 1,
+                           "one-qubit gate needs one operand: " + stmt);
+            pending.emplace_back(kind, parseOperand(operands[0], qreg_name),
+                                 param);
+        }
+    }
+
+    MUSSTI_REQUIRE(num_qubits > 0, "no qreg declaration found");
+    Circuit circuit(num_qubits, name);
+    for (const Gate &g : pending) {
+        if (g.kind == GateKind::Barrier)
+            circuit.add(Gate(GateKind::Barrier, -1));
+        else
+            circuit.add(g);
+    }
+    return circuit;
+}
+
+} // namespace mussti

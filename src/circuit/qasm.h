@@ -1,0 +1,33 @@
+/**
+ * @file
+ * OpenQASM 2.0 subset reader/writer.
+ *
+ * The paper's benchmarks come from QASMBench; this module lets users feed
+ * their own QASM files to the compiler and lets our generated workloads be
+ * exported for inspection. Supported subset: one quantum register, one
+ * optional classical register, the gate alphabet of gate.h (including
+ * u1/u2/u3/rxx/rzz aliases), measure, and barrier. Gate definitions,
+ * conditionals, and multiple registers are rejected with fatal().
+ */
+#ifndef MUSSTI_CIRCUIT_QASM_H
+#define MUSSTI_CIRCUIT_QASM_H
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace mussti {
+
+/** Serialize a circuit as OpenQASM 2.0. */
+std::string toQasm(const Circuit &circuit);
+
+/** Parse the supported OpenQASM 2.0 subset; fatal() on unsupported input. */
+Circuit fromQasm(const std::string &text, const std::string &name = "qasm");
+
+/** Parse from a stream. */
+Circuit fromQasmStream(std::istream &in, const std::string &name = "qasm");
+
+} // namespace mussti
+
+#endif // MUSSTI_CIRCUIT_QASM_H

@@ -1,0 +1,189 @@
+#include "circuit/transforms.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+namespace {
+
+/** Self-inverse gate kinds eligible for pair cancellation. */
+bool
+selfInverse(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::Cx:
+      case GateKind::Cz:
+      case GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Identical support (operands may not be reordered for cx). */
+bool
+sameSupport(const Gate &a, const Gate &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    if (a.kind == GateKind::Cz || a.kind == GateKind::Swap) {
+        // Symmetric gates cancel regardless of operand order.
+        return (a.q0 == b.q0 && a.q1 == b.q1) ||
+               (a.q0 == b.q1 && a.q1 == b.q0);
+    }
+    return a.q0 == b.q0 && a.q1 == b.q1;
+}
+
+/** One cancellation sweep; returns true if anything was removed. */
+bool
+cancelOnce(std::vector<Gate> &gates)
+{
+    std::vector<bool> removed(gates.size(), false);
+    bool changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (removed[i] || !selfInverse(gates[i].kind))
+            continue;
+        // Find the next gate sharing a qubit with gates[i].
+        for (std::size_t j = i + 1; j < gates.size(); ++j) {
+            if (removed[j])
+                continue;
+            const Gate &a = gates[i];
+            const Gate &b = gates[j];
+            const bool blocks = b.touches(a.q0) ||
+                (a.q1 >= 0 && b.touches(a.q1));
+            if (!blocks)
+                continue;
+            if (sameSupport(a, b)) {
+                removed[i] = removed[j] = true;
+                changed = true;
+            }
+            break; // first interacting gate decides either way
+        }
+    }
+    if (changed) {
+        std::vector<Gate> kept;
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (!removed[i])
+                kept.push_back(gates[i]);
+        }
+        gates = std::move(kept);
+    }
+    return changed;
+}
+
+bool
+isRotation(GateKind kind)
+{
+    return kind == GateKind::Rx || kind == GateKind::Ry ||
+           kind == GateKind::Rz;
+}
+
+} // namespace
+
+Circuit
+cancelAdjacentInverses(const Circuit &circuit)
+{
+    std::vector<Gate> gates = circuit.gates();
+    while (cancelOnce(gates)) {
+    }
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (const Gate &g : gates)
+        out.add(g);
+    return out;
+}
+
+Circuit
+mergeRotations(const Circuit &circuit)
+{
+    // For each gate, look backward for a mergeable same-axis rotation
+    // on the same qubit not blocked by an interacting gate.
+    std::vector<Gate> gates;
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    for (const Gate &g : circuit.gates()) {
+        if (!isRotation(g.kind)) {
+            gates.push_back(g);
+            continue;
+        }
+        bool merged = false;
+        for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+            if (!it->touches(g.q0))
+                continue;
+            if (it->kind == g.kind && it->q0 == g.q0) {
+                it->param = std::fmod(it->param + g.param, two_pi);
+                merged = true;
+            }
+            break;
+        }
+        if (!merged)
+            gates.push_back(g);
+    }
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (const Gate &g : gates) {
+        if (isRotation(g.kind) &&
+            std::fabs(std::remainder(g.param, two_pi)) < 1e-12)
+            continue; // identity rotation
+        out.add(g);
+    }
+    return out;
+}
+
+Circuit
+relabelQubits(const Circuit &circuit, const std::vector<int> &permutation)
+{
+    MUSSTI_REQUIRE(static_cast<int>(permutation.size()) ==
+                   circuit.numQubits(),
+                   "permutation size must equal qubit count");
+    std::vector<bool> seen(permutation.size(), false);
+    for (int target : permutation) {
+        MUSSTI_REQUIRE(target >= 0 &&
+                       target < circuit.numQubits() && !seen[target],
+                       "relabeling is not a permutation");
+        seen[target] = true;
+    }
+
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (Gate g : circuit.gates()) {
+        if (g.q0 >= 0)
+            g.q0 = permutation[g.q0];
+        if (g.q1 >= 0)
+            g.q1 = permutation[g.q1];
+        out.add(g);
+    }
+    return out;
+}
+
+Circuit
+scrambleQubits(const Circuit &circuit, std::uint64_t seed)
+{
+    std::vector<int> permutation(circuit.numQubits());
+    for (int q = 0; q < circuit.numQubits(); ++q)
+        permutation[q] = q;
+    Rng rng(seed);
+    rng.shuffle(permutation);
+    Circuit out = relabelQubits(circuit, permutation);
+    out.setName(circuit.name() + "_scrambled");
+    return out;
+}
+
+Circuit
+simplify(const Circuit &circuit)
+{
+    Circuit current = circuit;
+    for (int round = 0; round < 16; ++round) {
+        Circuit next = mergeRotations(cancelAdjacentInverses(current));
+        if (next == current)
+            break;
+        current = std::move(next);
+    }
+    return current;
+}
+
+} // namespace mussti

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Circuit-level transformation passes.
+ *
+ * These are the standard pre-compilation cleanups a production flow
+ * runs before routing: self-inverse gate cancellation, rotation
+ * merging, dead 1q-gate pruning before measurement-free wires, and
+ * qubit relabeling (used to model transpiled QASMBench inputs whose
+ * wire labels are scrambled relative to program structure).
+ */
+#ifndef MUSSTI_CIRCUIT_TRANSFORMS_H
+#define MUSSTI_CIRCUIT_TRANSFORMS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace mussti {
+
+/**
+ * Cancel adjacent self-inverse pairs on identical supports: X-X, Y-Y,
+ * Z-Z, H-H, and CX-CX / CZ-CZ / SWAP-SWAP with equal operands separated
+ * only by gates on disjoint qubits. Runs to a fixed point.
+ */
+Circuit cancelAdjacentInverses(const Circuit &circuit);
+
+/**
+ * Merge runs of same-axis rotations on one qubit (Rz-Rz, Rx-Rx, Ry-Ry)
+ * into a single rotation with the summed angle; drops rotations whose
+ * merged angle is ~0 (mod 2 pi).
+ */
+Circuit mergeRotations(const Circuit &circuit);
+
+/**
+ * Apply a qubit permutation: wire q in the input becomes
+ * permutation[q] in the output. fatal() if not a permutation.
+ */
+Circuit relabelQubits(const Circuit &circuit,
+                      const std::vector<int> &permutation);
+
+/**
+ * Deterministically scramble wire labels with the given seed. Models
+ * the label structure of transpiled benchmark files, where program
+ * locality is not reflected in qubit indices.
+ */
+Circuit scrambleQubits(const Circuit &circuit, std::uint64_t seed);
+
+/** Run cancellation and rotation merging to a joint fixed point. */
+Circuit simplify(const Circuit &circuit);
+
+} // namespace mussti
+
+#endif // MUSSTI_CIRCUIT_TRANSFORMS_H

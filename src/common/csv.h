@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CSV and aligned-table writers used by the bench harness to emit both
+ * machine-readable rows (for plotting) and the paper-style tables.
+ */
+#ifndef MUSSTI_COMMON_CSV_H
+#define MUSSTI_COMMON_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mussti {
+
+/** Writes rows of fields as RFC-4180-ish CSV (quotes fields on demand). */
+class CsvWriter
+{
+  public:
+    /** Stream is borrowed; caller keeps it alive for the writer's life. */
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    /** Write a full row; fields containing , or " are quoted. */
+    void writeRow(const std::vector<std::string> &fields);
+
+  private:
+    std::ostream &out_;
+};
+
+/**
+ * Collects string cells and prints a column-aligned table, the format in
+ * which every bench binary reproduces its paper table/figure.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be shorter than the header). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &out) const;
+
+    /** Also emit as CSV for downstream plotting. */
+    void printCsv(std::ostream &out) const;
+
+    /** Number of data rows collected so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_CSV_H

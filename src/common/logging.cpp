@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace mussti {
+namespace detail {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+die(LogLevel level, const std::string &where, const std::string &message)
+{
+    std::cerr << levelName(level) << ": " << where << message << std::endl;
+    // Throwing (rather than abort/exit) keeps death-path behaviour testable
+    // from gtest; the what() string carries the diagnostic.
+    if (level == LogLevel::Panic)
+        throw std::logic_error("panic: " + message);
+    throw std::runtime_error("fatal: " + message);
+}
+
+void
+report(LogLevel level, const std::string &message)
+{
+    std::cerr << levelName(level) << ": " << message << std::endl;
+}
+
+} // namespace detail
+} // namespace mussti

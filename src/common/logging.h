@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error-reporting and assertion helpers, following the gem5 convention:
+ * panic() for internal invariant violations (a bug in this library),
+ * fatal() for user errors (bad configuration, malformed input), and
+ * warn()/inform() for non-fatal diagnostics.
+ */
+#ifndef MUSSTI_COMMON_LOGGING_H
+#define MUSSTI_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace mussti {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/**
+ * Emit a message and, for Fatal/Panic, terminate.
+ * Fatal exits with status 1; Panic aborts (core dump friendly).
+ */
+[[noreturn]] void die(LogLevel level, const std::string &where,
+                      const std::string &message);
+
+/** Emit a non-fatal message to stderr. */
+void report(LogLevel level, const std::string &message);
+
+} // namespace detail
+
+/**
+ * Called when the simulation cannot continue due to a user error
+ * (bad configuration, invalid arguments). Not a library bug.
+ */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    detail::die(LogLevel::Fatal, "", message);
+}
+
+/**
+ * Called when something happens that should never happen regardless of
+ * user input, i.e. an actual MUSS-TI bug.
+ */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    detail::die(LogLevel::Panic, "", message);
+}
+
+/** Non-fatal warning: something may be subtly wrong. */
+inline void
+warn(const std::string &message)
+{
+    detail::report(LogLevel::Warn, message);
+}
+
+/** Status message with no connotation of incorrect behaviour. */
+inline void
+inform(const std::string &message)
+{
+    detail::report(LogLevel::Inform, message);
+}
+
+} // namespace mussti
+
+/**
+ * Internal invariant check. Active in all build types: the schedulers in
+ * this library are cheap relative to the physics they model, and silent
+ * invariant corruption would invalidate every reported metric.
+ */
+#define MUSSTI_ASSERT(cond, msg)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << __FILE__ << ":" << __LINE__ << ": assertion `" #cond    \
+                 << "` failed: " << msg;                                    \
+            ::mussti::panic(oss_.str());                                    \
+        }                                                                   \
+    } while (0)
+
+/** User-input validation; failure is the caller's fault, not a bug. */
+#define MUSSTI_REQUIRE(cond, msg)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream oss_;                                        \
+            oss_ << "requirement `" #cond "` violated: " << msg;            \
+            ::mussti::fatal(oss_.str());                                    \
+        }                                                                   \
+    } while (0)
+
+#endif // MUSSTI_COMMON_LOGGING_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * A thin wrapper over SplitMix64/xoshiro256** so that every generated
+ * benchmark circuit is bit-reproducible across platforms and standard
+ * library implementations (std::mt19937 distributions are not portable).
+ */
+#ifndef MUSSTI_COMMON_RNG_H
+#define MUSSTI_COMMON_RNG_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding.
+ *
+ * Deliberately small: the library only needs uniform integers, doubles
+ * in [0,1), and Fisher-Yates shuffles.
+ */
+class Rng
+{
+  public:
+    /** Seed the stream; identical seeds yield identical sequences. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        MUSSTI_ASSERT(bound > 0, "uniform() bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform int in [lo, hi] inclusive. */
+    int
+    intIn(int lo, int hi)
+    {
+        MUSSTI_ASSERT(lo <= hi, "intIn() empty range");
+        return lo + static_cast<int>(uniform(
+            static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return real() < p; }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename Container>
+    void
+    shuffle(Container &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = uniform(i);
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_RNG_H

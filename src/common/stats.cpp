@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double ln_sum = 0.0;
+    for (double v : values) {
+        MUSSTI_ASSERT(v > 0.0, "geomean over non-positive value " << v);
+        ln_sum += std::log(v);
+    }
+    return std::exp(ln_sum / static_cast<double>(values.size()));
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mu = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - mu) * (v - mu);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+minOf(const std::vector<double> &values)
+{
+    MUSSTI_ASSERT(!values.empty(), "minOf over empty series");
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    MUSSTI_ASSERT(!values.empty(), "maxOf over empty series");
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+averageReductionPercent(const std::vector<double> &baseline,
+                        const std::vector<double> &ours)
+{
+    MUSSTI_ASSERT(baseline.size() == ours.size(),
+                  "reduction series length mismatch");
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        if (baseline[i] == 0.0)
+            continue;
+        sum += (baseline[i] - ours[i]) / baseline[i] * 100.0;
+        ++count;
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace mussti

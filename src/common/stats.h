@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Summary statistics over experiment series (means, geomeans, reductions).
+ * Used by the bench harness to print the paper's headline percentages.
+ */
+#ifndef MUSSTI_COMMON_STATS_H
+#define MUSSTI_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mussti {
+
+/** Arithmetic mean; 0 for an empty series. */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of positive values; 0 for an empty series. */
+double geomean(const std::vector<double> &values);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Minimum / maximum of a non-empty series. */
+double minOf(const std::vector<double> &values);
+double maxOf(const std::vector<double> &values);
+
+/**
+ * Average relative reduction of `ours` versus `baseline` in percent:
+ * mean over i of (baseline_i - ours_i) / baseline_i * 100.
+ * Pairs with baseline_i == 0 are skipped.
+ */
+double averageReductionPercent(const std::vector<double> &baseline,
+                               const std::vector<double> &ours);
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_STATS_H

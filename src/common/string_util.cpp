@@ -1,0 +1,80 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace mussti {
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == delim) {
+            fields.push_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(const std::string &text)
+{
+    std::string out = text;
+    for (auto &ch : out)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+std::string
+formatSci(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+    return buf;
+}
+
+std::string
+formatCompact(double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+        return buf;
+    }
+    if (std::fabs(value) >= 1e-3 && std::fabs(value) < 1e6) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.4g", value);
+        return buf;
+    }
+    return formatSci(value);
+}
+
+} // namespace mussti

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string helpers shared by the QASM parser and the bench harness.
+ */
+#ifndef MUSSTI_COMMON_STRING_UTIL_H
+#define MUSSTI_COMMON_STRING_UTIL_H
+
+#include <string>
+#include <vector>
+
+namespace mussti {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** True if text begins with the given prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &text);
+
+/** printf-style number formatting used by the paper-table printers. */
+std::string formatSci(double value, int digits = 2);
+
+/** Format a double compactly: integers as integers, else fixed/sci. */
+std::string formatCompact(double value);
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_STRING_UTIL_H

@@ -1,0 +1,66 @@
+#include "core/compiler.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "core/mapper.h"
+#include "core/scheduler.h"
+
+namespace mussti {
+
+EmlDevice
+MusstiCompiler::deviceFor(const Circuit &circuit) const
+{
+    return EmlDevice(config_.device, circuit.numQubits());
+}
+
+CompileResult
+MusstiCompiler::compile(const Circuit &circuit) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    CompileResult result(circuit.withSwapsDecomposed());
+    const EmlDevice device = deviceFor(circuit);
+    MusstiScheduler scheduler(device, params_, config_);
+    const Evaluator evaluator(params_);
+
+    // Forward pass from the trivial mapping. Under MappingKind::Trivial
+    // this is the final answer; under Sabre it doubles as the first leg
+    // of the two-fold search and as a candidate result.
+    const Placement trivial = trivialPlacement(device,
+                                               circuit.numQubits());
+    auto output = scheduler.run(result.lowered, trivial);
+    Metrics metrics = evaluator.evaluate(output.schedule,
+                                         device.zoneInfos());
+
+    if (config_.mapping == MappingKind::Sabre) {
+        // Reverse pass seeded by the forward pass's final placement,
+        // then a forward pass from the reverse pass's final placement.
+        // The two executions yield two candidate mappings (section
+        // 3.4); keep whichever compiled better.
+        const Circuit reversed = result.lowered.reversed();
+        auto backward = scheduler.run(reversed, output.finalPlacement);
+        auto refined = scheduler.run(result.lowered,
+                                     backward.finalPlacement);
+        Metrics refined_metrics = evaluator.evaluate(
+            refined.schedule, device.zoneInfos());
+        if (refined_metrics.lnFidelity > metrics.lnFidelity) {
+            output = std::move(refined);
+            metrics = refined_metrics;
+        }
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    result.compileTimeSec =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    result.schedule = std::move(output.schedule);
+    result.swapInsertions = output.swapInsertions;
+    result.evictions = output.evictions;
+    result.finalChains =
+        Schedule::snapshotChains(output.finalPlacement);
+    result.metrics = metrics;
+    return result;
+}
+
+} // namespace mussti

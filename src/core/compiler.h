@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The MUSS-TI compiler facade: circuit in, evaluated schedule out.
+ * This is the primary public entry point of the library.
+ */
+#ifndef MUSSTI_CORE_COMPILER_H
+#define MUSSTI_CORE_COMPILER_H
+
+#include <vector>
+
+#include "arch/eml_device.h"
+#include "circuit/circuit.h"
+#include "core/config.h"
+#include "sim/evaluator.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/** Everything a compilation produces. */
+struct CompileResult
+{
+    Circuit lowered;          ///< Input with SWAPs decomposed to 3 CX;
+                              ///< the circuit the schedule implements.
+    Schedule schedule;        ///< The physical op stream.
+    Metrics metrics;          ///< Evaluated under the compiler's params.
+    double compileTimeSec = 0.0; ///< Wall-clock of mapping + scheduling.
+    int swapInsertions = 0;   ///< Logical SWAPs added (section 3.3).
+    int evictions = 0;        ///< Conflict-handling relocations.
+    std::vector<std::vector<int>> finalChains; ///< End-of-run placement.
+
+    CompileResult(Circuit c) : lowered(std::move(c)) {}
+};
+
+/**
+ * MUSS-TI compiler for EML-QCCD devices.
+ *
+ * Usage:
+ * @code
+ *   MusstiConfig config;              // paper defaults
+ *   MusstiCompiler compiler(config);
+ *   CompileResult result = compiler.compile(makeGhz(64));
+ *   std::cout << result.metrics.shuttleCount;
+ * @endcode
+ */
+class MusstiCompiler
+{
+  public:
+    explicit MusstiCompiler(const MusstiConfig &config = {},
+                            const PhysicalParams &params = {})
+        : config_(config), params_(params)
+    {}
+
+    const MusstiConfig &config() const { return config_; }
+    const PhysicalParams &params() const { return params_; }
+
+    /** The device a given circuit compiles onto (ceil(n/32) modules). */
+    EmlDevice deviceFor(const Circuit &circuit) const;
+
+    /** Compile and evaluate. */
+    CompileResult compile(const Circuit &circuit) const;
+
+  private:
+    MusstiConfig config_;
+    PhysicalParams params_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_COMPILER_H

@@ -1,0 +1,19 @@
+#include "core/config.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::AnticipatoryLru: return "anticipatory-lru";
+      case ReplacementPolicy::Lru: return "lru";
+      case ReplacementPolicy::Fifo: return "fifo";
+      case ReplacementPolicy::Random: return "random";
+    }
+    panic("unhandled ReplacementPolicy");
+}
+
+} // namespace mussti

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Least-recently-used tracking for qubit replacement (paper section 3.2,
+ * "Qubit replacement scheduler"). The qubit idle longest is, by locality,
+ * the least likely to be needed soon, so it is the eviction victim when a
+ * zone must make room.
+ */
+#ifndef MUSSTI_CORE_LRU_H
+#define MUSSTI_CORE_LRU_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mussti {
+
+/** Monotonic use-stamp tracker over a fixed qubit population. */
+class LruTracker
+{
+  public:
+    explicit LruTracker(int num_qubits);
+
+    /** Record a use of the qubit (gate execution). */
+    void touch(int qubit);
+
+    /** The stamp of the qubit's last use (0 = never used). */
+    std::int64_t stampOf(int qubit) const;
+
+    /**
+     * Least-recently-used qubit among `candidates` that is not in
+     * `exclude`; -1 if every candidate is excluded. Ties (e.g. two
+     * never-used qubits) break toward the earlier candidate, which for
+     * chain containers means ions nearer the front edge.
+     */
+    int victim(const std::deque<int> &candidates,
+               const std::vector<int> &exclude) const;
+
+    /** Current clock value (tests). */
+    std::int64_t now() const { return clock_; }
+
+  private:
+    std::vector<std::int64_t> stamps_;
+    std::int64_t clock_ = 0;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_LRU_H

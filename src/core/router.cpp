@@ -1,0 +1,257 @@
+#include "core/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+Router::Router(const EmlDevice &device, const PhysicalParams &params,
+               Placement &placement, Schedule &schedule, LruTracker &lru,
+               ReplacementPolicy policy, std::uint64_t seed)
+    : device_(device), params_(params), placement_(placement),
+      emitter_(device.zoneInfos(), params, placement, schedule),
+      lru_(lru), policy_(policy), rng_(seed),
+      arrival_(placement.numQubits(), 0)
+{
+}
+
+int
+Router::freeSlots(int zone) const
+{
+    return device_.zone(zone).capacity - placement_.sizeOf(zone);
+}
+
+double
+Router::planCost(const std::vector<int> &movers, int zone) const
+{
+    // Primary term: one shuttle per mover plus evictions forced by the
+    // capacity deficit (each eviction is itself a shuttle). Secondary
+    // terms: chain extraction swaps and move distance, scaled far below
+    // one shuttle so they only break ties.
+    const int deficit = std::max(0,
+        static_cast<int>(movers.size()) - freeSlots(zone));
+    double cost = static_cast<double>(movers.size() + 2 * deficit);
+    for (int q : movers) {
+        const int from = placement_.zoneOf(q);
+        cost += 0.05 * placement_.extractionSwaps(q);
+        cost += 1e-4 * device_.distanceUm(from, zone);
+    }
+    return cost;
+}
+
+int
+Router::chooseOpticalZone(int module, int qubit) const
+{
+    int best_zone = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int z : device_.zonesOfKind(module, ZoneKind::Optical)) {
+        const double cost = planCost({qubit}, z);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_zone = z;
+        }
+    }
+    MUSSTI_ASSERT(best_zone >= 0,
+                  "module " << module << " has no optical zone");
+    return best_zone;
+}
+
+int
+Router::pickVictim(int zone, const std::vector<int> &protect)
+{
+    std::vector<int> candidates;
+    for (int q : placement_.chain(zone)) {
+        if (std::find(protect.begin(), protect.end(), q) == protect.end())
+            candidates.push_back(q);
+    }
+    if (candidates.empty())
+        return -1;
+
+    switch (policy_) {
+      case ReplacementPolicy::Random:
+        return candidates[rng_.uniform(candidates.size())];
+
+      case ReplacementPolicy::Fifo: {
+        int victim = candidates.front();
+        for (int q : candidates) {
+            if (arrival_[q] < arrival_[victim])
+                victim = q;
+        }
+        return victim;
+      }
+
+      case ReplacementPolicy::Lru: {
+        int victim = candidates.front();
+        for (int q : candidates) {
+            if (lru_.stampOf(q) < lru_.stampOf(victim))
+                victim = q;
+        }
+        return victim;
+      }
+
+      case ReplacementPolicy::AnticipatoryLru: {
+        // Victim choice blends the paper's LRU with anticipated usage
+        // and physical cost: farthest next use first (approximate
+        // Belady over the DAG window); among equally-idle ions the
+        // cheaper chain extraction wins (every in-chain swap deposits
+        // heat); LRU age breaks remaining ties.
+        int victim = -1;
+        std::tuple<int, int, std::int64_t> victim_key;
+        for (int q : candidates) {
+            const int next_use = nextUse_ ? (*nextUse_)[q] : 0;
+            const auto key = std::make_tuple(
+                -next_use, placement_.extractionSwaps(q), lru_.stampOf(q));
+            if (victim < 0 || key < victim_key) {
+                victim = q;
+                victim_key = key;
+            }
+        }
+        return victim;
+      }
+    }
+    panic("unhandled ReplacementPolicy in pickVictim");
+}
+
+void
+Router::evictOne(int zone, const std::vector<int> &protect)
+{
+    const int victim = pickVictim(zone, protect);
+    MUSSTI_ASSERT(victim >= 0, "no evictable ion in zone " << zone
+                  << " (capacity dead-lock)");
+
+    const int module = device_.zone(zone).module;
+    const int level = device_.zone(zone).level();
+
+    // Preferred targets: nearest lower level first (the multi-level
+    // demotion of the paper's example: optical -> operation -> storage),
+    // then same level, then anything in the module with space.
+    int target = -1;
+    for (int want_level = level - 1; want_level >= 0 && target < 0;
+         --want_level) {
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (int z : device_.zonesOfModule(module)) {
+            if (z == zone || device_.zone(z).level() != want_level)
+                continue;
+            if (freeSlots(z) <= 0)
+                continue;
+            const double cost = 1e-4 * device_.distanceUm(zone, z) -
+                0.01 * freeSlots(z);
+            if (cost < best_cost) {
+                best_cost = cost;
+                target = z;
+            }
+        }
+    }
+    if (target < 0) {
+        // Fall back to any same-module zone with space (including higher
+        // levels); margins guarantee one exists.
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (int z : device_.zonesOfModule(module)) {
+            if (z == zone || freeSlots(z) <= 0)
+                continue;
+            const double cost = 1e-4 * device_.distanceUm(zone, z) -
+                0.01 * freeSlots(z);
+            if (cost < best_cost) {
+                best_cost = cost;
+                target = z;
+            }
+        }
+    }
+    MUSSTI_ASSERT(target >= 0, "module " << module
+                  << " has no free slot anywhere; device mis-sized");
+
+    emitter_.relocate(victim, target);
+    arrival_[victim] = ++arrivalClock_;
+    ++evictions_;
+}
+
+void
+Router::moveIn(int qubit, int zone, const std::vector<int> &protect)
+{
+    if (placement_.zoneOf(qubit) == zone)
+        return;
+    std::vector<int> guarded = protect;
+    guarded.push_back(qubit);
+    while (freeSlots(zone) <= 0)
+        evictOne(zone, guarded);
+    emitter_.relocate(qubit, zone);
+    arrival_[qubit] = ++arrivalClock_;
+}
+
+void
+Router::routeForGate(int qubit_a, int qubit_b)
+{
+    const int zone_a = placement_.zoneOf(qubit_a);
+    const int zone_b = placement_.zoneOf(qubit_b);
+    MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0, "routing unplaced qubits");
+    const int module_a = device_.zone(zone_a).module;
+    const int module_b = device_.zone(zone_b).module;
+    const std::vector<int> protect = {qubit_a, qubit_b};
+
+    if (module_a == module_b) {
+        // Candidate plans: move a to b's zone, move b to a's zone, or
+        // move both into a third gate-capable zone. chooseGateZone costs
+        // every gate-capable zone with the applicable mover set.
+        struct Plan { std::vector<int> movers; int zone; double cost; };
+        std::vector<Plan> plans;
+        if (device_.zone(zone_b).gateCapable())
+            plans.push_back({{qubit_a}, zone_b,
+                             planCost({qubit_a}, zone_b)});
+        if (device_.zone(zone_a).gateCapable())
+            plans.push_back({{qubit_b}, zone_a,
+                             planCost({qubit_b}, zone_a)});
+        for (int z : device_.gateZonesOfModule(module_a)) {
+            if (z == zone_a || z == zone_b)
+                continue;
+            plans.push_back({{qubit_a, qubit_b}, z,
+                             planCost({qubit_a, qubit_b}, z)});
+        }
+        MUSSTI_ASSERT(!plans.empty(), "no routing plan for local gate");
+        // Near-tie bias: keep local gates out of the optical zone so
+        // the fiber port stays cool and available for cross-module work
+        // (the paper prioritizes on-chip gates, section 5.9).
+        const Plan &best = *std::min_element(
+            plans.begin(), plans.end(),
+            [&](const Plan &x, const Plan &y) {
+                const double bias_x = x.zone == zone_a || x.zone == zone_b
+                    ? 0.0 : 1e-6 * device_.zone(x.zone).level();
+                const double bias_y = y.zone == zone_a || y.zone == zone_b
+                    ? 0.0 : 1e-6 * device_.zone(y.zone).level();
+                return x.cost + bias_x < y.cost + bias_y;
+            });
+        for (int q : best.movers)
+            moveIn(q, best.zone, protect);
+        return;
+    }
+
+    // Cross-module: each operand must reach an optical zone of its own
+    // module; the entangling gate then runs over the fiber.
+    for (int q : protect) {
+        const int zone = placement_.zoneOf(q);
+        if (device_.zone(zone).kind == ZoneKind::Optical)
+            continue;
+        const int target = chooseOpticalZone(device_.zone(zone).module, q);
+        moveIn(q, target, protect);
+    }
+}
+
+void
+Router::routeToOptical(int qubit, const std::vector<int> &protect)
+{
+    const int zone = placement_.zoneOf(qubit);
+    MUSSTI_ASSERT(zone >= 0, "routeToOptical of unplaced qubit");
+    if (device_.zone(zone).kind == ZoneKind::Optical)
+        return;
+    const int target = chooseOpticalZone(device_.zone(zone).module, qubit);
+    std::vector<int> guarded = protect;
+    guarded.push_back(qubit);
+    while (freeSlots(target) <= 0)
+        evictOne(target, guarded);
+    emitter_.relocate(qubit, target);
+    arrival_[qubit] = ++arrivalClock_;
+}
+
+} // namespace mussti

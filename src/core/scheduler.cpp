@@ -1,0 +1,192 @@
+#include "core/scheduler.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/lru.h"
+#include "core/router.h"
+#include "core/swap_inserter.h"
+#include "dag/dag.h"
+
+namespace mussti {
+
+namespace {
+
+/** Shared mutable state of one scheduling pass. */
+struct PassState
+{
+    const EmlDevice &device;
+    const PhysicalParams &params;
+    Placement placement;
+    Schedule schedule;
+    LruTracker lru;
+    Router router;
+    SwapInserter inserter;
+    DependencyDag dag;
+
+    std::vector<int> nextUse;
+
+    /** Layers scanned when estimating each qubit's next use. */
+    static constexpr int nextUseHorizon = 64;
+
+    PassState(const EmlDevice &dev, const PhysicalParams &par,
+              const MusstiConfig &cfg, const Circuit &circuit,
+              const Placement &initial)
+        : device(dev), params(par), placement(initial),
+          lru(circuit.numQubits()),
+          router(dev, par, placement, schedule, lru, cfg.replacement,
+                 cfg.seed),
+          inserter(dev, par, cfg, placement, schedule, router, lru),
+          dag(circuit),
+          nextUse(circuit.numQubits(), 0)
+    {
+        schedule.initialChains = Schedule::snapshotChains(initial);
+        router.setNextUse(&nextUse);
+    }
+
+    /**
+     * Refresh the anticipated-usage table: nextUse[q] = index of the
+     * first DAG layer (within the horizon) whose gates touch q, or the
+     * horizon sentinel when q is idle throughout the window. This is
+     * the "anticipated qubit usage" the paper's replacement scheduler
+     * combines with LRU history.
+     */
+    void
+    refreshNextUse()
+    {
+        std::fill(nextUse.begin(), nextUse.end(), nextUseHorizon);
+        const auto layers = dag.frontLayers(nextUseHorizon);
+        for (int depth = static_cast<int>(layers.size()) - 1; depth >= 0;
+             --depth) {
+            for (DagNodeId id : layers[depth]) {
+                nextUse[dag.node(id).gate.q0] = depth;
+                nextUse[dag.node(id).gate.q1] = depth;
+            }
+        }
+    }
+};
+
+/** Emit a costed single-qubit gate (Measure/Barrier are free markers). */
+void
+emit1q(PassState &st, const Gate &gate)
+{
+    if (!isSingleQubit(gate.kind))
+        return;
+    ScheduledOp op;
+    op.kind = OpKind::Gate1Q;
+    op.q0 = gate.q0;
+    op.zoneFrom = st.placement.zoneOf(gate.q0);
+    op.zoneTo = op.zoneFrom;
+    op.durationUs = st.params.gate1qTimeUs;
+    st.schedule.push(op);
+}
+
+/** True if the gate can execute with the current placement. */
+bool
+executable(const PassState &st, const Gate &gate)
+{
+    const int zone_a = st.placement.zoneOf(gate.q0);
+    const int zone_b = st.placement.zoneOf(gate.q1);
+    const ZoneInfo &info_a = st.device.zone(zone_a);
+    const ZoneInfo &info_b = st.device.zone(zone_b);
+    if (zone_a == zone_b)
+        return info_a.gateCapable();
+    return info_a.kind == ZoneKind::Optical &&
+           info_b.kind == ZoneKind::Optical &&
+           info_a.module != info_b.module;
+}
+
+/** Execute a frontier node that satisfies executable(). */
+void
+executeGate(PassState &st, const MusstiConfig &config, DagNodeId id,
+            int &swap_insertions)
+{
+    const DagNode &node = st.dag.node(id);
+    const Gate &gate = node.gate;
+    MUSSTI_ASSERT(executable(st, gate),
+                  "executeGate on non-executable node " << id);
+
+    for (const Gate &g1 : node.leading1q)
+        emit1q(st, g1);
+
+    const int zone_a = st.placement.zoneOf(gate.q0);
+    const int zone_b = st.placement.zoneOf(gate.q1);
+    const bool fiber = zone_a != zone_b;
+
+    ScheduledOp op;
+    op.q0 = gate.q0;
+    op.q1 = gate.q1;
+    op.circuitGate = node.circuitIndex;
+    if (fiber) {
+        op.kind = OpKind::FiberGate;
+        op.zoneFrom = zone_a;
+        op.zoneTo = zone_b;
+        op.durationUs = st.params.fiberGateTimeUs;
+    } else {
+        op.kind = OpKind::Gate2Q;
+        op.zoneFrom = zone_a;
+        op.zoneTo = zone_a;
+        op.durationUs = st.params.gate2qTimeUs;
+    }
+    st.schedule.push(op);
+
+    st.lru.touch(gate.q0);
+    st.lru.touch(gate.q1);
+    st.dag.complete(id);
+
+    if (fiber && config.enableSwapInsertion)
+        swap_insertions += st.inserter.maybeInsert(st.dag, gate.q0,
+                                                   gate.q1);
+}
+
+} // namespace
+
+MusstiScheduler::RunOutput
+MusstiScheduler::run(const Circuit &lowered, const Placement &initial) const
+{
+    MUSSTI_REQUIRE(initial.allPlaced(),
+                   "initial mapping leaves qubits unplaced");
+
+    PassState st(device_, params_, config_, lowered, initial);
+    int swap_insertions = 0;
+
+    while (!st.dag.empty()) {
+        // Gate selection, phase 1: drain every immediately executable
+        // frontier gate ("prioritize executable gates").
+        bool progressed = true;
+        while (progressed) {
+            progressed = false;
+            const std::vector<DagNodeId> snapshot = st.dag.frontier();
+            for (DagNodeId id : snapshot) {
+                if (st.dag.isReady(id) &&
+                    executable(st, st.dag.node(id).gate)) {
+                    executeGate(st, config_, id, swap_insertions);
+                    progressed = true;
+                }
+            }
+        }
+        if (st.dag.empty())
+            break;
+
+        // Phase 2: first-come-first-served on the frontier; route its
+        // operands, then execute. Eviction decisions see the current
+        // look-ahead window.
+        const DagNodeId chosen = st.dag.frontier().front();
+        const Gate &gate = st.dag.node(chosen).gate;
+        st.refreshNextUse();
+        st.router.routeForGate(gate.q0, gate.q1);
+        executeGate(st, config_, chosen, swap_insertions);
+    }
+
+    for (const Gate &g1 : st.dag.trailing1q())
+        emit1q(st, g1);
+
+    RunOutput out(std::move(st.placement));
+    out.schedule = std::move(st.schedule);
+    out.swapInsertions = swap_insertions;
+    out.evictions = st.router.evictionCount();
+    return out;
+}
+
+} // namespace mussti

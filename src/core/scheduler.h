@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The MUSS-TI multi-level scheduler main loop (paper section 3.2,
+ * Fig 3): gate selection, qubit routing, conflict handling, and the
+ * SWAP-insertion hook, driven to a full schedule over the dependency
+ * DAG.
+ */
+#ifndef MUSSTI_CORE_SCHEDULER_H
+#define MUSSTI_CORE_SCHEDULER_H
+
+#include "arch/eml_device.h"
+#include "arch/placement.h"
+#include "circuit/circuit.h"
+#include "core/config.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/** One full scheduling pass over a circuit. */
+class MusstiScheduler
+{
+  public:
+    /** Result of a pass: the op stream plus the end-of-run placement. */
+    struct RunOutput
+    {
+        Schedule schedule;
+        Placement finalPlacement;
+        int swapInsertions = 0;
+        int evictions = 0;
+
+        RunOutput(Placement placement)
+            : finalPlacement(std::move(placement)) {}
+    };
+
+    MusstiScheduler(const EmlDevice &device, const PhysicalParams &params,
+                    const MusstiConfig &config)
+        : device_(device), params_(params), config_(config)
+    {}
+
+    /**
+     * Schedule `lowered` (SWAPs already decomposed) starting from
+     * `initial` placement. The initial placement must place all qubits.
+     */
+    RunOutput run(const Circuit &lowered, const Placement &initial) const;
+
+  private:
+    const EmlDevice &device_;
+    const PhysicalParams &params_;
+    const MusstiConfig &config_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_SCHEDULER_H

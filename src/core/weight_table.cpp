@@ -1,0 +1,65 @@
+#include "core/weight_table.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+WeightTable::WeightTable(const DependencyDag &dag,
+                         const Placement &placement,
+                         const EmlDevice &device, int look_ahead)
+    : numModules_(device.numModules())
+{
+    table_.assign(static_cast<std::size_t>(placement.numQubits()) *
+                  numModules_, 0);
+
+    const auto layers = dag.frontLayers(look_ahead);
+    for (const auto &layer : layers) {
+        for (DagNodeId id : layer) {
+            const Gate &g = dag.node(id).gate;
+            const int zone_a = placement.zoneOf(g.q0);
+            const int zone_b = placement.zoneOf(g.q1);
+            MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0,
+                          "weight table over unplaced qubits");
+            const int module_a = device.zone(zone_a).module;
+            const int module_b = device.zone(zone_b).module;
+            ++table_[rowOf(g.q0) + module_b];
+            ++table_[rowOf(g.q1) + module_a];
+        }
+    }
+}
+
+int
+WeightTable::weight(int qubit, int module) const
+{
+    MUSSTI_ASSERT(module >= 0 && module < numModules_,
+                  "weight table module out of range");
+    return table_[rowOf(qubit) + module];
+}
+
+int
+WeightTable::totalWeight(int qubit) const
+{
+    int total = 0;
+    for (int m = 0; m < numModules_; ++m)
+        total += table_[rowOf(qubit) + m];
+    return total;
+}
+
+std::pair<int, int>
+WeightTable::bestForeignModule(int qubit, int exclude_module) const
+{
+    int best_module = -1;
+    int best_weight = 0;
+    for (int m = 0; m < numModules_; ++m) {
+        if (m == exclude_module)
+            continue;
+        const int w = table_[rowOf(qubit) + m];
+        if (w > best_weight) {
+            best_weight = w;
+            best_module = m;
+        }
+    }
+    return {best_module, best_weight};
+}
+
+} // namespace mussti

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * SWAP-insertion weight table (paper section 3.3).
+ *
+ * W(q, c) counts the two-qubit gates within the first k layers of the
+ * remaining dependency DAG that involve qubit q and a partner currently
+ * resident on module c. A qubit with W(q, module(q)) == 0 has no near-
+ * future work where it lives; if some other module holds more than T
+ * future partners, migrating the qubit there (via a logical SWAP) saves
+ * shuttles.
+ */
+#ifndef MUSSTI_CORE_WEIGHT_TABLE_H
+#define MUSSTI_CORE_WEIGHT_TABLE_H
+
+#include <utility>
+#include <vector>
+
+#include "arch/eml_device.h"
+#include "arch/placement.h"
+#include "dag/dag.h"
+
+namespace mussti {
+
+/** Snapshot of W(q, c) over the first k layers of a DAG. */
+class WeightTable
+{
+  public:
+    /**
+     * Build from the current DAG frontier window and placement.
+     * O(k * layer width).
+     */
+    WeightTable(const DependencyDag &dag, const Placement &placement,
+                const EmlDevice &device, int look_ahead);
+
+    /** W(q, module). */
+    int weight(int qubit, int module) const;
+
+    /** Sum over all modules of W(q, *): near-future activity of q. */
+    int totalWeight(int qubit) const;
+
+    /**
+     * Module with the highest W(q, *) other than `exclude_module`;
+     * returns {-1, 0} when the qubit has no cross-module future work.
+     */
+    std::pair<int, int> bestForeignModule(int qubit,
+                                          int exclude_module) const;
+
+  private:
+    int numModules_;
+    std::vector<int> table_; ///< numQubits x numModules, row-major.
+    int rowOf(int qubit) const { return qubit * numModules_; }
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_WEIGHT_TABLE_H

@@ -1,0 +1,130 @@
+#include "dag/dag.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+DependencyDag::DependencyDag(const Circuit &circuit)
+{
+    const int n = circuit.numQubits();
+    // lastNode[q]: most recent 2q node touching qubit q, or -1.
+    std::vector<DagNodeId> last_node(n, -1);
+    // Pending 1q gates per qubit, attached to the next 2q node on that
+    // qubit (or to trailing1q_ if none follows).
+    std::vector<std::vector<Gate>> pending_1q(n);
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit[i];
+        if (g.kind == GateKind::Barrier)
+            continue;
+        if (!g.twoQubit()) {
+            if (g.q0 >= 0)
+                pending_1q[g.q0].push_back(g);
+            continue;
+        }
+
+        DagNode node;
+        node.gate = g;
+        node.circuitIndex = static_cast<int>(i);
+        node.leading1q = std::move(pending_1q[g.q0]);
+        pending_1q[g.q0].clear();
+        node.leading1q.insert(node.leading1q.end(),
+                              pending_1q[g.q1].begin(),
+                              pending_1q[g.q1].end());
+        pending_1q[g.q1].clear();
+
+        const DagNodeId id = static_cast<DagNodeId>(nodes_.size());
+        for (int q : {g.q0, g.q1}) {
+            const DagNodeId prev = last_node[q];
+            if (prev >= 0) {
+                // Avoid duplicate edges when both operands share the
+                // same predecessor.
+                auto &succs = nodes_[prev].succs;
+                if (std::find(succs.begin(), succs.end(), id) ==
+                    succs.end()) {
+                    succs.push_back(id);
+                    ++node.pendingPreds;
+                }
+            }
+            last_node[q] = id;
+        }
+        nodes_.push_back(std::move(node));
+    }
+
+    for (auto &rest : pending_1q) {
+        trailing1q_.insert(trailing1q_.end(), rest.begin(), rest.end());
+    }
+
+    remaining_ = static_cast<int>(nodes_.size());
+    for (DagNodeId id = 0; id < size(); ++id) {
+        if (nodes_[id].pendingPreds == 0)
+            frontier_.push_back(id);
+    }
+    // Node ids are created in circuit order, so the frontier built by an
+    // id scan is already FCFS-sorted.
+}
+
+bool
+DependencyDag::isReady(DagNodeId id) const
+{
+    return !nodes_[id].done && nodes_[id].pendingPreds == 0;
+}
+
+void
+DependencyDag::insertSortedFrontier(DagNodeId id)
+{
+    // Frontier stays sorted by circuitIndex == node id order.
+    auto it = std::lower_bound(frontier_.begin(), frontier_.end(), id);
+    frontier_.insert(it, id);
+}
+
+void
+DependencyDag::complete(DagNodeId id)
+{
+    auto it = std::find(frontier_.begin(), frontier_.end(), id);
+    MUSSTI_ASSERT(it != frontier_.end(),
+                  "complete() on non-frontier node " << id);
+    frontier_.erase(it);
+    DagNode &node = nodes_[id];
+    MUSSTI_ASSERT(!node.done, "double completion of node " << id);
+    node.done = true;
+    --remaining_;
+    for (DagNodeId succ : node.succs) {
+        if (--nodes_[succ].pendingPreds == 0)
+            insertSortedFrontier(succ);
+    }
+}
+
+std::vector<std::vector<DagNodeId>>
+DependencyDag::frontLayers(int k) const
+{
+    std::vector<std::vector<DagNodeId>> layers;
+    if (k <= 0 || frontier_.empty())
+        return layers;
+
+    // Simulate retirement on a scratch predecessor count, touching only
+    // the nodes actually reached (far cheaper than a full copy for the
+    // k ~ 8 window the scheduler uses).
+    std::vector<DagNodeId> current = frontier_;
+    std::vector<int> scratch_preds(nodes_.size(), -1);
+
+    for (int layer = 0; layer < k && !current.empty(); ++layer) {
+        layers.push_back(current);
+        std::vector<DagNodeId> next;
+        for (DagNodeId id : current) {
+            for (DagNodeId succ : nodes_[id].succs) {
+                if (scratch_preds[succ] < 0)
+                    scratch_preds[succ] = nodes_[succ].pendingPreds;
+                if (--scratch_preds[succ] == 0)
+                    next.push_back(succ);
+            }
+        }
+        std::sort(next.begin(), next.end());
+        current = std::move(next);
+    }
+    return layers;
+}
+
+} // namespace mussti

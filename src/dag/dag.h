@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Gate dependency graph (section 3.1 of the paper).
+ *
+ * Nodes are the two-qubit gates of a circuit; single-qubit gates are
+ * recorded as satellite lists attached to the following two-qubit node
+ * (or to a terminal list) so they can be costed without participating in
+ * scheduling, exactly the simplification the paper applies. An edge
+ * (g_i, g_j) means g_j shares a qubit with g_i and appears later; the
+ * frontier is the set of nodes with zero unresolved predecessors.
+ *
+ * The structure is consumed destructively by schedulers: complete(node)
+ * retires a frontier node and unlocks its successors. The k-layer window
+ * needed by the SWAP-insertion weight table is computed on demand without
+ * mutating the graph.
+ */
+#ifndef MUSSTI_DAG_DAG_H
+#define MUSSTI_DAG_DAG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace mussti {
+
+/** Node id inside a DependencyDag (index into its node array). */
+using DagNodeId = int;
+
+/** One two-qubit gate node. */
+struct DagNode
+{
+    Gate gate;                       ///< The two-qubit gate.
+    int circuitIndex = -1;           ///< Position in the source circuit
+                                     ///< (FCFS tie-breaking key).
+    std::vector<DagNodeId> succs;    ///< Dependent nodes.
+    int pendingPreds = 0;            ///< Unresolved predecessor count.
+    std::vector<Gate> leading1q;     ///< 1q gates to cost just before this
+                                     ///< node executes.
+    bool done = false;
+};
+
+/**
+ * Dependency DAG over the two-qubit gates of a circuit.
+ */
+class DependencyDag
+{
+  public:
+    /** Build from a circuit in O(g). */
+    explicit DependencyDag(const Circuit &circuit);
+
+    /** Total number of two-qubit nodes. */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** Number of not-yet-completed nodes. */
+    int remaining() const { return remaining_; }
+
+    /** True when every node has been completed. */
+    bool empty() const { return remaining_ == 0; }
+
+    /** Node access. */
+    const DagNode &node(DagNodeId id) const { return nodes_[id]; }
+
+    /**
+     * Current frontier in ascending circuitIndex order (the paper's
+     * first-come-first-served order).
+     */
+    const std::vector<DagNodeId> &frontier() const { return frontier_; }
+
+    /**
+     * Retire a frontier node; its successors whose predecessors are all
+     * done join the frontier. Panics if the node is not in the frontier.
+     */
+    void complete(DagNodeId id);
+
+    /**
+     * Nodes in the first `k` layers of the remaining graph, layer by
+     * layer: layer 0 is the frontier, layer i+1 are nodes unlocked when
+     * layers <= i retire. Non-destructive.
+     */
+    std::vector<std::vector<DagNodeId>> frontLayers(int k) const;
+
+    /**
+     * Trailing single-qubit gates (after the last 2q gate on their qubit)
+     * — costed at the end of a schedule.
+     */
+    const std::vector<Gate> &trailing1q() const { return trailing1q_; }
+
+    /** Sum of pendingPreds==0 checks; exposed for tests. */
+    bool isReady(DagNodeId id) const;
+
+  private:
+    std::vector<DagNode> nodes_;
+    std::vector<DagNodeId> frontier_;
+    std::vector<Gate> trailing1q_;
+    int remaining_ = 0;
+
+    void insertSortedFrontier(DagNodeId id);
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_DAG_DAG_H

@@ -1,0 +1,81 @@
+#include "sim/analyzer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+std::vector<int>
+ScheduleReport::hottestZones() const
+{
+    std::vector<int> order(zones.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return zones[a].finalHeat > zones[b].finalHeat;
+    });
+    return order;
+}
+
+ScheduleReport
+analyzeSchedule(const Schedule &schedule,
+                const std::vector<ZoneInfo> &zone_infos,
+                const PhysicalParams &params)
+{
+    ScheduleReport report;
+    report.zones.resize(zone_infos.size());
+    std::vector<int> occupancy(zone_infos.size(), 0);
+
+    for (std::size_t z = 0; z < zone_infos.size(); ++z) {
+        report.zones[z].kind = zone_infos[z].kind;
+        report.zones[z].module = zone_infos[z].module;
+        occupancy[z] = static_cast<int>(schedule.initialChains[z].size());
+        report.zones[z].peakOccupancy = occupancy[z];
+    }
+
+    for (const ScheduledOp &op : schedule.ops) {
+        report.serialTimeUs += op.durationUs;
+        switch (op.kind) {
+          case OpKind::Split:
+            ++report.zones[op.zoneFrom].departures;
+            if (!params.perfectShuttle)
+                report.zones[op.zoneFrom].finalHeat += op.nbar;
+            --occupancy[op.zoneFrom];
+            break;
+          case OpKind::Move:
+            if (!params.perfectShuttle)
+                report.zones[op.zoneTo].finalHeat += op.nbar;
+            break;
+          case OpKind::Merge:
+            ++report.zones[op.zoneTo].arrivals;
+            ++report.totalShuttles;
+            if (!params.perfectShuttle)
+                report.zones[op.zoneTo].finalHeat += op.nbar;
+            ++occupancy[op.zoneTo];
+            report.zones[op.zoneTo].peakOccupancy =
+                std::max(report.zones[op.zoneTo].peakOccupancy,
+                         occupancy[op.zoneTo]);
+            break;
+          case OpKind::IonSwap:
+            ++report.zones[op.zoneFrom].ionSwaps;
+            if (!params.perfectShuttle)
+                report.zones[op.zoneFrom].finalHeat += op.nbar;
+            break;
+          case OpKind::Gate1Q:
+          case OpKind::Gate2Q:
+            if (op.zoneFrom >= 0)
+                ++report.zones[op.zoneFrom].gatesExecuted;
+            report.localGates += op.kind == OpKind::Gate2Q;
+            break;
+          case OpKind::FiberGate:
+            ++report.zones[op.zoneFrom].gatesExecuted;
+            ++report.zones[op.zoneTo].gatesExecuted;
+            ++report.fiberGates;
+            break;
+        }
+    }
+    return report;
+}
+
+} // namespace mussti

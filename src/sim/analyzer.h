@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Schedule analysis: per-zone traffic, heat, occupancy, and gate
+ * placement statistics. Used by examples and the extension benches to
+ * explain *why* a schedule behaves as it does (which zones are hot,
+ * where gates execute, how deep chains get).
+ */
+#ifndef MUSSTI_SIM_ANALYZER_H
+#define MUSSTI_SIM_ANALYZER_H
+
+#include <vector>
+
+#include "arch/zone.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/** Per-zone aggregate over a schedule replay. */
+struct ZoneReport
+{
+    ZoneKind kind = ZoneKind::Storage;
+    int module = 0;
+    int arrivals = 0;        ///< Merge ops into the zone.
+    int departures = 0;      ///< Split ops out of the zone.
+    int ionSwaps = 0;        ///< In-chain reorderings.
+    int gatesExecuted = 0;   ///< 1q + 2q + fiber endpoints here.
+    double finalHeat = 0.0;  ///< Accumulated n-bar at schedule end.
+    int peakOccupancy = 0;   ///< Max simultaneous ions.
+};
+
+/** Whole-schedule analysis. */
+struct ScheduleReport
+{
+    std::vector<ZoneReport> zones;
+    int totalShuttles = 0;
+    int localGates = 0;
+    int fiberGates = 0;
+    double serialTimeUs = 0.0;
+
+    /** Zones sorted by final heat, hottest first (indices). */
+    std::vector<int> hottestZones() const;
+};
+
+/** Replays a schedule and aggregates per-zone statistics. */
+ScheduleReport analyzeSchedule(const Schedule &schedule,
+                               const std::vector<ZoneInfo> &zones,
+                               const PhysicalParams &params);
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_ANALYZER_H

@@ -1,0 +1,34 @@
+#include "sim/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+double
+PhysicalParams::twoQubitGateFidelity(int ions_in_trap) const
+{
+    MUSSTI_ASSERT(ions_in_trap >= 1, "gate in an empty trap");
+    if (perfectGate)
+        return perfectGateFidelity;
+    const double n = static_cast<double>(ions_in_trap);
+    return std::max(0.0, 1.0 - epsilon * n * n);
+}
+
+double
+PhysicalParams::shuttleFidelity(double time_us, double nbar) const
+{
+    const double effective_nbar = perfectShuttle ? 0.0 : nbar;
+    return std::exp(-time_us / t1Us - heatingRate * effective_nbar);
+}
+
+double
+PhysicalParams::moveTimeUs(double distance_um) const
+{
+    MUSSTI_ASSERT(distance_um >= 0.0, "negative move distance");
+    return distance_um / moveSpeedUmPerUs;
+}
+
+} // namespace mussti

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Physical operation parameters (paper Table 1 and section 4).
+ *
+ * Times are microseconds; n-bar values are the motional quanta each
+ * operation deposits into its trap; the fidelity of a shuttle primitive
+ * is F = exp(-t/T1 - k * nbar) (paper Eq. 1), and a gate in zone i is
+ * additionally multiplied by the zone background B_i = exp(-k * heat_i)
+ * where heat_i accumulates the deposited n-bar.
+ */
+#ifndef MUSSTI_SIM_PARAMS_H
+#define MUSSTI_SIM_PARAMS_H
+
+namespace mussti {
+
+/** Tunable physics; defaults reproduce the paper's Table 1. */
+struct PhysicalParams
+{
+    // Trap primitives.
+    double splitTimeUs = 80.0;
+    double mergeTimeUs = 80.0;
+    double ionSwapTimeUs = 40.0;
+    double moveSpeedUmPerUs = 2.0;
+
+    double splitNbar = 1.0;
+    double mergeNbar = 1.0;
+    double ionSwapNbar = 0.3;
+    double moveNbar = 0.1;
+
+    // Gates.
+    double gate1qTimeUs = 5.0;
+    double gate2qTimeUs = 40.0;
+    double fiberGateTimeUs = 200.0;
+
+    double gate1qFidelity = 0.9999;
+    double fiberGateFidelity = 0.99;
+    /** Two-qubit decay coefficient: F = 1 - epsilon * N^2. */
+    double epsilon = 1.0 / 25600.0;
+
+    // Environment.
+    double t1Us = 600e6;          ///< Qubit lifetime (~10 minutes).
+    double heatingRate = 0.001;   ///< k in Eq. 1.
+
+    // Idealized-regime switches (paper section 5.9).
+    bool perfectShuttle = false;  ///< Shuttles deposit no heat.
+    bool perfectGate = false;     ///< All 2q gates at fixed 0.9999.
+    double perfectGateFidelity = 0.9999;
+
+    /** Fidelity of a local two-qubit MS gate in a trap holding n ions. */
+    double twoQubitGateFidelity(int ions_in_trap) const;
+
+    /** Fidelity of one shuttle primitive (Eq. 1). */
+    double shuttleFidelity(double time_us, double nbar) const;
+
+    /** Move duration for a shuttle covering the given distance. */
+    double moveTimeUs(double distance_um) const;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_PARAMS_H

@@ -1,0 +1,48 @@
+#include "sim/schedule.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+void
+Schedule::push(const ScheduledOp &op)
+{
+    ops.push_back(op);
+    if (op.kind == OpKind::Merge)
+        ++shuttleCount;
+    if (op.kind == OpKind::IonSwap)
+        ++ionSwapCount;
+}
+
+std::vector<std::vector<int>>
+Schedule::snapshotChains(const Placement &placement)
+{
+    std::vector<std::vector<int>> chains(placement.numZones());
+    for (int z = 0; z < placement.numZones(); ++z)
+        chains[z].assign(placement.chain(z).begin(),
+                         placement.chain(z).end());
+    return chains;
+}
+
+Placement
+Schedule::initialPlacement(int num_qubits) const
+{
+    Placement placement(num_qubits,
+                        static_cast<int>(initialChains.size()));
+    for (std::size_t z = 0; z < initialChains.size(); ++z) {
+        for (int q : initialChains[z])
+            placement.insert(q, static_cast<int>(z), ChainEnd::Back);
+    }
+    return placement;
+}
+
+double
+Schedule::serialDurationUs() const
+{
+    double total = 0.0;
+    for (const auto &op : ops)
+        total += op.durationUs;
+    return total;
+}
+
+} // namespace mussti

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A compiled schedule: the op stream plus the initial placement snapshot
+ * the evaluator and validator replay from.
+ */
+#ifndef MUSSTI_SIM_SCHEDULE_H
+#define MUSSTI_SIM_SCHEDULE_H
+
+#include <vector>
+
+#include "arch/placement.h"
+#include "sim/op.h"
+
+namespace mussti {
+
+/**
+ * The output of a compiler pass. `initialChains` freezes the starting
+ * chain order per zone (index = zone id); replaying `ops` from it
+ * reconstructs placement at every point of the schedule.
+ */
+struct Schedule
+{
+    std::vector<std::vector<int>> initialChains;
+    std::vector<ScheduledOp> ops;
+
+    int shuttleCount = 0;    ///< Completed relocations (per-hop on grids).
+    int ionSwapCount = 0;    ///< In-trap reorder swaps.
+    int insertedSwapGates = 0; ///< Logical SWAPs added by SWAP insertion.
+
+    /** Append an op, maintaining the counters. */
+    void push(const ScheduledOp &op);
+
+    /**
+     * Account additional shuttles beyond the Merge count. Grid devices
+     * count one shuttle per junction hop (as in the Murali et al.
+     * simulator), but a multi-hop relocation is emitted as one physical
+     * Split/Move/Merge triple; the extra hops are booked here.
+     */
+    void addExtraShuttles(int count) { shuttleCount += count; }
+
+    /** Snapshot a placement into initialChains. */
+    static std::vector<std::vector<int>>
+    snapshotChains(const Placement &placement);
+
+    /** Rebuild a Placement positioned at the schedule start. */
+    Placement initialPlacement(int num_qubits) const;
+
+    /** Serial duration: the sum of every op's duration. */
+    double serialDurationUs() const;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_SCHEDULE_H

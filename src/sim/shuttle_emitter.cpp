@@ -1,0 +1,110 @@
+#include "sim/shuttle_emitter.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+namespace {
+
+double
+zoneDistanceUm(const std::vector<ZoneInfo> &zones, int from, int to)
+{
+    const ZoneInfo &a = zones[from];
+    const ZoneInfo &b = zones[to];
+    if (a.module == b.module)
+        return std::fabs(a.positionUm - b.positionUm);
+    // Cross-module physical moves only exist on grid devices, where the
+    // caller always supplies an explicit distance.
+    panic("implicit distance across modules; pass distance_um");
+}
+
+} // namespace
+
+int
+ShuttleEmitter::relocate(int qubit, int to_zone, double distance_um)
+{
+    const int from_zone = placement_.zoneOf(qubit);
+    MUSSTI_ASSERT(from_zone >= 0, "relocate of unplaced qubit " << qubit);
+    MUSSTI_ASSERT(from_zone != to_zone, "relocate to the same zone");
+    MUSSTI_ASSERT(placement_.sizeOf(to_zone) < zones_[to_zone].capacity,
+                  "relocate into full zone " << to_zone);
+
+    if (distance_um < 0.0)
+        distance_um = zoneDistanceUm(zones_, from_zone, to_zone);
+
+    // Walk the ion to its cheaper chain edge.
+    int swaps = 0;
+    const ChainEnd exit_end = placement_.cheaperEnd(qubit);
+    while (placement_.extractionSwaps(qubit) > 0) {
+        const auto &ch = placement_.chain(from_zone);
+        const int idx = placement_.chainIndex(qubit);
+        const int neighbor = exit_end == ChainEnd::Front
+            ? ch[idx - 1] : ch[idx + 1];
+        ScheduledOp op;
+        op.kind = OpKind::IonSwap;
+        op.q0 = qubit;
+        op.q1 = neighbor;
+        op.zoneFrom = from_zone;
+        op.zoneTo = from_zone;
+        op.durationUs = params_.ionSwapTimeUs;
+        op.nbar = params_.ionSwapNbar;
+        schedule_.push(op);
+        placement_.swapToward(qubit, exit_end);
+        ++swaps;
+    }
+
+    ScheduledOp split;
+    split.kind = OpKind::Split;
+    split.q0 = qubit;
+    split.zoneFrom = from_zone;
+    split.zoneTo = from_zone;
+    split.durationUs = params_.splitTimeUs;
+    split.nbar = params_.splitNbar;
+    schedule_.push(split);
+    placement_.removeAtEdge(qubit);
+
+    ScheduledOp move;
+    move.kind = OpKind::Move;
+    move.q0 = qubit;
+    move.zoneFrom = from_zone;
+    move.zoneTo = to_zone;
+    move.durationUs = params_.moveTimeUs(distance_um);
+    move.nbar = params_.moveNbar;
+    schedule_.push(move);
+
+    // Enter through the edge facing the source zone.
+    const bool from_before = zones_[from_zone].module ==
+            zones_[to_zone].module
+        ? zones_[from_zone].positionUm <= zones_[to_zone].positionUm
+        : from_zone < to_zone;
+    ScheduledOp merge;
+    merge.kind = OpKind::Merge;
+    merge.q0 = qubit;
+    merge.zoneFrom = to_zone;
+    merge.zoneTo = to_zone;
+    merge.durationUs = params_.mergeTimeUs;
+    merge.nbar = params_.mergeNbar;
+    merge.enterFront = from_before;
+    schedule_.push(merge);
+    placement_.insert(qubit, to_zone,
+                      from_before ? ChainEnd::Front : ChainEnd::Back);
+    return swaps;
+}
+
+double
+ShuttleEmitter::relocationTimeUs(int qubit, int to_zone,
+                                 double distance_um) const
+{
+    const int from_zone = placement_.zoneOf(qubit);
+    MUSSTI_ASSERT(from_zone >= 0 && from_zone != to_zone,
+                  "invalid relocation preview");
+    if (distance_um < 0.0)
+        distance_um = zoneDistanceUm(zones_, from_zone, to_zone);
+    return placement_.extractionSwaps(qubit) * params_.ionSwapTimeUs +
+           params_.splitTimeUs + params_.moveTimeUs(distance_um) +
+           params_.mergeTimeUs;
+}
+
+} // namespace mussti

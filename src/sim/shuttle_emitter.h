@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Emits the physical op sequence of a shuttle relocation and keeps the
+ * placement consistent with the emitted stream. Shared by the MUSS-TI
+ * scheduler and all baseline compilers so every strategy is costed by
+ * identical physics.
+ */
+#ifndef MUSSTI_SIM_SHUTTLE_EMITTER_H
+#define MUSSTI_SIM_SHUTTLE_EMITTER_H
+
+#include <vector>
+
+#include "arch/placement.h"
+#include "arch/zone.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/**
+ * Stateless helper bound to one (zones, params, placement, schedule)
+ * tuple. One relocate() call = IonSwap* Split Move Merge.
+ */
+class ShuttleEmitter
+{
+  public:
+    ShuttleEmitter(const std::vector<ZoneInfo> &zones,
+                   const PhysicalParams &params,
+                   Placement &placement, Schedule &schedule)
+        : zones_(zones), params_(params), placement_(placement),
+          schedule_(schedule)
+    {}
+
+    /**
+     * Relocate a qubit to `to_zone`. `distance_um` < 0 derives the
+     * distance from the two zones' intra-module positions. The ion exits
+     * through its cheaper chain edge and enters the edge of the target
+     * chain facing the source. Returns the number of emitted IonSwaps.
+     */
+    int relocate(int qubit, int to_zone, double distance_um = -1.0);
+
+    /**
+     * Cost preview of relocate() without emitting: extraction swaps and
+     * total duration.
+     */
+    double relocationTimeUs(int qubit, int to_zone,
+                            double distance_um = -1.0) const;
+
+  private:
+    const std::vector<ZoneInfo> &zones_;
+    const PhysicalParams &params_;
+    Placement &placement_;
+    Schedule &schedule_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_SHUTTLE_EMITTER_H

@@ -1,0 +1,56 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+TimelineResult
+Timeline::replay(const Schedule &schedule, int num_qubits) const
+{
+    TimelineResult result;
+    std::vector<double> qubit_free(num_qubits, 0.0);
+    std::vector<double> zone_free(zones_.size(), 0.0);
+    std::vector<double> zone_busy(zones_.size(), 0.0);
+
+    for (const ScheduledOp &op : schedule.ops) {
+        result.serialUs += op.durationUs;
+
+        double start = 0.0;
+        auto claim_qubit = [&](int q) {
+            if (q >= 0)
+                start = std::max(start, qubit_free[q]);
+        };
+        auto claim_zone = [&](int z) {
+            if (z >= 0)
+                start = std::max(start, zone_free[z]);
+        };
+        claim_qubit(op.q0);
+        claim_qubit(op.q1);
+        claim_zone(op.zoneFrom);
+        if (op.zoneTo != op.zoneFrom)
+            claim_zone(op.zoneTo);
+
+        const double end = start + op.durationUs;
+        if (op.q0 >= 0)
+            qubit_free[op.q0] = end;
+        if (op.q1 >= 0)
+            qubit_free[op.q1] = end;
+        if (op.zoneFrom >= 0) {
+            zone_free[op.zoneFrom] = end;
+            zone_busy[op.zoneFrom] += op.durationUs;
+        }
+        if (op.zoneTo >= 0 && op.zoneTo != op.zoneFrom) {
+            zone_free[op.zoneTo] = end;
+            zone_busy[op.zoneTo] += op.durationUs;
+        }
+        result.makespanUs = std::max(result.makespanUs, end);
+    }
+
+    for (double busy : zone_busy)
+        result.zoneBusyMaxUs = std::max(result.zoneBusyMaxUs, busy);
+    return result;
+}
+
+} // namespace mussti

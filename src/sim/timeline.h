@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Resource-aware timing model.
+ *
+ * The paper reports serial execution time (the op-duration sum), which
+ * Schedule::serialDurationUs() provides. Real devices overlap work in
+ * disjoint zones: this module computes a parallel makespan by tracking
+ * per-qubit and per-zone availability, giving a lower-bound execution
+ * time for the same op stream. The parallelism ablation bench compares
+ * the two.
+ */
+#ifndef MUSSTI_SIM_TIMELINE_H
+#define MUSSTI_SIM_TIMELINE_H
+
+#include <vector>
+
+#include "arch/zone.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/** Timing results of a replay. */
+struct TimelineResult
+{
+    double makespanUs = 0.0;     ///< Parallel completion time.
+    double serialUs = 0.0;       ///< Op-duration sum (paper's metric).
+    double zoneBusyMaxUs = 0.0;  ///< Busiest single zone's busy time.
+    double parallelism() const   ///< serial / makespan, >= 1.
+    {
+        return makespanUs > 0.0 ? serialUs / makespanUs : 1.0;
+    }
+};
+
+/**
+ * Replays a schedule assuming an op may start once its qubits and its
+ * zones are free; ops on disjoint resources overlap.
+ */
+class Timeline
+{
+  public:
+    explicit Timeline(const std::vector<ZoneInfo> &zones)
+        : zones_(zones)
+    {}
+
+    /** Compute the makespan of a schedule over `num_qubits` qubits. */
+    TimelineResult replay(const Schedule &schedule, int num_qubits) const;
+
+  private:
+    const std::vector<ZoneInfo> &zones_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_TIMELINE_H

@@ -1,0 +1,76 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+std::string
+formatSchedule(const Schedule &schedule,
+               const std::vector<ZoneInfo> &zones, int max_ops)
+{
+    std::ostringstream out;
+    auto annotate = [&](int zone) {
+        std::ostringstream z;
+        if (zone >= 0 && zone < static_cast<int>(zones.size())) {
+            z << "z" << zone << "[" << zoneKindName(zones[zone].kind)
+              << " m" << zones[zone].module << "]";
+        } else {
+            z << "z?";
+        }
+        return z.str();
+    };
+
+    int shown = 0;
+    for (const ScheduledOp &op : schedule.ops) {
+        if (max_ops >= 0 && shown++ >= max_ops) {
+            out << "... (" << schedule.ops.size() - shown + 1
+                << " more ops)\n";
+            break;
+        }
+        out << opKindName(op.kind) << " q" << op.q0;
+        if (op.q1 >= 0)
+            out << ",q" << op.q1;
+        out << " " << annotate(op.zoneFrom);
+        if (op.zoneTo >= 0 && op.zoneTo != op.zoneFrom)
+            out << " -> " << annotate(op.zoneTo);
+        out << " (" << op.durationUs << "us";
+        if (op.nbar > 0.0)
+            out << ", nbar " << op.nbar;
+        out << ")";
+        if (op.inserted)
+            out << " [inserted-swap]";
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::map<std::string, int>
+opHistogram(const Schedule &schedule)
+{
+    std::map<std::string, int> histogram;
+    for (const ScheduledOp &op : schedule.ops)
+        ++histogram[opKindName(op.kind)];
+    return histogram;
+}
+
+std::string
+summarizeSchedule(const Schedule &schedule)
+{
+    const auto histogram = opHistogram(schedule);
+    auto count = [&](const char *kind) {
+        const auto it = histogram.find(kind);
+        return it == histogram.end() ? 0 : it->second;
+    };
+    std::ostringstream out;
+    out << schedule.ops.size() << " ops: " << schedule.shuttleCount
+        << " shuttles (" << count("ion-swap") << " chain swaps), "
+        << count("gate2q") << " local 2q gates, " << count("fiber-gate")
+        << " fiber gates (" << 3 * schedule.insertedSwapGates
+        << " from inserted SWAPs), " << count("gate1q") << " 1q gates, "
+        << schedule.serialDurationUs() << " us serial";
+    return out.str();
+}
+
+} // namespace mussti

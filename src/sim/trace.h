@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Human-readable schedule traces: the debugging view of a compiled op
+ * stream, with zone annotations and per-kind summaries. Used by the
+ * CLI driver and tests; kept in the library so downstream users can
+ * inspect schedules without writing their own printer.
+ */
+#ifndef MUSSTI_SIM_TRACE_H
+#define MUSSTI_SIM_TRACE_H
+
+#include <map>
+#include <string>
+
+#include "arch/zone.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/**
+ * Render up to `max_ops` ops, one per line, with zone kind/module
+ * annotations ("gate2q q3,q7 z1[operation m0] (40us)"). max_ops < 0
+ * renders everything.
+ */
+std::string formatSchedule(const Schedule &schedule,
+                           const std::vector<ZoneInfo> &zones,
+                           int max_ops = 40);
+
+/** Count of ops per kind ("split" -> 12, ...). */
+std::map<std::string, int> opHistogram(const Schedule &schedule);
+
+/** One-line summary: "1245 ops: 300 shuttle triples, 900 gates, ...". */
+std::string summarizeSchedule(const Schedule &schedule);
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_TRACE_H

@@ -1,0 +1,92 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+namespace {
+
+/**
+ * MAJ block of the CDKM ripple-carry adder: (c, b, a) -> majority carry.
+ * Emits 3 CX-class gates among three adjacent wires.
+ */
+void
+maj(Circuit &qc, int c, int b, int a)
+{
+    qc.cx(a, b);
+    qc.cx(a, c);
+    // Toffoli decomposed into the standard 6-CX + T network; the compiler
+    // cares only about the interaction pairs, so we emit the CX skeleton
+    // plus the T-layer on the touched wires.
+    qc.h(a);
+    qc.cx(b, a);
+    qc.tdg(a);
+    qc.cx(c, a);
+    qc.t(a);
+    qc.cx(b, a);
+    qc.tdg(a);
+    qc.cx(c, a);
+    qc.t(b);
+    qc.t(a);
+    qc.h(a);
+}
+
+/** UMA block: undoes MAJ and writes the sum bit. */
+void
+uma(Circuit &qc, int c, int b, int a)
+{
+    qc.h(a);
+    qc.cx(c, a);
+    qc.t(a);
+    qc.cx(b, a);
+    qc.tdg(a);
+    qc.cx(c, a);
+    qc.t(a);
+    qc.cx(b, a);
+    qc.h(a);
+    qc.cx(a, c);
+    qc.cx(c, b);
+}
+
+} // namespace
+
+Circuit
+makeAdder(int num_qubits)
+{
+    MUSSTI_REQUIRE(num_qubits >= 4, "adder needs at least 4 qubits");
+    // Layout: cin | a[0] b[0] | a[1] b[1] | ... | cout.
+    // Register width from the available qubits: 2 ancilla + 2k data.
+    const int bits = (num_qubits - 2) / 2;
+    Circuit qc(num_qubits, "Adder_n" + std::to_string(num_qubits));
+
+    const int cin = 0;
+    const int cout = num_qubits - 1;
+    auto a = [&](int i) { return 1 + 2 * i; };
+    auto b = [&](int i) { return 2 + 2 * i; };
+
+    // Prepare a nontrivial input state so measurement is meaningful.
+    for (int i = 0; i < bits; ++i) {
+        if (i % 3 != 2)
+            qc.x(a(i));
+        if (i % 2 == 0)
+            qc.x(b(i));
+    }
+
+    // MAJ ripple up.
+    maj(qc, cin, b(0), a(0));
+    for (int i = 1; i < bits; ++i)
+        maj(qc, a(i - 1), b(i), a(i));
+    // Carry out.
+    qc.cx(a(bits - 1), cout);
+    // UMA ripple down.
+    for (int i = bits - 1; i >= 1; --i)
+        uma(qc, a(i - 1), b(i), a(i));
+    uma(qc, cin, b(0), a(0));
+
+    for (int i = 0; i < bits; ++i)
+        qc.measure(b(i));
+    qc.measure(cout);
+    return qc;
+}
+
+} // namespace mussti

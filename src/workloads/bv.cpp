@@ -1,0 +1,36 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+Circuit
+makeBv(int num_qubits, std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "BV needs at least 2 qubits");
+    Circuit qc(num_qubits, "BV_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    const int target = num_qubits - 1;
+    for (int q = 0; q < target; ++q)
+        qc.h(q);
+    qc.x(target);
+    qc.h(target);
+
+    // Oracle: CX from every set bit of the hidden string into the target.
+    // The star topology (everything converging on one qubit) is what makes
+    // BV a locality stress test for shuttle schedulers.
+    for (int q = 0; q < target; ++q) {
+        if (rng.chance(0.5))
+            qc.cx(q, target);
+    }
+
+    for (int q = 0; q < target; ++q)
+        qc.h(q);
+    for (int q = 0; q < target; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

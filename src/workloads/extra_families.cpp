@@ -1,0 +1,169 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+Circuit
+makeIsing(int num_qubits, int trotter_steps, std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "ising needs >= 2 qubits");
+    MUSSTI_REQUIRE(trotter_steps >= 1, "ising needs >= 1 step");
+    Circuit qc(num_qubits, "Ising_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    for (int q = 0; q < num_qubits; ++q)
+        qc.h(q);
+    for (int step = 0; step < trotter_steps; ++step) {
+        // ZZ couplings on the 1D chain (even bonds then odd bonds).
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int q = parity; q + 1 < num_qubits; q += 2) {
+                qc.cx(q, q + 1);
+                qc.rz(q + 1, 0.1 + 0.05 * step);
+                qc.cx(q, q + 1);
+            }
+        }
+        // Transverse field.
+        for (int q = 0; q < num_qubits; ++q)
+            qc.rx(q, 0.2 + 0.01 * static_cast<double>(rng.intIn(0, 9)));
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+Circuit
+makeQuantumVolume(int num_qubits, int depth, std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "QV needs >= 2 qubits");
+    if (depth <= 0)
+        depth = num_qubits;
+    Circuit qc(num_qubits, "QV_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    std::vector<int> order(num_qubits);
+    for (int q = 0; q < num_qubits; ++q)
+        order[q] = q;
+
+    for (int layer = 0; layer < depth; ++layer) {
+        rng.shuffle(order);
+        for (int i = 0; i + 1 < num_qubits; i += 2) {
+            const int a = order[i];
+            const int b = order[i + 1];
+            // Haar-random SU(4) block decomposes into 3 CX + 1q gates;
+            // we emit the interaction skeleton.
+            qc.rz(a, rng.real() * 3.14159);
+            qc.rz(b, rng.real() * 3.14159);
+            qc.cx(a, b);
+            qc.add(Gate(GateKind::Ry, a, rng.real()));
+            qc.cx(b, a);
+            qc.add(Gate(GateKind::Ry, b, rng.real()));
+            qc.cx(a, b);
+        }
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+Circuit
+makeWState(int num_qubits)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "W state needs >= 2 qubits");
+    Circuit qc(num_qubits, "WState_n" + std::to_string(num_qubits));
+    // Cascade of controlled rotations followed by a CX ladder; the
+    // standard linear-depth W-state preparation network.
+    qc.x(0);
+    for (int q = 0; q + 1 < num_qubits; ++q) {
+        const double theta =
+            2.0 * std::acos(std::sqrt(1.0 / (num_qubits - q)));
+        qc.add(Gate(GateKind::Ry, q + 1, theta));
+        qc.cz(q, q + 1);
+        qc.add(Gate(GateKind::Ry, q + 1, -theta));
+        qc.cx(q + 1, q);
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+Circuit
+makeSurfaceCodeCycle(int distance, int rounds)
+{
+    MUSSTI_REQUIRE(distance >= 3 && distance % 2 == 1,
+                   "surface code distance must be odd and >= 3");
+    MUSSTI_REQUIRE(rounds >= 1, "need at least one syndrome round");
+
+    // Rotated surface code: d^2 data qubits + (d^2 - 1) ancillas.
+    const int data = distance * distance;
+    const int ancillas = distance * distance - 1;
+    const int n = data + ancillas;
+    Circuit qc(n, "Surface_d" + std::to_string(distance));
+
+    auto dataAt = [&](int row, int col) { return row * distance + col; };
+
+    // Ancilla layout: one per plaquette of the (d-1+boundary) lattice;
+    // we enumerate the standard d^2-1 stabilizers row-major.
+    int next_ancilla = data;
+    struct Stabilizer { int ancilla; bool x_type; std::vector<int> data; };
+    std::vector<Stabilizer> stabilizers;
+
+    // Bulk plaquettes.
+    for (int row = 0; row < distance - 1; ++row) {
+        for (int col = 0; col < distance - 1; ++col) {
+            Stabilizer s;
+            s.ancilla = next_ancilla++;
+            s.x_type = (row + col) % 2 == 0;
+            s.data = {dataAt(row, col), dataAt(row, col + 1),
+                      dataAt(row + 1, col), dataAt(row + 1, col + 1)};
+            stabilizers.push_back(s);
+        }
+    }
+    // Boundary (weight-2) stabilizers along top/bottom and left/right.
+    for (int col = 0; col + 1 < distance; col += 2) {
+        Stabilizer top{next_ancilla++, true,
+                       {dataAt(0, col), dataAt(0, col + 1)}};
+        stabilizers.push_back(top);
+        Stabilizer bottom{next_ancilla++, true,
+                          {dataAt(distance - 1, col + 1),
+                           dataAt(distance - 1,
+                                  std::min(col + 2, distance - 1))}};
+        stabilizers.push_back(bottom);
+    }
+    for (int row = 0; row + 1 < distance &&
+         next_ancilla < n; row += 2) {
+        Stabilizer left{next_ancilla++, false,
+                        {dataAt(row, 0), dataAt(row + 1, 0)}};
+        stabilizers.push_back(left);
+        if (next_ancilla < n) {
+            Stabilizer right{next_ancilla++, false,
+                             {dataAt(row + 1, distance - 1),
+                              dataAt(std::min(row + 2, distance - 1),
+                                     distance - 1)}};
+            stabilizers.push_back(right);
+        }
+    }
+
+    for (int round = 0; round < rounds; ++round) {
+        for (const auto &s : stabilizers) {
+            if (s.x_type)
+                qc.h(s.ancilla);
+            for (int dq : s.data) {
+                if (s.x_type)
+                    qc.cx(s.ancilla, dq);
+                else
+                    qc.cx(dq, s.ancilla);
+            }
+            if (s.x_type)
+                qc.h(s.ancilla);
+            qc.measure(s.ancilla);
+        }
+    }
+    return qc;
+}
+
+} // namespace mussti

@@ -1,0 +1,20 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+
+namespace mussti {
+
+Circuit
+makeGhz(int num_qubits)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "GHZ needs at least 2 qubits");
+    Circuit qc(num_qubits, "GHZ_n" + std::to_string(num_qubits));
+    qc.h(0);
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        qc.cx(q, q + 1);
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

@@ -1,0 +1,93 @@
+#include "workloads/workloads.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+namespace {
+
+/**
+ * Deterministic random 3-regular graph by repeated perfect-matching
+ * composition: union of three edge-disjoint random matchings. Falls back
+ * to a circulant graph on odd n (where 3-regularity is impossible for
+ * odd n, matching QAOA benchmark practice of near-regular graphs).
+ */
+std::vector<std::pair<int, int>>
+threeRegularEdges(int n, Rng &rng)
+{
+    std::vector<std::pair<int, int>> edges;
+    if (n % 2 != 0) {
+        // Circulant fallback: ring + chords; degree ~3.
+        for (int i = 0; i < n; ++i)
+            edges.emplace_back(i, (i + 1) % n);
+        for (int i = 0; i < n / 2; ++i)
+            edges.emplace_back(i, (i + n / 2) % n);
+        return edges;
+    }
+    auto edgeKey = [n](int a, int b) {
+        return static_cast<long long>(std::min(a, b)) * n + std::max(a, b);
+    };
+    std::vector<long long> used;
+    for (int matching = 0; matching < 3; ++matching) {
+        std::vector<int> order(n);
+        for (int i = 0; i < n; ++i)
+            order[i] = i;
+        // Retry shuffles until the matching is edge-disjoint from prior
+        // ones; for random orders this terminates almost immediately.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            rng.shuffle(order);
+            bool ok = true;
+            for (int i = 0; i < n && ok; i += 2) {
+                if (std::find(used.begin(), used.end(),
+                              edgeKey(order[i], order[i + 1])) != used.end())
+                    ok = false;
+            }
+            if (!ok)
+                continue;
+            for (int i = 0; i < n; i += 2) {
+                edges.emplace_back(order[i], order[i + 1]);
+                used.push_back(edgeKey(order[i], order[i + 1]));
+            }
+            break;
+        }
+    }
+    return edges;
+}
+
+} // namespace
+
+Circuit
+makeQaoa(int num_qubits, int rounds, std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 4, "QAOA needs at least 4 qubits");
+    MUSSTI_REQUIRE(rounds >= 1, "QAOA needs at least one round");
+    Circuit qc(num_qubits, "QAOA_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+    const auto edges = threeRegularEdges(num_qubits, rng);
+
+    for (int q = 0; q < num_qubits; ++q)
+        qc.h(q);
+    for (int round = 0; round < rounds; ++round) {
+        const double gamma = 0.35 + 0.1 * round;
+        const double beta = 0.25 + 0.05 * round;
+        // Cost layer: ZZ interaction per edge = CX, RZ, CX.
+        for (const auto &[u, v] : edges) {
+            qc.cx(u, v);
+            qc.rz(v, 2.0 * gamma);
+            qc.cx(u, v);
+        }
+        // Mixer layer.
+        for (int q = 0; q < num_qubits; ++q)
+            qc.rx(q, 2.0 * beta);
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

@@ -1,0 +1,36 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+Circuit
+makeQft(int num_qubits)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "QFT needs at least 2 qubits");
+    Circuit qc(num_qubits, "QFT_n" + std::to_string(num_qubits));
+
+    // Controlled-phase ladder. CP(theta) = RZ corrections + 2 CX; we emit
+    // the standard decomposition so gate counts match compiled QASMBench.
+    for (int i = 0; i < num_qubits; ++i) {
+        qc.h(i);
+        for (int j = i + 1; j < num_qubits; ++j) {
+            const double theta = M_PI / std::pow(2.0, j - i);
+            qc.rz(i, theta / 2);
+            qc.cx(j, i);
+            qc.rz(i, -theta / 2);
+            qc.cx(j, i);
+            qc.rz(j, theta / 2);
+        }
+    }
+    // Bit-reversal swaps (each is 3 MS gates once decomposed).
+    for (int i = 0; i < num_qubits / 2; ++i)
+        qc.swap(i, num_qubits - 1 - i);
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

@@ -1,0 +1,34 @@
+#include "workloads/workloads.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+Circuit
+makeRandomCircuit(int num_qubits, int num_two_qubit_gates,
+                  std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 2, "random circuit needs >= 2 qubits");
+    MUSSTI_REQUIRE(num_two_qubit_gates >= 0, "negative gate count");
+    Circuit qc(num_qubits, "RAN_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    for (int q = 0; q < num_qubits; ++q)
+        qc.h(q);
+    for (int g = 0; g < num_two_qubit_gates; ++g) {
+        const int a = rng.intIn(0, num_qubits - 1);
+        int b = rng.intIn(0, num_qubits - 2);
+        if (b >= a)
+            ++b;
+        qc.cx(a, b);
+        // Interleave sparse 1q rotations, as QASMBench's random family does.
+        if (rng.chance(0.3))
+            qc.rz(a, rng.real() * 3.14159);
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

@@ -1,0 +1,78 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mussti {
+
+/**
+ * Supremacy-style circuit (the "SC" family): qubits on a near-square 2D
+ * grid, `depth` rounds of staggered two-qubit layers cycling through the
+ * four coupler orientations (right/down with two phase offsets), with a
+ * random single-qubit gate on every qubit between rounds. This is the
+ * interaction pattern of Google-style random-circuit-sampling benchmarks.
+ */
+Circuit
+makeSupremacy(int num_qubits, int depth, std::uint64_t seed)
+{
+    MUSSTI_REQUIRE(num_qubits >= 4, "supremacy circuit needs >= 4 qubits");
+    MUSSTI_REQUIRE(depth >= 1, "supremacy circuit needs depth >= 1");
+    Circuit qc(num_qubits, "SC_n" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    const int width = std::max(2, static_cast<int>(std::lround(
+        std::sqrt(static_cast<double>(num_qubits)))));
+    auto index = [&](int row, int col) { return row * width + col; };
+    const int rows = (num_qubits + width - 1) / width;
+    auto valid = [&](int row, int col) {
+        return row >= 0 && col >= 0 && col < width &&
+               index(row, col) < num_qubits;
+    };
+
+    for (int q = 0; q < num_qubits; ++q)
+        qc.h(q);
+
+    for (int layer = 0; layer < depth; ++layer) {
+        // Orientation cycle: horizontal even, horizontal odd, vertical
+        // even, vertical odd — each qubit partners at most once per layer.
+        const int phase = layer % 4;
+        const bool horizontal = phase < 2;
+        const int offset = phase % 2;
+        for (int row = 0; row < rows; ++row) {
+            for (int col = 0; col < width; ++col) {
+                if (!valid(row, col))
+                    continue;
+                int r2 = row, c2 = col;
+                if (horizontal) {
+                    if (col % 2 != offset)
+                        continue;
+                    c2 = col + 1;
+                } else {
+                    if (row % 2 != offset)
+                        continue;
+                    r2 = row + 1;
+                }
+                if (!valid(r2, c2))
+                    continue;
+                qc.cz(index(row, col), index(r2, c2));
+            }
+        }
+        // Random 1q layer.
+        for (int q = 0; q < num_qubits; ++q) {
+            switch (rng.intIn(0, 2)) {
+              case 0: qc.rx(q, 1.5707963267948966); break;
+              case 1: qc.add(Gate(GateKind::Ry, q, 1.5707963267948966));
+                      break;
+              default: qc.t(q); break;
+            }
+        }
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        qc.measure(q);
+    return qc;
+}
+
+} // namespace mussti

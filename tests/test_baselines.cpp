@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the baseline grid compilers: validity of their schedules,
+ * their characteristic behaviours (MQT-like gates only in the
+ * processing trap; Dai look-ahead <= Murali greedy on structured
+ * workloads), and hop-counted shuttle accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/dai.h"
+#include "baselines/mqt_like.h"
+#include "baselines/murali.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+GridConfig
+smallGrid()
+{
+    return GridConfig{2, 2, 12};
+}
+
+void
+expectValid(const GridDevice &device, const CompileResult &result)
+{
+    const auto report = ScheduleValidator(device.zoneInfos())
+                            .validate(result.schedule, result.lowered);
+    EXPECT_TRUE(report) << report.firstError;
+}
+
+TEST(Murali, CompilesSmallSuiteValidly)
+{
+    const PhysicalParams params;
+    for (const auto &spec : smallScaleSuite()) {
+        MuraliCompiler compiler(smallGrid(), params);
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+        const auto result = compiler.compile(qc);
+        expectValid(compiler.device(), result);
+    }
+}
+
+TEST(Murali, ColocatedCircuitNeedsNoShuttles)
+{
+    Circuit qc(8, "local");
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    const PhysicalParams params;
+    MuraliCompiler compiler(GridConfig{2, 2, 8}, params);
+    const auto result = compiler.compile(qc);
+    EXPECT_EQ(result.metrics.shuttleCount, 0);
+}
+
+TEST(Murali, CrossTrapGateCostsShuttles)
+{
+    Circuit qc(24, "cross");
+    qc.cx(0, 23); // trap 0 and trap 2 under row-major fill, cap 12
+    const PhysicalParams params;
+    MuraliCompiler compiler(smallGrid(), params);
+    const auto result = compiler.compile(qc);
+    EXPECT_GE(result.metrics.shuttleCount, 1);
+    expectValid(compiler.device(), result);
+}
+
+TEST(Dai, CompilesSmallSuiteValidly)
+{
+    const PhysicalParams params;
+    for (const auto &spec : smallScaleSuite()) {
+        DaiCompiler compiler(smallGrid(), params);
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+        const auto result = compiler.compile(qc);
+        expectValid(compiler.device(), result);
+    }
+}
+
+TEST(Dai, LookAheadBeatsGreedyOnCommunicationHeavyWorkloads)
+{
+    const PhysicalParams params;
+    // Average across the communication-heavy families; the look-ahead
+    // baseline must not lose to greedy overall (the paper's Table 2
+    // relationship between [13] and [55]).
+    double murali_total = 0.0, dai_total = 0.0;
+    for (const char *family : {"sqrt", "qft", "adder"}) {
+        const Circuit qc = makeBenchmark(family, 30);
+        MuraliCompiler murali(smallGrid(), params);
+        DaiCompiler dai(smallGrid(), params);
+        murali_total += murali.compile(qc).metrics.shuttleCount;
+        dai_total += dai.compile(qc).metrics.shuttleCount;
+    }
+    EXPECT_LE(dai_total, murali_total * 1.05);
+}
+
+TEST(MqtLike, GatesOnlyInProcessingTrap)
+{
+    const PhysicalParams params;
+    MqtLikeCompiler compiler(smallGrid(), params);
+    const Circuit qc = makeBenchmark("adder", 32);
+    const auto result = compiler.compile(qc);
+    for (const auto &op : result.schedule.ops) {
+        if (op.kind == OpKind::Gate2Q) {
+            EXPECT_EQ(op.zoneFrom, compiler.processingTrap());
+        }
+    }
+    expectValid(compiler.device(), result);
+}
+
+TEST(MqtLike, ShuttleHeaviestBaseline)
+{
+    // Table 2: [70] shuttles dominate [55] and [13] on every app.
+    const PhysicalParams params;
+    for (const char *family : {"adder", "qft"}) {
+        const Circuit qc = makeBenchmark(family, 32);
+        MuraliCompiler murali(smallGrid(), params);
+        MqtLikeCompiler mqt(smallGrid(), params);
+        EXPECT_GT(mqt.compile(qc).metrics.shuttleCount,
+                  murali.compile(qc).metrics.shuttleCount)
+            << family;
+    }
+}
+
+TEST(GridBase, RejectsOversizedCircuit)
+{
+    const PhysicalParams params;
+    MuraliCompiler compiler(GridConfig{2, 2, 4}, params); // 16 slots
+    EXPECT_THROW(compiler.compile(makeGhz(32)), std::runtime_error);
+}
+
+TEST(GridBase, HopAccountingExceedsMergeCountOnBigGrids)
+{
+    // On a 4x5 grid, far-apart interactions take multi-hop shuttles, so
+    // booked shuttles exceed the number of Merge ops.
+    const PhysicalParams params;
+    MuraliCompiler compiler(GridConfig{4, 5, 16}, params);
+    const Circuit qc = makeRandomCircuit(256, 200, 3);
+    const auto result = compiler.compile(qc);
+    int merges = 0;
+    for (const auto &op : result.schedule.ops)
+        merges += op.kind == OpKind::Merge;
+    EXPECT_GT(result.metrics.shuttleCount, merges);
+    expectValid(compiler.device(), result);
+}
+
+TEST(GridBase, MediumGridSuiteValidates)
+{
+    const PhysicalParams params;
+    const GridConfig grid{3, 4, 16};
+    for (const auto &spec : mediumScaleSuite()) {
+        const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+        MuraliCompiler murali(grid, params);
+        const auto result = murali.compile(qc);
+        expectValid(murali.device(), result);
+        DaiCompiler dai(grid, params);
+        const auto dai_result = dai.compile(qc);
+        expectValid(dai.device(), dai_result);
+    }
+}
+
+} // namespace
+} // namespace mussti

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the circuit IR: gate metadata, builders, reversal,
+ * SWAP lowering, and statistics.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/gate.h"
+
+namespace mussti {
+namespace {
+
+TEST(Gate, ArityTable)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::Rz), 1);
+    EXPECT_EQ(gateArity(GateKind::Cx), 2);
+    EXPECT_EQ(gateArity(GateKind::Ms), 2);
+    EXPECT_EQ(gateArity(GateKind::Swap), 2);
+    EXPECT_EQ(gateArity(GateKind::Barrier), 0);
+    EXPECT_EQ(gateArity(GateKind::Measure), 1);
+}
+
+TEST(Gate, TwoQubitClassification)
+{
+    EXPECT_TRUE(isTwoQubit(GateKind::Cx));
+    EXPECT_TRUE(isTwoQubit(GateKind::Cz));
+    EXPECT_FALSE(isTwoQubit(GateKind::H));
+    EXPECT_FALSE(isTwoQubit(GateKind::Measure));
+}
+
+TEST(Gate, SingleQubitClassificationExcludesMeasure)
+{
+    EXPECT_TRUE(isSingleQubit(GateKind::H));
+    EXPECT_TRUE(isSingleQubit(GateKind::Rz));
+    EXPECT_FALSE(isSingleQubit(GateKind::Measure));
+    EXPECT_FALSE(isSingleQubit(GateKind::Cx));
+}
+
+TEST(Gate, NameRoundTrip)
+{
+    for (GateKind k : {GateKind::X, GateKind::H, GateKind::Rz,
+                       GateKind::Cx, GateKind::Swap, GateKind::Ms,
+                       GateKind::Measure}) {
+        EXPECT_EQ(gateKindFromName(gateName(k)), k);
+    }
+}
+
+TEST(Gate, NameAliases)
+{
+    EXPECT_EQ(gateKindFromName("CNOT"), GateKind::Cx);
+    EXPECT_EQ(gateKindFromName("rxx"), GateKind::Ms);
+    EXPECT_EQ(gateKindFromName("u1"), GateKind::Rz);
+}
+
+TEST(Gate, UnknownNameIsFatal)
+{
+    EXPECT_THROW(gateKindFromName("frobnicate"), std::runtime_error);
+}
+
+TEST(Gate, PartnerOf)
+{
+    const Gate g(GateKind::Cx, 3, 7);
+    EXPECT_EQ(g.partnerOf(3), 7);
+    EXPECT_EQ(g.partnerOf(7), 3);
+    EXPECT_TRUE(g.touches(3));
+    EXPECT_FALSE(g.touches(4));
+}
+
+TEST(Circuit, BuildersAppendInOrder)
+{
+    Circuit qc(3, "t");
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.cz(1, 2);
+    ASSERT_EQ(qc.size(), 3u);
+    EXPECT_EQ(qc[0].kind, GateKind::H);
+    EXPECT_EQ(qc[1].kind, GateKind::Cx);
+    EXPECT_EQ(qc[2].q1, 2);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperand)
+{
+    Circuit qc(2);
+    EXPECT_THROW(qc.cx(0, 5), std::logic_error);
+    EXPECT_THROW(qc.h(-1), std::logic_error);
+}
+
+TEST(Circuit, RejectsSelfInteraction)
+{
+    Circuit qc(2);
+    EXPECT_THROW(qc.cx(1, 1), std::logic_error);
+}
+
+TEST(Circuit, Counts)
+{
+    Circuit qc(3);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.cx(1, 2);
+    qc.rz(2, 0.5);
+    qc.measure(0);
+    EXPECT_EQ(qc.twoQubitCount(), 2);
+    EXPECT_EQ(qc.singleQubitCount(), 2);
+}
+
+TEST(Circuit, ReversedFlipsOrder)
+{
+    Circuit qc(2);
+    qc.h(0);
+    qc.cx(0, 1);
+    const Circuit rev = qc.reversed();
+    ASSERT_EQ(rev.size(), 2u);
+    EXPECT_EQ(rev[0].kind, GateKind::Cx);
+    EXPECT_EQ(rev[1].kind, GateKind::H);
+}
+
+TEST(Circuit, SwapLoweringProducesThreeCx)
+{
+    Circuit qc(2);
+    qc.swap(0, 1);
+    const Circuit lowered = qc.withSwapsDecomposed();
+    ASSERT_EQ(lowered.size(), 3u);
+    for (const Gate &g : lowered.gates())
+        EXPECT_EQ(g.kind, GateKind::Cx);
+    // Alternating direction: 01, 10, 01.
+    EXPECT_EQ(lowered[0].q0, 0);
+    EXPECT_EQ(lowered[1].q0, 1);
+    EXPECT_EQ(lowered[2].q0, 0);
+}
+
+TEST(Circuit, SwapLoweringKeepsOtherGates)
+{
+    Circuit qc(3);
+    qc.h(0);
+    qc.swap(1, 2);
+    qc.cx(0, 2);
+    const Circuit lowered = qc.withSwapsDecomposed();
+    EXPECT_EQ(lowered.size(), 5u);
+    EXPECT_EQ(lowered.twoQubitCount(), 4);
+}
+
+TEST(Circuit, StatsDepthCountsTwoQubitLayers)
+{
+    Circuit qc(4);
+    // Two parallel gates then one dependent gate: depth 2.
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    qc.cx(1, 2);
+    const CircuitStats s = qc.stats();
+    EXPECT_EQ(s.depth, 2);
+    EXPECT_EQ(s.twoQubitGates, 3);
+    EXPECT_EQ(s.numQubits, 4);
+}
+
+TEST(Circuit, StatsInteractionDistance)
+{
+    Circuit qc(10);
+    qc.cx(0, 9); // distance 9
+    qc.cx(4, 5); // distance 1
+    EXPECT_NEAR(qc.stats().avgInteractionDistance, 5.0, 1e-12);
+}
+
+TEST(Circuit, TwoQubitDegrees)
+{
+    Circuit qc(3);
+    qc.cx(0, 1);
+    qc.cx(0, 2);
+    const auto deg = qc.twoQubitDegrees();
+    EXPECT_EQ(deg[0], 2);
+    EXPECT_EQ(deg[1], 1);
+    EXPECT_EQ(deg[2], 1);
+}
+
+TEST(Circuit, NeedsPositiveQubits)
+{
+    EXPECT_THROW(Circuit(0), std::runtime_error);
+}
+
+} // namespace
+} // namespace mussti

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the common library: RNG determinism, log-domain
+ * fidelity, string helpers, CSV/table output, and summary statistics.
+ */
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/log_fidelity.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace mussti {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniform(10), 10u);
+}
+
+TEST(Rng, IntInCoversRangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.intIn(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(11);
+    std::vector<int> items{0, 1, 2, 3, 4, 5, 6, 7};
+    auto copy = items;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, items);
+}
+
+TEST(LogFidelity, MatchesDirectProduct)
+{
+    LogFidelity f;
+    double direct = 1.0;
+    for (double v : {0.99, 0.9, 0.999, 0.5}) {
+        f.multiply(v);
+        direct *= v;
+    }
+    EXPECT_NEAR(f.value(), direct, 1e-12);
+}
+
+TEST(LogFidelity, SurvivesUnderflowScale)
+{
+    // 1e5 factors of 0.99 underflow a double product (~1e-437) but the
+    // ln-sum stays exact.
+    LogFidelity f;
+    for (int i = 0; i < 100000; ++i)
+        f.multiply(0.99);
+    EXPECT_DOUBLE_EQ(f.value(), 0.0); // like the paper's Python zeros
+    EXPECT_NEAR(f.log10(), 100000 * std::log10(0.99), 1e-6);
+}
+
+TEST(LogFidelity, ZeroFactorIsTerminal)
+{
+    LogFidelity f;
+    f.multiply(0.5);
+    f.multiply(0.0);
+    EXPECT_TRUE(f.isZero());
+    EXPECT_EQ(f.value(), 0.0);
+    EXPECT_TRUE(std::isinf(f.ln()));
+}
+
+TEST(LogFidelity, CombineAccumulators)
+{
+    LogFidelity a, b;
+    a.multiply(0.9);
+    b.multiply(0.8);
+    a.multiply(b);
+    EXPECT_NEAR(a.value(), 0.72, 1e-12);
+}
+
+TEST(LogFidelity, MultiplyLnDirect)
+{
+    LogFidelity f;
+    f.multiplyLn(std::log(0.25));
+    EXPECT_NEAR(f.value(), 0.25, 1e-12);
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("hi"), "hi");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtil, Split)
+{
+    const auto fields = split("a,b,,c", ',');
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "");
+    EXPECT_EQ(fields[3], "c");
+}
+
+TEST(StringUtil, SplitSingleField)
+{
+    const auto fields = split("abc", ',');
+    ASSERT_EQ(fields.size(), 1u);
+    EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StringUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("OPENQASM 2.0", "OPENQASM"));
+    EXPECT_FALSE(startsWith("qreg", "qregs"));
+}
+
+TEST(StringUtil, ToLower)
+{
+    EXPECT_EQ(toLower("GHZ_n32"), "ghz_n32");
+}
+
+TEST(StringUtil, FormatCompactIntegers)
+{
+    EXPECT_EQ(formatCompact(7.0), "7");
+    EXPECT_EQ(formatCompact(11160.0), "11160");
+}
+
+TEST(CsvWriter, QuotesOnDemand)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.writeRow({"plain", "with,comma", "with\"quote"});
+    EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"app", "shuttles"});
+    table.addRow({"GHZ_n32", "2"});
+    table.addRow({"Adder_n32", "7"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("app"), std::string::npos);
+    EXPECT_NE(text.find("Adder_n32"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Reduction)
+{
+    // ours halves the baseline everywhere -> 50%.
+    EXPECT_NEAR(averageReductionPercent({10, 20}, {5, 10}), 50.0, 1e-9);
+    // zero baseline entries are skipped.
+    EXPECT_NEAR(averageReductionPercent({0, 20}, {5, 10}), 50.0, 1e-9);
+}
+
+TEST(Stats, MinMaxStddev)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, 1.0, 2.0}), 3.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+TEST(Logging, AssertMacroFiresOnFalse)
+{
+    EXPECT_THROW(MUSSTI_ASSERT(1 == 2, "broken " << 42),
+                 std::logic_error);
+}
+
+TEST(Logging, RequireMacroFiresOnFalse)
+{
+    EXPECT_THROW(MUSSTI_REQUIRE(false, "bad input"), std::runtime_error);
+}
+
+} // namespace
+} // namespace mussti

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the dependency DAG: construction, frontier semantics,
+ * completion, 1q satellite attachment, and the k-layer window.
+ */
+#include <gtest/gtest.h>
+
+#include "dag/dag.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+TEST(Dag, CountsOnlyTwoQubitGates)
+{
+    Circuit qc(3);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.rz(1, 0.3);
+    qc.cx(1, 2);
+    const DependencyDag dag(qc);
+    EXPECT_EQ(dag.size(), 2);
+    EXPECT_EQ(dag.remaining(), 2);
+}
+
+TEST(Dag, FrontierIsIndependentGates)
+{
+    Circuit qc(4);
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    qc.cx(1, 2); // depends on both
+    DependencyDag dag(qc);
+    EXPECT_EQ(dag.frontier().size(), 2u);
+    EXPECT_TRUE(dag.isReady(0));
+    EXPECT_TRUE(dag.isReady(1));
+    EXPECT_FALSE(dag.isReady(2));
+}
+
+TEST(Dag, CompletionUnlocksSuccessors)
+{
+    Circuit qc(4);
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    qc.cx(1, 2);
+    DependencyDag dag(qc);
+    dag.complete(0);
+    EXPECT_FALSE(dag.isReady(2));
+    dag.complete(1);
+    EXPECT_TRUE(dag.isReady(2));
+    dag.complete(2);
+    EXPECT_TRUE(dag.empty());
+}
+
+TEST(Dag, CompletingNonFrontierPanics)
+{
+    Circuit qc(3);
+    qc.cx(0, 1);
+    qc.cx(1, 2);
+    DependencyDag dag(qc);
+    EXPECT_THROW(dag.complete(1), std::logic_error);
+}
+
+TEST(Dag, DoubleCompletionPanics)
+{
+    Circuit qc(2);
+    qc.cx(0, 1);
+    DependencyDag dag(qc);
+    dag.complete(0);
+    EXPECT_THROW(dag.complete(0), std::logic_error);
+}
+
+TEST(Dag, SharedPredecessorSingleEdge)
+{
+    // Both operands of the second gate come from the same predecessor;
+    // the edge must be deduplicated so pendingPreds is 1.
+    Circuit qc(2);
+    qc.cx(0, 1);
+    qc.cx(1, 0);
+    DependencyDag dag(qc);
+    dag.complete(0);
+    EXPECT_TRUE(dag.isReady(1));
+}
+
+TEST(Dag, LeadingOneQubitGatesAttach)
+{
+    Circuit qc(2);
+    qc.h(0);
+    qc.rz(1, 0.1);
+    qc.cx(0, 1);
+    qc.h(1);
+    DependencyDag dag(qc);
+    ASSERT_EQ(dag.size(), 1);
+    EXPECT_EQ(dag.node(0).leading1q.size(), 2u);
+    EXPECT_EQ(dag.trailing1q().size(), 1u);
+}
+
+TEST(Dag, BarriersIgnored)
+{
+    Circuit qc(2);
+    qc.add(Gate(GateKind::Barrier, -1));
+    qc.cx(0, 1);
+    const DependencyDag dag(qc);
+    EXPECT_EQ(dag.size(), 1);
+}
+
+TEST(Dag, FrontierSortedByCircuitIndex)
+{
+    Circuit qc(6);
+    qc.cx(4, 5);
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    DependencyDag dag(qc);
+    const auto &frontier = dag.frontier();
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_LT(dag.node(frontier[0]).circuitIndex,
+              dag.node(frontier[1]).circuitIndex);
+    EXPECT_LT(dag.node(frontier[1]).circuitIndex,
+              dag.node(frontier[2]).circuitIndex);
+}
+
+TEST(Dag, FrontLayersRespectDependencies)
+{
+    Circuit qc(4);
+    qc.cx(0, 1); // layer 0
+    qc.cx(2, 3); // layer 0
+    qc.cx(1, 2); // layer 1
+    qc.cx(0, 1); // layer 2 (needs gate 0 and gate 2's completion? no:
+                 // depends on gates 0 and 2 via qubits 0 and 1)
+    const DependencyDag dag(qc);
+    const auto layers = dag.frontLayers(8);
+    ASSERT_GE(layers.size(), 2u);
+    EXPECT_EQ(layers[0].size(), 2u);
+    EXPECT_EQ(layers[1].size(), 1u);
+}
+
+TEST(Dag, FrontLayersNonDestructive)
+{
+    const Circuit qc = makeGhz(8);
+    DependencyDag dag(qc);
+    const int before = dag.remaining();
+    (void)dag.frontLayers(4);
+    EXPECT_EQ(dag.remaining(), before);
+    EXPECT_EQ(dag.frontier().size(), 1u);
+}
+
+TEST(Dag, FrontLayersBoundedByK)
+{
+    const Circuit qc = makeGhz(32); // strictly serial chain
+    const DependencyDag dag(qc);
+    EXPECT_EQ(dag.frontLayers(5).size(), 5u);
+    EXPECT_EQ(dag.frontLayers(0).size(), 0u);
+}
+
+TEST(Dag, GhzChainIsSerial)
+{
+    const Circuit qc = makeGhz(16);
+    DependencyDag dag(qc);
+    int retired = 0;
+    while (!dag.empty()) {
+        ASSERT_EQ(dag.frontier().size(), 1u);
+        dag.complete(dag.frontier().front());
+        ++retired;
+    }
+    EXPECT_EQ(retired, 15);
+}
+
+TEST(Dag, FullDrainOfWorkload)
+{
+    const Circuit qc = makeAdder(32);
+    DependencyDag dag(qc);
+    int retired = 0;
+    while (!dag.empty()) {
+        dag.complete(dag.frontier().front());
+        ++retired;
+    }
+    EXPECT_EQ(retired, qc.twoQubitCount());
+}
+
+TEST(Dag, TopologicalInvariantUnderRandomDrain)
+{
+    // Property: completing always-first-ready nodes never exposes a node
+    // before all its predecessors retire. Exercised over a random
+    // circuit by draining from varying frontier positions.
+    const Circuit qc = makeRandomCircuit(16, 200, 5);
+    DependencyDag dag(qc);
+    std::vector<bool> done(dag.size(), false);
+    std::size_t pick = 0;
+    while (!dag.empty()) {
+        const auto &frontier = dag.frontier();
+        const DagNodeId id = frontier[pick % frontier.size()];
+        ++pick;
+        // Every predecessor of id must already be done: verify through
+        // the succ lists of done nodes.
+        done[id] = true;
+        dag.complete(id);
+    }
+    for (DagNodeId id = 0; id < dag.size(); ++id) {
+        for (DagNodeId succ : dag.node(id).succs)
+            EXPECT_TRUE(done[succ]);
+    }
+}
+
+} // namespace
+} // namespace mussti

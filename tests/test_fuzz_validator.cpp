@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Mutation testing of the schedule validator: take a known-valid
+ * compiled schedule and apply systematic corruptions; the validator
+ * must reject every mutant. This is the adversarial counterpart of the
+ * positive tests — it proves the test oracle itself has teeth, so the
+ * green compiler suites mean something.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/compiler.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+struct Compiled
+{
+    Circuit lowered;
+    Schedule schedule;
+    EmlDevice device;
+
+    Compiled(const Circuit &qc, const MusstiConfig &config)
+        : lowered(qc), device(config.device, qc.numQubits())
+    {
+        auto result = MusstiCompiler(config).compile(qc);
+        lowered = result.lowered;
+        schedule = std::move(result.schedule);
+    }
+};
+
+Compiled
+makeCompiled()
+{
+    MusstiConfig config;
+    // QFT exercises every op kind including evictions and ion swaps.
+    return Compiled(makeQft(48), config);
+}
+
+bool
+isValid(const Compiled &c, const Schedule &mutant)
+{
+    return static_cast<bool>(
+        ScheduleValidator(c.device.zoneInfos()).validate(mutant,
+                                                         c.lowered));
+}
+
+TEST(FuzzValidator, BaselineIsValid)
+{
+    const Compiled c = makeCompiled();
+    EXPECT_TRUE(isValid(c, c.schedule));
+}
+
+TEST(FuzzValidator, DroppingAnyGateOpIsRejected)
+{
+    const Compiled c = makeCompiled();
+    Rng rng(3);
+    int tried = 0;
+    for (int attempt = 0; attempt < 2000 && tried < 25; ++attempt) {
+        const std::size_t i = rng.uniform(c.schedule.ops.size());
+        if (!c.schedule.ops[i].isGate() ||
+            c.schedule.ops[i].kind == OpKind::Gate1Q ||
+            c.schedule.ops[i].inserted)
+            continue;
+        Schedule mutant = c.schedule;
+        mutant.ops.erase(mutant.ops.begin() + i);
+        EXPECT_FALSE(isValid(c, mutant)) << "dropped gate op " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 10);
+}
+
+TEST(FuzzValidator, DroppingAnyMergeIsRejected)
+{
+    const Compiled c = makeCompiled();
+    int tried = 0;
+    for (std::size_t i = 0; i < c.schedule.ops.size() && tried < 15;
+         ++i) {
+        if (c.schedule.ops[i].kind != OpKind::Merge)
+            continue;
+        Schedule mutant = c.schedule;
+        mutant.ops.erase(mutant.ops.begin() + i);
+        EXPECT_FALSE(isValid(c, mutant)) << "dropped merge " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 5);
+}
+
+TEST(FuzzValidator, SwappingAdjacentDependentGatesIsRejected)
+{
+    const Compiled c = makeCompiled();
+    int tried = 0;
+    for (std::size_t i = 0; i + 1 < c.schedule.ops.size() && tried < 20;
+         ++i) {
+        const auto &a = c.schedule.ops[i];
+        const auto &b = c.schedule.ops[i + 1];
+        const bool both_real_gates =
+            a.kind == OpKind::Gate2Q && b.kind == OpKind::Gate2Q &&
+            !a.inserted && !b.inserted;
+        if (!both_real_gates)
+            continue;
+        const bool dependent = b.q0 == a.q0 || b.q0 == a.q1 ||
+                               b.q1 == a.q0 || b.q1 == a.q1;
+        if (!dependent)
+            continue;
+        Schedule mutant = c.schedule;
+        std::swap(mutant.ops[i], mutant.ops[i + 1]);
+        EXPECT_FALSE(isValid(c, mutant)) << "swapped gates at " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 3);
+}
+
+TEST(FuzzValidator, RetargetingMovesIsRejected)
+{
+    const Compiled c = makeCompiled();
+    int tried = 0;
+    for (std::size_t i = 0; i < c.schedule.ops.size() && tried < 15;
+         ++i) {
+        if (c.schedule.ops[i].kind != OpKind::Move)
+            continue;
+        Schedule mutant = c.schedule;
+        // Redirect the move to a different zone; the following merge's
+        // zone no longer matches.
+        mutant.ops[i].zoneTo =
+            (mutant.ops[i].zoneTo + 1) % c.device.numZones();
+        EXPECT_FALSE(isValid(c, mutant)) << "retargeted move " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 5);
+}
+
+TEST(FuzzValidator, CorruptingGateOperandsIsRejected)
+{
+    const Compiled c = makeCompiled();
+    Rng rng(11);
+    int tried = 0;
+    for (int attempt = 0; attempt < 2000 && tried < 25; ++attempt) {
+        const std::size_t i = rng.uniform(c.schedule.ops.size());
+        const auto &op = c.schedule.ops[i];
+        if (op.kind != OpKind::Gate2Q || op.inserted)
+            continue;
+        Schedule mutant = c.schedule;
+        mutant.ops[i].q1 =
+            (op.q1 + 1 + static_cast<int>(rng.uniform(
+                 c.lowered.numQubits() - 1))) % c.lowered.numQubits();
+        if (mutant.ops[i].q1 == mutant.ops[i].q0)
+            continue;
+        EXPECT_FALSE(isValid(c, mutant)) << "corrupted operands " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 10);
+}
+
+TEST(FuzzValidator, DuplicatingGatesIsRejected)
+{
+    const Compiled c = makeCompiled();
+    int tried = 0;
+    for (std::size_t i = 0; i < c.schedule.ops.size() && tried < 10;
+         ++i) {
+        if (c.schedule.ops[i].kind != OpKind::Gate2Q ||
+            c.schedule.ops[i].inserted)
+            continue;
+        Schedule mutant = c.schedule;
+        mutant.ops.insert(mutant.ops.begin() + i, c.schedule.ops[i]);
+        EXPECT_FALSE(isValid(c, mutant)) << "duplicated gate " << i;
+        ++tried;
+    }
+    EXPECT_GE(tried, 5);
+}
+
+TEST(FuzzValidator, CorruptingInitialChainsIsRejected)
+{
+    const Compiled c = makeCompiled();
+    // Duplicate a qubit placement.
+    {
+        Schedule mutant = c.schedule;
+        mutant.initialChains[0].push_back(
+            mutant.initialChains[0].empty()
+                ? 0 : mutant.initialChains[0].front());
+        EXPECT_FALSE(isValid(c, mutant));
+    }
+    // Drop a qubit entirely.
+    {
+        Schedule mutant = c.schedule;
+        for (auto &chain : mutant.initialChains) {
+            if (!chain.empty()) {
+                chain.pop_back();
+                break;
+            }
+        }
+        EXPECT_FALSE(isValid(c, mutant));
+    }
+}
+
+TEST(FuzzValidator, MarkingRealGateAsInsertedIsRejected)
+{
+    const Compiled c = makeCompiled();
+    Schedule mutant = c.schedule;
+    for (auto &op : mutant.ops) {
+        if (op.kind == OpKind::Gate2Q && !op.inserted) {
+            op.inserted = true; // a lone "inserted" gate: broken triple
+            break;
+        }
+    }
+    EXPECT_FALSE(isValid(c, mutant));
+}
+
+TEST(FuzzValidator, CrossModuleBaselineAlsoFuzzes)
+{
+    // Multi-module circuit with fiber gates and inserted SWAPs.
+    MusstiConfig config;
+    Compiled c(makeSqrt(117), config);
+    ASSERT_TRUE(isValid(c, c.schedule));
+
+    // Dropping a fiber gate breaks coverage.
+    Schedule mutant = c.schedule;
+    for (std::size_t i = 0; i < mutant.ops.size(); ++i) {
+        if (mutant.ops[i].kind == OpKind::FiberGate &&
+            !mutant.ops[i].inserted) {
+            mutant.ops.erase(mutant.ops.begin() + i);
+            break;
+        }
+    }
+    EXPECT_FALSE(isValid(c, mutant));
+
+    // Dropping one gate of an inserted triple breaks P5.
+    Schedule mutant2 = c.schedule;
+    for (std::size_t i = 0; i < mutant2.ops.size(); ++i) {
+        if (mutant2.ops[i].inserted) {
+            mutant2.ops.erase(mutant2.ops.begin() + i);
+            break;
+        }
+    }
+    EXPECT_FALSE(isValid(c, mutant2));
+}
+
+} // namespace
+} // namespace mussti

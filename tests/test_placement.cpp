@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the placement/chain model: insertion edges, extraction
+ * costs, adjacent swaps, and logical exchange.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/placement.h"
+
+namespace mussti {
+namespace {
+
+TEST(Placement, StartsUnplaced)
+{
+    const Placement p(4, 2);
+    for (int q = 0; q < 4; ++q)
+        EXPECT_EQ(p.zoneOf(q), -1);
+    EXPECT_FALSE(p.allPlaced());
+}
+
+TEST(Placement, InsertFrontAndBack)
+{
+    Placement p(3, 1);
+    p.insert(0, 0, ChainEnd::Back);
+    p.insert(1, 0, ChainEnd::Back);
+    p.insert(2, 0, ChainEnd::Front);
+    const auto &chain = p.chain(0);
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain[0], 2);
+    EXPECT_EQ(chain[1], 0);
+    EXPECT_EQ(chain[2], 1);
+    EXPECT_TRUE(p.allPlaced());
+}
+
+TEST(Placement, DoubleInsertPanics)
+{
+    Placement p(2, 2);
+    p.insert(0, 0, ChainEnd::Back);
+    EXPECT_THROW(p.insert(0, 1, ChainEnd::Back), std::logic_error);
+}
+
+TEST(Placement, ChainIndexAndExtraction)
+{
+    Placement p(5, 1);
+    for (int q = 0; q < 5; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    EXPECT_EQ(p.chainIndex(0), 0);
+    EXPECT_EQ(p.chainIndex(4), 4);
+    EXPECT_EQ(p.extractionSwaps(0), 0); // front edge
+    EXPECT_EQ(p.extractionSwaps(4), 0); // back edge
+    EXPECT_EQ(p.extractionSwaps(2), 2); // center
+    EXPECT_EQ(p.extractionSwaps(1), 1);
+}
+
+TEST(Placement, CheaperEndPicksNearerEdge)
+{
+    Placement p(5, 1);
+    for (int q = 0; q < 5; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    EXPECT_EQ(p.cheaperEnd(1), ChainEnd::Front);
+    EXPECT_EQ(p.cheaperEnd(3), ChainEnd::Back);
+}
+
+TEST(Placement, SwapTowardMovesOneStep)
+{
+    Placement p(3, 1);
+    for (int q = 0; q < 3; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    p.swapToward(1, ChainEnd::Front);
+    EXPECT_EQ(p.chainIndex(1), 0);
+    EXPECT_EQ(p.chainIndex(0), 1);
+}
+
+TEST(Placement, SwapTowardAtEdgePanics)
+{
+    Placement p(2, 1);
+    p.insert(0, 0, ChainEnd::Back);
+    p.insert(1, 0, ChainEnd::Back);
+    EXPECT_THROW(p.swapToward(0, ChainEnd::Front), std::logic_error);
+}
+
+TEST(Placement, RemoveAtEdgeBothEnds)
+{
+    Placement p(3, 1);
+    for (int q = 0; q < 3; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    p.removeAtEdge(0);
+    p.removeAtEdge(2);
+    EXPECT_EQ(p.sizeOf(0), 1);
+    EXPECT_EQ(p.zoneOf(0), -1);
+    EXPECT_EQ(p.zoneOf(2), -1);
+}
+
+TEST(Placement, RemoveInteriorAtEdgePanics)
+{
+    Placement p(3, 1);
+    for (int q = 0; q < 3; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    EXPECT_THROW(p.removeAtEdge(1), std::logic_error);
+}
+
+TEST(Placement, RemoveAnywhere)
+{
+    Placement p(3, 1);
+    for (int q = 0; q < 3; ++q)
+        p.insert(q, 0, ChainEnd::Back);
+    p.removeAnywhere(1);
+    EXPECT_EQ(p.sizeOf(0), 2);
+    EXPECT_EQ(p.chainIndex(2), 1);
+}
+
+TEST(Placement, ExchangeSwapsSlotsAcrossZones)
+{
+    Placement p(4, 2);
+    p.insert(0, 0, ChainEnd::Back);
+    p.insert(1, 0, ChainEnd::Back);
+    p.insert(2, 1, ChainEnd::Back);
+    p.insert(3, 1, ChainEnd::Back);
+    p.exchange(1, 2);
+    EXPECT_EQ(p.zoneOf(1), 1);
+    EXPECT_EQ(p.zoneOf(2), 0);
+    EXPECT_EQ(p.chainIndex(2), 1); // takes 1's old slot
+    EXPECT_EQ(p.chainIndex(1), 0); // takes 2's old slot
+}
+
+TEST(Placement, ExchangeWithinSameZone)
+{
+    Placement p(2, 1);
+    p.insert(0, 0, ChainEnd::Back);
+    p.insert(1, 0, ChainEnd::Back);
+    p.exchange(0, 1);
+    EXPECT_EQ(p.chainIndex(0), 1);
+    EXPECT_EQ(p.chainIndex(1), 0);
+}
+
+TEST(Placement, SizeTracking)
+{
+    Placement p(4, 2);
+    EXPECT_EQ(p.sizeOf(0), 0);
+    p.insert(0, 0, ChainEnd::Back);
+    p.insert(1, 1, ChainEnd::Back);
+    EXPECT_EQ(p.sizeOf(0), 1);
+    EXPECT_EQ(p.sizeOf(1), 1);
+}
+
+} // namespace
+} // namespace mussti

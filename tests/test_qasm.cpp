@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the OpenQASM 2.0 subset reader/writer, including round-trip
+ * preservation of the scheduling-relevant structure.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+TEST(Qasm, EmitsHeaderAndRegisters)
+{
+    Circuit qc(3, "demo");
+    qc.h(0);
+    const std::string text = toQasm(qc);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+}
+
+TEST(Qasm, ParsesBasicProgram)
+{
+    const std::string text = R"(
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg c[3];
+        h q[0];
+        cx q[0],q[1];
+        rz(0.5) q[2];
+        measure q[0] -> c[0];
+    )";
+    const Circuit qc = fromQasm(text, "parsed");
+    EXPECT_EQ(qc.numQubits(), 3);
+    ASSERT_EQ(qc.size(), 4u);
+    EXPECT_EQ(qc[1].kind, GateKind::Cx);
+    EXPECT_EQ(qc[1].q1, 1);
+    EXPECT_NEAR(qc[2].param, 0.5, 1e-12);
+    EXPECT_EQ(qc[3].kind, GateKind::Measure);
+}
+
+TEST(Qasm, ParsesPiFractions)
+{
+    const Circuit qc = fromQasm(
+        "qreg q[1]; rz(pi/2) q[0]; rz(-pi/4) q[0];");
+    EXPECT_NEAR(qc[0].param, 1.5707963, 1e-6);
+    EXPECT_NEAR(qc[1].param, -0.7853981, 1e-6);
+}
+
+TEST(Qasm, ParsesCommentsAndWhitespace)
+{
+    const Circuit qc = fromQasm(
+        "// header comment\nqreg q[2];\n// mid comment\ncx q[0],q[1];");
+    EXPECT_EQ(qc.twoQubitCount(), 1);
+}
+
+TEST(Qasm, RejectsGateDefinitions)
+{
+    EXPECT_THROW(fromQasm("qreg q[2]; gate foo a { h a; }"),
+                 std::runtime_error);
+}
+
+TEST(Qasm, RejectsMissingQreg)
+{
+    EXPECT_THROW(fromQasm("h q[0];"), std::runtime_error);
+}
+
+TEST(Qasm, RejectsWrongRegisterName)
+{
+    EXPECT_THROW(fromQasm("qreg q[2]; cx r[0],r[1];"),
+                 std::runtime_error);
+}
+
+TEST(Qasm, RoundTripPreservesStructure)
+{
+    const Circuit original = makeAdder(16);
+    const Circuit reparsed = fromQasm(toQasm(original), original.name());
+    EXPECT_EQ(reparsed.numQubits(), original.numQubits());
+    EXPECT_EQ(reparsed.twoQubitCount(), original.twoQubitCount());
+    ASSERT_EQ(reparsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        if (!original[i].twoQubit())
+            continue;
+        EXPECT_EQ(reparsed[i].q0, original[i].q0) << "gate " << i;
+        EXPECT_EQ(reparsed[i].q1, original[i].q1) << "gate " << i;
+    }
+}
+
+TEST(Qasm, RoundTripAllFamilies)
+{
+    for (const auto &family : benchmarkFamilies()) {
+        const Circuit original = makeBenchmark(family, 16);
+        const Circuit reparsed = fromQasm(toQasm(original));
+        EXPECT_EQ(reparsed.twoQubitCount(), original.twoQubitCount())
+            << family;
+    }
+}
+
+TEST(Qasm, MsGateSerializesAsRxx)
+{
+    Circuit qc(2);
+    qc.ms(0, 1);
+    const std::string text = toQasm(qc);
+    EXPECT_NE(text.find("rxx"), std::string::npos);
+    const Circuit reparsed = fromQasm(text);
+    EXPECT_EQ(reparsed[0].kind, GateKind::Ms);
+}
+
+} // namespace
+} // namespace mussti

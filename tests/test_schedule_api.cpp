@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Direct tests for the Schedule container API and op descriptions —
+ * pieces the compiler suites exercise only indirectly.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/eml_device.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+namespace {
+
+TEST(ScheduleApi, PushMaintainsCounters)
+{
+    Schedule schedule;
+    ScheduledOp merge;
+    merge.kind = OpKind::Merge;
+    merge.q0 = 0;
+    merge.zoneTo = 0;
+    schedule.push(merge);
+    schedule.push(merge);
+    ScheduledOp swap;
+    swap.kind = OpKind::IonSwap;
+    swap.q0 = 0;
+    swap.q1 = 1;
+    schedule.push(swap);
+    EXPECT_EQ(schedule.shuttleCount, 2);
+    EXPECT_EQ(schedule.ionSwapCount, 1);
+}
+
+TEST(ScheduleApi, ExtraShuttleBooking)
+{
+    Schedule schedule;
+    schedule.addExtraShuttles(3);
+    EXPECT_EQ(schedule.shuttleCount, 3);
+}
+
+TEST(ScheduleApi, SerialDurationSumsOps)
+{
+    Schedule schedule;
+    ScheduledOp op;
+    op.kind = OpKind::Gate1Q;
+    op.q0 = 0;
+    op.durationUs = 5.0;
+    schedule.push(op);
+    op.durationUs = 40.0;
+    schedule.push(op);
+    EXPECT_DOUBLE_EQ(schedule.serialDurationUs(), 45.0);
+}
+
+TEST(ScheduleApi, SnapshotRoundTripsPlacement)
+{
+    const EmlDevice device(EmlConfig{}, 8);
+    Placement placement(8, device.numZones());
+    const auto zones = device.zonesOfModule(0);
+    placement.insert(0, zones[1], ChainEnd::Back);
+    placement.insert(1, zones[1], ChainEnd::Front);
+    for (int q = 2; q < 8; ++q)
+        placement.insert(q, zones[0], ChainEnd::Back);
+
+    Schedule schedule;
+    schedule.initialChains = Schedule::snapshotChains(placement);
+    const Placement rebuilt = schedule.initialPlacement(8);
+
+    for (int q = 0; q < 8; ++q) {
+        EXPECT_EQ(rebuilt.zoneOf(q), placement.zoneOf(q)) << q;
+        EXPECT_EQ(rebuilt.chainIndex(q), placement.chainIndex(q)) << q;
+    }
+}
+
+TEST(ScheduleApi, OpDescribeMentionsEverything)
+{
+    ScheduledOp op;
+    op.kind = OpKind::FiberGate;
+    op.q0 = 3;
+    op.q1 = 40;
+    op.zoneFrom = 2;
+    op.zoneTo = 6;
+    op.durationUs = 200.0;
+    op.inserted = true;
+    const std::string text = op.describe();
+    EXPECT_NE(text.find("fiber-gate"), std::string::npos);
+    EXPECT_NE(text.find("q3"), std::string::npos);
+    EXPECT_NE(text.find("q40"), std::string::npos);
+    EXPECT_NE(text.find("z2"), std::string::npos);
+    EXPECT_NE(text.find("z6"), std::string::npos);
+    EXPECT_NE(text.find("[inserted]"), std::string::npos);
+}
+
+TEST(ScheduleApi, ShuttlePrimitiveClassification)
+{
+    ScheduledOp op;
+    for (OpKind kind : {OpKind::Split, OpKind::Move, OpKind::Merge,
+                        OpKind::IonSwap}) {
+        op.kind = kind;
+        EXPECT_TRUE(op.isShuttlePrimitive()) << opKindName(kind);
+        EXPECT_FALSE(op.isGate());
+    }
+    for (OpKind kind : {OpKind::Gate1Q, OpKind::Gate2Q,
+                        OpKind::FiberGate}) {
+        op.kind = kind;
+        EXPECT_TRUE(op.isGate()) << opKindName(kind);
+    }
+}
+
+TEST(ScheduleApi, OpKindNamesDistinct)
+{
+    std::set<std::string> names;
+    for (OpKind kind : {OpKind::Split, OpKind::Move, OpKind::Merge,
+                        OpKind::IonSwap, OpKind::Gate1Q, OpKind::Gate2Q,
+                        OpKind::FiberGate}) {
+        names.insert(opKindName(kind));
+    }
+    EXPECT_EQ(names.size(), 7u);
+}
+
+} // namespace
+} // namespace mussti

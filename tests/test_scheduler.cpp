@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the MUSS-TI scheduler and compiler facade: every produced
+ * schedule must validate against the source circuit, and the scheduling
+ * policies must show their signature behaviours (executable-first
+ * draining, low shuttle counts on streaming workloads, fiber gates for
+ * cross-module work).
+ */
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/mapper.h"
+#include "core/scheduler.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+CompileResult
+compileWith(const Circuit &circuit, MappingKind mapping,
+            bool swap_insertion = true)
+{
+    MusstiConfig config;
+    config.mapping = mapping;
+    config.enableSwapInsertion = swap_insertion;
+    return MusstiCompiler(config).compile(circuit);
+}
+
+void
+expectValid(const Circuit &circuit, const CompileResult &result)
+{
+    MusstiConfig config;
+    const EmlDevice device(config.device, circuit.numQubits());
+    const auto report = ScheduleValidator(device.zoneInfos())
+                            .validate(result.schedule, result.lowered);
+    EXPECT_TRUE(report) << report.firstError;
+}
+
+TEST(Scheduler, GhzSingleModuleValid)
+{
+    const Circuit qc = makeGhz(32);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    expectValid(qc, result);
+    EXPECT_EQ(result.metrics.gate2qCount +
+              result.metrics.fiberGateCount, 31);
+}
+
+TEST(Scheduler, GhzStreamingHasFewShuttles)
+{
+    // A linear chain through a 32-slot gate area: the LRU stream should
+    // need far fewer shuttles than gates.
+    const Circuit qc = makeGhz(32);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_LT(result.metrics.shuttleCount, 16);
+}
+
+TEST(Scheduler, SingleModuleHasNoFiberGates)
+{
+    const Circuit qc = makeAdder(32);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_EQ(result.metrics.fiberGateCount, 0);
+    expectValid(qc, result);
+}
+
+TEST(Scheduler, CrossModuleUsesFiber)
+{
+    // 64 qubits -> 2 modules; GHZ crosses the boundary exactly once
+    // per chain link across modules.
+    const Circuit qc = makeGhz(64);
+    const auto result = compileWith(qc, MappingKind::Trivial, false);
+    EXPECT_GE(result.metrics.fiberGateCount, 1);
+    expectValid(qc, result);
+}
+
+TEST(Scheduler, ExecutableGatesDrainWithoutRouting)
+{
+    // Two gates already co-located in the optical zone execute with
+    // zero shuttles under trivial mapping (qubits 0..15 share zone).
+    Circuit qc(32, "drain");
+    qc.cx(0, 1);
+    qc.cx(2, 3);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_EQ(result.metrics.shuttleCount, 0);
+    expectValid(qc, result);
+}
+
+TEST(Scheduler, OneQubitGatesAreCostedNotRouted)
+{
+    Circuit qc(32, "oneq");
+    qc.h(0);
+    qc.h(31); // resident in storage under trivial mapping
+    qc.cx(0, 1);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_EQ(result.metrics.gate1qCount, 2);
+    EXPECT_EQ(result.metrics.shuttleCount, 0);
+}
+
+TEST(Scheduler, MeasureAndBarrierAreFree)
+{
+    Circuit qc(32, "free");
+    qc.cx(0, 1);
+    qc.measure(0);
+    qc.measure(1);
+    qc.add(Gate(GateKind::Barrier, -1));
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_EQ(result.metrics.gate1qCount, 0);
+    EXPECT_EQ(result.metrics.gate2qCount, 1);
+}
+
+TEST(Scheduler, LoweredCircuitDecomposesSwaps)
+{
+    Circuit qc(32, "sw");
+    qc.swap(0, 20);
+    const auto result = compileWith(qc, MappingKind::Trivial);
+    EXPECT_EQ(result.lowered.twoQubitCount(), 3);
+    expectValid(qc, result);
+}
+
+TEST(Scheduler, SchedulerRunRejectsPartialPlacement)
+{
+    MusstiConfig config;
+    const Circuit qc = makeGhz(8);
+    const EmlDevice device(config.device, 8);
+    const PhysicalParams params;
+    MusstiScheduler scheduler(device, params, config);
+    Placement partial(8, device.numZones()); // nothing placed
+    EXPECT_THROW(scheduler.run(qc, partial), std::runtime_error);
+}
+
+TEST(Scheduler, CompileTimeIsMeasured)
+{
+    const auto result = compileWith(makeAdder(64), MappingKind::Sabre);
+    EXPECT_GT(result.compileTimeSec, 0.0);
+}
+
+TEST(Scheduler, MetricsTimeMatchesScheduleSum)
+{
+    const auto result = compileWith(makeQft(16), MappingKind::Trivial);
+    EXPECT_NEAR(result.metrics.executionTimeUs,
+                result.schedule.serialDurationUs(), 1e-9);
+}
+
+/** Every workload family at several sizes must produce valid schedules
+ * under both mappings — the central correctness property sweep. */
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, int, MappingKind>>
+{};
+
+TEST_P(SchedulerPropertyTest, ScheduleValidates)
+{
+    const auto [family, n, mapping] = GetParam();
+    const Circuit qc = makeBenchmark(family, n);
+    const auto result = compileWith(qc, mapping);
+    MusstiConfig config;
+    const EmlDevice device(config.device, qc.numQubits());
+    const auto report = ScheduleValidator(device.zoneInfos())
+                            .validate(result.schedule, result.lowered);
+    ASSERT_TRUE(report) << family << "_n" << n << ": "
+                        << report.firstError;
+    // Coverage: every 2q gate of the lowered circuit is in the stream.
+    EXPECT_EQ(result.metrics.gate2qCount + result.metrics.fiberGateCount -
+                  3 * result.metrics.insertedSwapGates,
+              result.lowered.twoQubitCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SchedulerPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("adder", "bv", "ghz", "qaoa", "qft", "sqrt",
+                          "ran", "sc"),
+        ::testing::Values(16, 32, 48),
+        ::testing::Values(MappingKind::Trivial, MappingKind::Sabre)));
+
+/** Larger multi-module sweep (slower; fewer combos). */
+class SchedulerScaleTest
+    : public ::testing::TestWithParam<std::pair<const char *, int>>
+{};
+
+TEST_P(SchedulerScaleTest, MultiModuleValidates)
+{
+    const auto [family, n] = GetParam();
+    const Circuit qc = makeBenchmark(family, n);
+    const auto result = compileWith(qc, MappingKind::Sabre);
+    MusstiConfig config;
+    const EmlDevice device(config.device, qc.numQubits());
+    const auto report = ScheduleValidator(device.zoneInfos())
+                            .validate(result.schedule, result.lowered);
+    ASSERT_TRUE(report) << report.firstError;
+    EXPECT_GT(device.numModules(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MediumSizes, SchedulerScaleTest,
+    ::testing::Values(std::pair{"adder", 128}, std::pair{"bv", 128},
+                      std::pair{"ghz", 128}, std::pair{"qaoa", 128},
+                      std::pair{"sqrt", 117}));
+
+} // namespace
+} // namespace mussti

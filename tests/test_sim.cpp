@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the physics layer: Table 1 parameters, the shuttle emitter's
+ * op streams, and the evaluator's time/fidelity accounting.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/eml_device.h"
+#include "sim/evaluator.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+#include "sim/shuttle_emitter.h"
+
+namespace mussti {
+namespace {
+
+TEST(Params, Table1Defaults)
+{
+    const PhysicalParams p;
+    EXPECT_DOUBLE_EQ(p.splitTimeUs, 80.0);
+    EXPECT_DOUBLE_EQ(p.mergeTimeUs, 80.0);
+    EXPECT_DOUBLE_EQ(p.ionSwapTimeUs, 40.0);
+    EXPECT_DOUBLE_EQ(p.gate2qTimeUs, 40.0);
+    EXPECT_DOUBLE_EQ(p.fiberGateTimeUs, 200.0);
+    EXPECT_DOUBLE_EQ(p.gate1qFidelity, 0.9999);
+    EXPECT_DOUBLE_EQ(p.fiberGateFidelity, 0.99);
+    EXPECT_DOUBLE_EQ(p.t1Us, 600e6);
+    EXPECT_DOUBLE_EQ(p.heatingRate, 0.001);
+}
+
+TEST(Params, TwoQubitFidelityQuadraticDecay)
+{
+    const PhysicalParams p;
+    // 1 - N^2/25600: N=16 -> 0.99.
+    EXPECT_NEAR(p.twoQubitGateFidelity(16), 0.99, 1e-12);
+    EXPECT_GT(p.twoQubitGateFidelity(4), p.twoQubitGateFidelity(12));
+}
+
+TEST(Params, PerfectGateOverride)
+{
+    PhysicalParams p;
+    p.perfectGate = true;
+    EXPECT_DOUBLE_EQ(p.twoQubitGateFidelity(20), 0.9999);
+}
+
+TEST(Params, ShuttleFidelityEquation)
+{
+    const PhysicalParams p;
+    const double f = p.shuttleFidelity(80.0, 1.0);
+    EXPECT_NEAR(f, std::exp(-80.0 / 600e6 - 0.001 * 1.0), 1e-15);
+}
+
+TEST(Params, PerfectShuttleDropsHeatTerm)
+{
+    PhysicalParams p;
+    p.perfectShuttle = true;
+    EXPECT_NEAR(p.shuttleFidelity(80.0, 1.0),
+                std::exp(-80.0 / 600e6), 1e-15);
+}
+
+TEST(Params, MoveTime)
+{
+    const PhysicalParams p;
+    EXPECT_DOUBLE_EQ(p.moveTimeUs(200.0), 100.0);
+}
+
+class EmitterTest : public ::testing::Test
+{
+  protected:
+    EmitterTest()
+        : device_(EmlConfig{}, 8),
+          placement_(8, device_.numZones())
+    {
+        // All 8 ions in the first storage zone of module 0.
+        for (int q = 0; q < 8; ++q)
+            placement_.insert(q, device_.zonesOfModule(0)[0],
+                              ChainEnd::Back);
+        schedule_.initialChains = Schedule::snapshotChains(placement_);
+    }
+
+    EmlDevice device_;
+    Placement placement_;
+    Schedule schedule_;
+    PhysicalParams params_;
+};
+
+TEST_F(EmitterTest, EdgeIonNeedsNoSwaps)
+{
+    ShuttleEmitter emitter(device_.zoneInfos(), params_, placement_,
+                           schedule_);
+    const int target = device_.zonesOfModule(0)[1];
+    const int swaps = emitter.relocate(0, target); // front ion
+    EXPECT_EQ(swaps, 0);
+    ASSERT_EQ(schedule_.ops.size(), 3u);
+    EXPECT_EQ(schedule_.ops[0].kind, OpKind::Split);
+    EXPECT_EQ(schedule_.ops[1].kind, OpKind::Move);
+    EXPECT_EQ(schedule_.ops[2].kind, OpKind::Merge);
+    EXPECT_EQ(schedule_.shuttleCount, 1);
+    EXPECT_EQ(placement_.zoneOf(0), target);
+}
+
+TEST_F(EmitterTest, InteriorIonEmitsIonSwaps)
+{
+    ShuttleEmitter emitter(device_.zoneInfos(), params_, placement_,
+                           schedule_);
+    const int target = device_.zonesOfModule(0)[1];
+    // Qubit 2 sits at index 2 of an 8-chain: 2 swaps to the front.
+    const int swaps = emitter.relocate(2, target);
+    EXPECT_EQ(swaps, 2);
+    EXPECT_EQ(schedule_.ionSwapCount, 2);
+    EXPECT_EQ(schedule_.ops[0].kind, OpKind::IonSwap);
+    EXPECT_EQ(placement_.zoneOf(2), target);
+    // The vacated chain kept the remaining ions in relative order.
+    EXPECT_EQ(placement_.chainIndex(0), 0);
+    EXPECT_EQ(placement_.chainIndex(1), 1);
+    EXPECT_EQ(placement_.chainIndex(3), 2);
+}
+
+TEST_F(EmitterTest, MoveDurationFromPitch)
+{
+    ShuttleEmitter emitter(device_.zoneInfos(), params_, placement_,
+                           schedule_);
+    const int target = device_.zonesOfModule(0)[2]; // two traps away
+    emitter.relocate(0, target);
+    double move_time = -1.0;
+    for (const auto &op : schedule_.ops) {
+        if (op.kind == OpKind::Move)
+            move_time = op.durationUs;
+    }
+    EXPECT_DOUBLE_EQ(move_time,
+                     2 * device_.config().zonePitchUm /
+                         params_.moveSpeedUmPerUs);
+}
+
+TEST_F(EmitterTest, RelocationTimePreviewMatchesEmission)
+{
+    ShuttleEmitter emitter(device_.zoneInfos(), params_, placement_,
+                           schedule_);
+    const int target = device_.zonesOfModule(0)[1];
+    const double preview = emitter.relocationTimeUs(3, target);
+    const std::size_t before = schedule_.ops.size();
+    emitter.relocate(3, target);
+    double emitted = 0.0;
+    for (std::size_t i = before; i < schedule_.ops.size(); ++i)
+        emitted += schedule_.ops[i].durationUs;
+    EXPECT_DOUBLE_EQ(preview, emitted);
+}
+
+TEST_F(EmitterTest, RelocateIntoFullZonePanics)
+{
+    ShuttleEmitter emitter(device_.zoneInfos(), params_, placement_,
+                           schedule_);
+    // Fill zone 1 to capacity with fresh placements.
+    Placement &p = placement_;
+    const int z1 = device_.zonesOfModule(0)[1];
+    // Move ions until zone 1 is full (capacity 16, only 8 ions total --
+    // so force a smaller device instead).
+    EmlConfig small;
+    small.trapCapacity = 2;
+    small.maxQubitsPerModule = 6;
+    const EmlDevice dev(small, 6);
+    Placement sp(6, dev.numZones());
+    const auto zones = dev.zonesOfModule(0);
+    sp.insert(0, zones[0], ChainEnd::Back);
+    sp.insert(1, zones[0], ChainEnd::Back);
+    sp.insert(2, zones[1], ChainEnd::Back);
+    sp.insert(3, zones[1], ChainEnd::Back);
+    sp.insert(4, zones[2], ChainEnd::Back);
+    sp.insert(5, zones[3], ChainEnd::Back);
+    Schedule sched;
+    sched.initialChains = Schedule::snapshotChains(sp);
+    ShuttleEmitter small_emitter(dev.zoneInfos(), params_, sp, sched);
+    EXPECT_THROW(small_emitter.relocate(0, zones[1]), std::logic_error);
+    (void)p;
+    (void)z1;
+    (void)emitter;
+}
+
+TEST(Evaluator, CountsAndSerialTime)
+{
+    const EmlDevice device(EmlConfig{}, 4);
+    Placement placement(4, device.numZones());
+    const int op_zone = device.zonesOfKind(0, ZoneKind::Operation)[0];
+    for (int q = 0; q < 4; ++q)
+        placement.insert(q, op_zone, ChainEnd::Back);
+
+    Schedule schedule;
+    schedule.initialChains = Schedule::snapshotChains(placement);
+    ScheduledOp g1;
+    g1.kind = OpKind::Gate1Q;
+    g1.q0 = 0;
+    g1.zoneFrom = g1.zoneTo = op_zone;
+    g1.durationUs = 5.0;
+    schedule.push(g1);
+    ScheduledOp g2;
+    g2.kind = OpKind::Gate2Q;
+    g2.q0 = 0;
+    g2.q1 = 1;
+    g2.zoneFrom = g2.zoneTo = op_zone;
+    g2.durationUs = 40.0;
+    schedule.push(g2);
+
+    const PhysicalParams params;
+    const Metrics metrics =
+        Evaluator(params).evaluate(schedule, device.zoneInfos());
+    EXPECT_EQ(metrics.gate1qCount, 1);
+    EXPECT_EQ(metrics.gate2qCount, 1);
+    EXPECT_EQ(metrics.shuttleCount, 0);
+    EXPECT_DOUBLE_EQ(metrics.executionTimeUs, 45.0);
+    // 4 ions in trap: 2q fidelity 1 - 16/25600.
+    const double expected =
+        0.9999 * (1.0 - 16.0 / 25600.0) *
+        std::exp(-45.0 / 600e6);
+    EXPECT_NEAR(metrics.fidelity(), expected, 1e-9);
+}
+
+TEST(Evaluator, HeatDegradesLaterGates)
+{
+    const EmlDevice device(EmlConfig{}, 4);
+    const int op_zone = device.zonesOfKind(0, ZoneKind::Operation)[0];
+    const int storage = device.zonesOfKind(0, ZoneKind::Storage)[0];
+
+    auto build = [&](bool with_shuttle) {
+        Placement placement(4, device.numZones());
+        placement.insert(0, op_zone, ChainEnd::Back);
+        placement.insert(1, op_zone, ChainEnd::Back);
+        placement.insert(2, storage, ChainEnd::Back);
+        placement.insert(3, storage, ChainEnd::Back);
+        Schedule schedule;
+        schedule.initialChains = Schedule::snapshotChains(placement);
+        PhysicalParams params;
+        ShuttleEmitter emitter(device.zoneInfos(), params, placement,
+                               schedule);
+        if (with_shuttle)
+            emitter.relocate(2, op_zone);
+        ScheduledOp g2;
+        g2.kind = OpKind::Gate2Q;
+        g2.q0 = 0;
+        g2.q1 = 1;
+        g2.zoneFrom = g2.zoneTo = op_zone;
+        g2.durationUs = 40.0;
+        schedule.push(g2);
+        return Evaluator(params).evaluate(schedule, device.zoneInfos());
+    };
+
+    const Metrics quiet = build(false);
+    const Metrics heated = build(true);
+    // The heated trap also holds one more ion (N^2 term) and suffered
+    // shuttle heat -- strictly lower fidelity.
+    EXPECT_LT(heated.lnFidelity, quiet.lnFidelity);
+    EXPECT_EQ(heated.shuttleCount, 1);
+}
+
+TEST(Evaluator, PerfectShuttleRemovesHeatPenalty)
+{
+    const EmlDevice device(EmlConfig{}, 4);
+    const int op_zone = device.zonesOfKind(0, ZoneKind::Operation)[0];
+    const int storage = device.zonesOfKind(0, ZoneKind::Storage)[0];
+
+    auto run = [&](bool perfect) {
+        Placement placement(4, device.numZones());
+        placement.insert(0, op_zone, ChainEnd::Back);
+        placement.insert(1, op_zone, ChainEnd::Back);
+        placement.insert(2, storage, ChainEnd::Back);
+        placement.insert(3, storage, ChainEnd::Back);
+        Schedule schedule;
+        schedule.initialChains = Schedule::snapshotChains(placement);
+        PhysicalParams params;
+        params.perfectShuttle = perfect;
+        ShuttleEmitter emitter(device.zoneInfos(), params, placement,
+                               schedule);
+        emitter.relocate(2, op_zone);
+        ScheduledOp g2;
+        g2.kind = OpKind::Gate2Q;
+        g2.q0 = 0;
+        g2.q1 = 1;
+        g2.zoneFrom = g2.zoneTo = op_zone;
+        g2.durationUs = 40.0;
+        schedule.push(g2);
+        return Evaluator(params).evaluate(schedule, device.zoneInfos());
+    };
+
+    EXPECT_GT(run(true).lnFidelity, run(false).lnFidelity);
+}
+
+TEST(Evaluator, FiberGateFixedFidelity)
+{
+    const EmlDevice device(EmlConfig{}, 64); // 2 modules
+    const int optical0 = device.zonesOfKind(0, ZoneKind::Optical)[0];
+    const int optical1 = device.zonesOfKind(1, ZoneKind::Optical)[0];
+    Placement placement(64, device.numZones());
+    placement.insert(0, optical0, ChainEnd::Back);
+    placement.insert(1, optical1, ChainEnd::Back);
+    for (int q = 2; q < 64; ++q)
+        placement.insert(q, device.zonesOfModule(q % 2)[0],
+                         ChainEnd::Back);
+    Schedule schedule;
+    schedule.initialChains = Schedule::snapshotChains(placement);
+    ScheduledOp fiber;
+    fiber.kind = OpKind::FiberGate;
+    fiber.q0 = 0;
+    fiber.q1 = 1;
+    fiber.zoneFrom = optical0;
+    fiber.zoneTo = optical1;
+    fiber.durationUs = 200.0;
+    schedule.push(fiber);
+
+    const PhysicalParams params;
+    const Metrics metrics =
+        Evaluator(params).evaluate(schedule, device.zoneInfos());
+    EXPECT_EQ(metrics.fiberGateCount, 1);
+    EXPECT_NEAR(metrics.fidelity(),
+                0.99 * std::exp(-200.0 / 600e6), 1e-9);
+}
+
+TEST(Evaluator, Log10AxisMatchesLn)
+{
+    Metrics metrics;
+    metrics.lnFidelity = std::log(1e-50);
+    EXPECT_NEAR(metrics.log10Fidelity(), -50.0, 1e-9);
+    EXPECT_NEAR(metrics.fidelity(), 1e-50, 1e-62);
+}
+
+} // namespace
+} // namespace mussti

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the parallel timeline model and the schedule analyzer.
+ */
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "sim/analyzer.h"
+#include "sim/timeline.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+CompileResult
+compileCircuit(const Circuit &qc)
+{
+    MusstiConfig config;
+    return MusstiCompiler(config).compile(qc);
+}
+
+TEST(Timeline, MakespanNeverExceedsSerial)
+{
+    for (const char *family : {"ghz", "qft", "adder", "qaoa"}) {
+        const Circuit qc = makeBenchmark(family, 32);
+        const auto result = compileCircuit(qc);
+        const MusstiCompiler compiler;
+        const EmlDevice device = compiler.deviceFor(qc);
+        const Timeline timeline(device.zoneInfos());
+        const auto t = timeline.replay(result.schedule, qc.numQubits());
+        EXPECT_LE(t.makespanUs, t.serialUs + 1e-9) << family;
+        EXPECT_GE(t.parallelism(), 1.0) << family;
+    }
+}
+
+TEST(Timeline, SerialMatchesScheduleSum)
+{
+    const Circuit qc = makeGhz(32);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const auto t = Timeline(device.zoneInfos())
+                       .replay(result.schedule, qc.numQubits());
+    EXPECT_NEAR(t.serialUs, result.schedule.serialDurationUs(), 1e-9);
+}
+
+TEST(Timeline, ParallelWorkloadsOverlap)
+{
+    // Two independent gates in different modules must overlap: the
+    // makespan is strictly below serial time.
+    Circuit qc(64, "par");
+    qc.cx(0, 1);   // module 0
+    qc.cx(32, 33); // module 1
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const auto t = Timeline(device.zoneInfos())
+                       .replay(result.schedule, qc.numQubits());
+    EXPECT_LT(t.makespanUs, t.serialUs);
+}
+
+TEST(Timeline, SequentialChainHasNoOverlap)
+{
+    // GHZ on one zone is fully serial on that zone's resource.
+    Circuit qc(32, "serial");
+    qc.cx(0, 1);
+    qc.cx(1, 2);
+    qc.cx(2, 3);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const auto t = Timeline(device.zoneInfos())
+                       .replay(result.schedule, qc.numQubits());
+    EXPECT_NEAR(t.makespanUs, t.serialUs, 1e-9);
+}
+
+TEST(Analyzer, GateAndShuttleCountsMatchMetrics)
+{
+    const Circuit qc = makeSqrt(47);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const PhysicalParams params;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    EXPECT_EQ(report.totalShuttles, result.metrics.shuttleCount);
+    EXPECT_EQ(report.localGates, result.metrics.gate2qCount);
+    EXPECT_EQ(report.fiberGates, result.metrics.fiberGateCount);
+    EXPECT_NEAR(report.serialTimeUs, result.metrics.executionTimeUs,
+                1e-9);
+}
+
+TEST(Analyzer, ArrivalsBalanceDepartures)
+{
+    const Circuit qc = makeQft(32);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const PhysicalParams params;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    int arrivals = 0, departures = 0;
+    for (const auto &zone : report.zones) {
+        arrivals += zone.arrivals;
+        departures += zone.departures;
+    }
+    EXPECT_EQ(arrivals, departures); // every split has its merge
+}
+
+TEST(Analyzer, StorageZonesExecuteNoTwoQubitGates)
+{
+    const Circuit qc = makeSqrt(63);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const PhysicalParams params;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    // Storage zones may only host the costed-in-place 1q gates, never
+    // the entangling traffic; gate-zone heat must dominate.
+    double storage_heat = 0.0, gate_zone_heat = 0.0;
+    for (const auto &zone : report.zones) {
+        if (zone.kind == ZoneKind::Storage)
+            storage_heat += zone.finalHeat;
+        else
+            gate_zone_heat += zone.finalHeat;
+    }
+    EXPECT_GT(gate_zone_heat, storage_heat * 0.5);
+}
+
+TEST(Analyzer, PeakOccupancyWithinCapacity)
+{
+    const Circuit qc = makeRandomCircuit(64, 300, 7);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const PhysicalParams params;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    for (std::size_t z = 0; z < report.zones.size(); ++z) {
+        EXPECT_LE(report.zones[z].peakOccupancy,
+                  device.zone(static_cast<int>(z)).capacity);
+    }
+}
+
+TEST(Analyzer, HottestZonesSorted)
+{
+    const Circuit qc = makeQft(32);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const PhysicalParams params;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    const auto order = report.hottestZones();
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        EXPECT_GE(report.zones[order[i]].finalHeat,
+                  report.zones[order[i + 1]].finalHeat);
+    }
+}
+
+TEST(Analyzer, PerfectShuttleAccumulatesNoHeat)
+{
+    const Circuit qc = makeQft(32);
+    const auto result = compileCircuit(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    PhysicalParams params;
+    params.perfectShuttle = true;
+    const auto report = analyzeSchedule(result.schedule,
+                                        device.zoneInfos(), params);
+    for (const auto &zone : report.zones)
+        EXPECT_DOUBLE_EQ(zone.finalHeat, 0.0);
+}
+
+} // namespace
+} // namespace mussti

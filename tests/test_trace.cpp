@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the schedule trace/summary utilities.
+ */
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "sim/trace.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+CompileResult
+compiled(const Circuit &qc)
+{
+    return MusstiCompiler().compile(qc);
+}
+
+TEST(Trace, FormatsEveryOpKindAnnotation)
+{
+    const Circuit qc = makeQft(48); // shuttles + fiber + ion swaps
+    const auto result = compiled(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const std::string text = formatSchedule(result.schedule,
+                                            device.zoneInfos(), -1);
+    EXPECT_NE(text.find("gate2q"), std::string::npos);
+    EXPECT_NE(text.find("split"), std::string::npos);
+    EXPECT_NE(text.find("merge"), std::string::npos);
+    EXPECT_NE(text.find("fiber-gate"), std::string::npos);
+    EXPECT_NE(text.find("[operation"), std::string::npos);
+    EXPECT_NE(text.find("[optical"), std::string::npos);
+}
+
+TEST(Trace, TruncationMarksRemainder)
+{
+    const Circuit qc = makeQft(32);
+    const auto result = compiled(qc);
+    const MusstiCompiler compiler;
+    const EmlDevice device = compiler.deviceFor(qc);
+    const std::string text = formatSchedule(result.schedule,
+                                            device.zoneInfos(), 5);
+    EXPECT_NE(text.find("more ops"), std::string::npos);
+    // 5 op lines + truncation line.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(Trace, HistogramCountsMatchStream)
+{
+    const Circuit qc = makeGhz(64);
+    const auto result = compiled(qc);
+    const auto histogram = opHistogram(result.schedule);
+    int total = 0;
+    for (const auto &[kind, count] : histogram)
+        total += count;
+    EXPECT_EQ(total, static_cast<int>(result.schedule.ops.size()));
+    EXPECT_EQ(histogram.at("merge"), result.metrics.shuttleCount);
+}
+
+TEST(Trace, SummaryMentionsKeyCounters)
+{
+    const Circuit qc = makeSqrt(63);
+    const auto result = compiled(qc);
+    const std::string summary = summarizeSchedule(result.schedule);
+    EXPECT_NE(summary.find("shuttles"), std::string::npos);
+    EXPECT_NE(summary.find("us serial"), std::string::npos);
+    EXPECT_NE(summary.find(std::to_string(result.metrics.shuttleCount)),
+              std::string::npos);
+}
+
+TEST(Trace, InsertedSwapsAreMarked)
+{
+    // Force an insertion with the Fig 5 pattern.
+    MusstiConfig config;
+    config.device.maxQubitsPerModule = 8;
+    config.mapping = MappingKind::Trivial;
+    Circuit qc(16, "fig5");
+    qc.cx(0, 8);
+    for (int i = 1; i <= 6; ++i)
+        qc.cx(0, 8 + i);
+    const auto result = MusstiCompiler(config).compile(qc);
+    ASSERT_GE(result.swapInsertions, 1);
+    const EmlDevice device(config.device, 16);
+    const std::string text = formatSchedule(result.schedule,
+                                            device.zoneInfos(), -1);
+    EXPECT_NE(text.find("[inserted-swap]"), std::string::npos);
+}
+
+} // namespace
+} // namespace mussti

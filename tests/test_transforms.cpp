@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the circuit transformation passes: inverse cancellation,
+ * rotation merging, relabeling, scrambling, and the joint fixed point.
+ */
+#include <gtest/gtest.h>
+
+#include "circuit/transforms.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+TEST(Cancel, RemovesAdjacentSelfInversePairs)
+{
+    Circuit qc(2);
+    qc.h(0);
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.cx(0, 1);
+    const Circuit out = cancelAdjacentInverses(qc);
+    EXPECT_EQ(out.size(), 0u);
+}
+
+TEST(Cancel, KeepsNonAdjacentPairsSeparatedByBlocker)
+{
+    Circuit qc(2);
+    qc.cx(0, 1);
+    qc.h(1); // blocks
+    qc.cx(0, 1);
+    const Circuit out = cancelAdjacentInverses(qc);
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Cancel, SkipsThroughDisjointGates)
+{
+    Circuit qc(4);
+    qc.cx(0, 1);
+    qc.cx(2, 3); // disjoint, does not block
+    qc.cx(0, 1);
+    const Circuit out = cancelAdjacentInverses(qc);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].q0, 2);
+}
+
+TEST(Cancel, SymmetricGatesCancelWithSwappedOperands)
+{
+    Circuit qc(2);
+    qc.cz(0, 1);
+    qc.cz(1, 0);
+    EXPECT_EQ(cancelAdjacentInverses(qc).size(), 0u);
+}
+
+TEST(Cancel, DirectionalCxDoesNotCancelSwapped)
+{
+    Circuit qc(2);
+    qc.cx(0, 1);
+    qc.cx(1, 0);
+    EXPECT_EQ(cancelAdjacentInverses(qc).size(), 2u);
+}
+
+TEST(Cancel, RunsToFixedPoint)
+{
+    // h h h h collapses fully (two rounds needed for naive pairing).
+    Circuit qc(1);
+    for (int i = 0; i < 4; ++i)
+        qc.h(0);
+    EXPECT_EQ(cancelAdjacentInverses(qc).size(), 0u);
+}
+
+TEST(MergeRotations, SumsAngles)
+{
+    Circuit qc(1);
+    qc.rz(0, 0.25);
+    qc.rz(0, 0.5);
+    const Circuit out = mergeRotations(qc);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NEAR(out[0].param, 0.75, 1e-12);
+}
+
+TEST(MergeRotations, DropsIdentityResult)
+{
+    Circuit qc(1);
+    qc.rz(0, 0.5);
+    qc.rz(0, -0.5);
+    EXPECT_EQ(mergeRotations(qc).size(), 0u);
+}
+
+TEST(MergeRotations, BlockedByInterveningGate)
+{
+    Circuit qc(2);
+    qc.rz(0, 0.5);
+    qc.cx(0, 1);
+    qc.rz(0, 0.5);
+    EXPECT_EQ(mergeRotations(qc).size(), 3u);
+}
+
+TEST(MergeRotations, DifferentAxesDoNotMerge)
+{
+    Circuit qc(1);
+    qc.rz(0, 0.5);
+    qc.rx(0, 0.5);
+    EXPECT_EQ(mergeRotations(qc).size(), 2u);
+}
+
+TEST(Relabel, AppliesPermutation)
+{
+    Circuit qc(3);
+    qc.cx(0, 2);
+    const Circuit out = relabelQubits(qc, {2, 0, 1});
+    EXPECT_EQ(out[0].q0, 2);
+    EXPECT_EQ(out[0].q1, 1);
+}
+
+TEST(Relabel, RejectsNonPermutation)
+{
+    Circuit qc(2);
+    qc.cx(0, 1);
+    EXPECT_THROW(relabelQubits(qc, {0, 0}), std::runtime_error);
+    EXPECT_THROW(relabelQubits(qc, {0}), std::runtime_error);
+}
+
+TEST(Scramble, PreservesStructure)
+{
+    const Circuit qc = makeAdder(16);
+    const Circuit scrambled = scrambleQubits(qc, 5);
+    EXPECT_EQ(scrambled.twoQubitCount(), qc.twoQubitCount());
+    EXPECT_EQ(scrambled.size(), qc.size());
+    // Locality is destroyed (interaction distance grows).
+    EXPECT_GT(scrambled.stats().avgInteractionDistance,
+              qc.stats().avgInteractionDistance);
+}
+
+TEST(Scramble, Deterministic)
+{
+    const Circuit qc = makeGhz(12);
+    EXPECT_EQ(scrambleQubits(qc, 9), scrambleQubits(qc, 9));
+}
+
+TEST(Simplify, FixedPointCombinesPasses)
+{
+    Circuit qc(2);
+    qc.rz(0, 0.5);
+    qc.h(1);
+    qc.h(1);
+    qc.rz(0, -0.5);
+    qc.cx(0, 1);
+    const Circuit out = simplify(qc);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, GateKind::Cx);
+}
+
+TEST(Simplify, IdempotentOnCleanCircuits)
+{
+    const Circuit qc = makeGhz(8);
+    EXPECT_EQ(simplify(qc), simplify(simplify(qc)));
+}
+
+} // namespace
+} // namespace mussti

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the benchmark generators: determinism, size classes, and
+ * the interaction-topology properties each family must exhibit (these
+ * are what make the paper's evaluation shapes reproducible).
+ */
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+TEST(Workloads, GeneratorsAreDeterministic)
+{
+    for (const auto &family : benchmarkFamilies()) {
+        const Circuit a = makeBenchmark(family, 32);
+        const Circuit b = makeBenchmark(family, 32);
+        EXPECT_EQ(a, b) << family;
+    }
+}
+
+TEST(Workloads, QubitCountsHonored)
+{
+    for (int n : {16, 30, 32, 117, 128}) {
+        for (const auto &family : benchmarkFamilies()) {
+            EXPECT_EQ(makeBenchmark(family, n).numQubits(), n)
+                << family << " n=" << n;
+        }
+    }
+}
+
+TEST(Workloads, UnknownFamilyIsFatal)
+{
+    EXPECT_THROW(makeBenchmark("nope", 8), std::runtime_error);
+}
+
+TEST(Workloads, GhzIsLinearChain)
+{
+    const Circuit qc = makeGhz(32);
+    EXPECT_EQ(qc.twoQubitCount(), 31);
+    for (const Gate &g : qc.gates()) {
+        if (g.twoQubit()) {
+            EXPECT_EQ(g.q1 - g.q0, 1);
+        }
+    }
+}
+
+TEST(Workloads, BvIsStarIntoTarget)
+{
+    const Circuit qc = makeBv(32);
+    const int target = 31;
+    int cx = 0;
+    for (const Gate &g : qc.gates()) {
+        if (!g.twoQubit())
+            continue;
+        ++cx;
+        EXPECT_EQ(g.q1, target);
+    }
+    EXPECT_GT(cx, 5);
+    EXPECT_LT(cx, 31);
+}
+
+TEST(Workloads, QftIsAllToAll)
+{
+    const int n = 12;
+    const Circuit qc = makeQft(n).withSwapsDecomposed();
+    std::set<std::pair<int, int>> pairs;
+    for (const Gate &g : qc.gates()) {
+        if (g.twoQubit())
+            pairs.insert({std::min(g.q0, g.q1), std::max(g.q0, g.q1)});
+    }
+    // Every unordered pair appears in the ladder.
+    EXPECT_EQ(static_cast<int>(pairs.size()), n * (n - 1) / 2);
+}
+
+TEST(Workloads, QaoaDegreesBounded)
+{
+    const Circuit qc = makeQaoa(32);
+    // Cost layer visits each graph edge twice (CX-RZ-CX); per-qubit gate
+    // degree is therefore <= 2 * 3 for a 3-regular instance.
+    const auto deg = qc.twoQubitDegrees();
+    for (int q = 0; q < qc.numQubits(); ++q)
+        EXPECT_LE(deg[q], 6) << "qubit " << q;
+}
+
+TEST(Workloads, QaoaOddFallbackStillValid)
+{
+    const Circuit qc = makeQaoa(31);
+    EXPECT_GT(qc.twoQubitCount(), 31);
+}
+
+TEST(Workloads, AdderLocality)
+{
+    const Circuit qc = makeAdder(32);
+    // Ripple-carry adders are dominated by near-neighbour interaction.
+    EXPECT_LT(qc.stats().avgInteractionDistance, 4.0);
+    EXPECT_GT(qc.twoQubitCount(), 50);
+}
+
+TEST(Workloads, SqrtIsDeepAndCommunicationHeavy)
+{
+    const Circuit qc = makeSqrt(117);
+    const CircuitStats s = qc.stats();
+    EXPECT_GT(s.twoQubitGates, 300);
+    // Long-distance register reuse: the digit bursts give the family a
+    // much larger interaction span than the local families (adder < 4).
+    EXPECT_GT(s.avgInteractionDistance, 8.0);
+}
+
+TEST(Workloads, SqrtLargeMatchesPaperGateScale)
+{
+    // QASMBench's sqrt_n299 has 4376 two-qubit gates; ours must land in
+    // the same scale class for Fig 6 shapes to transfer.
+    const int count = makeSqrt(299).twoQubitCount();
+    EXPECT_GT(count, 2500);
+    EXPECT_LT(count, 8000);
+}
+
+TEST(Workloads, RandomCircuitGateCount)
+{
+    const Circuit qc = makeRandomCircuit(64, 500, 9);
+    EXPECT_EQ(qc.twoQubitCount(), 500);
+}
+
+TEST(Workloads, RandomCircuitSeedsDiffer)
+{
+    EXPECT_NE(makeRandomCircuit(16, 50, 1), makeRandomCircuit(16, 50, 2));
+}
+
+TEST(Workloads, SupremacyPartnersOncePerLayer)
+{
+    const Circuit qc = makeSupremacy(36, 4);
+    // Count 2q gates per qubit per layer: the staggered pattern must not
+    // reuse a qubit within one layer. Layers are separated by the 1q
+    // round, so consecutive 2q runs share no qubit.
+    std::set<int> in_layer;
+    for (const Gate &g : qc.gates()) {
+        if (g.twoQubit()) {
+            EXPECT_EQ(in_layer.count(g.q0), 0u);
+            EXPECT_EQ(in_layer.count(g.q1), 0u);
+            in_layer.insert(g.q0);
+            in_layer.insert(g.q1);
+        } else if (isSingleQubit(g.kind)) {
+            in_layer.clear();
+        }
+    }
+}
+
+TEST(Workloads, SuiteDefinitionsMatchPaper)
+{
+    const auto small = smallScaleSuite();
+    ASSERT_EQ(small.size(), 6u);
+    EXPECT_EQ(small[0].label(), "Adder_n32");
+    EXPECT_EQ(small[5].label(), "SQRT_n30");
+
+    const auto medium = mediumScaleSuite();
+    ASSERT_EQ(medium.size(), 5u);
+    for (const auto &spec : medium) {
+        EXPECT_GE(spec.numQubits, 117);
+        EXPECT_LE(spec.numQubits, 128);
+    }
+
+    const auto large = largeScaleSuite();
+    ASSERT_EQ(large.size(), 7u);
+    for (const auto &spec : large) {
+        EXPECT_GE(spec.numQubits, 256);
+        EXPECT_LE(spec.numQubits, 299);
+    }
+}
+
+TEST(Workloads, AllSuitesGenerate)
+{
+    for (const auto &suites : {smallScaleSuite(), mediumScaleSuite(),
+                               largeScaleSuite()}) {
+        for (const auto &spec : suites) {
+            const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
+            EXPECT_GT(qc.twoQubitCount(), 0) << spec.label();
+        }
+    }
+}
+
+/** Gate-count scale sanity per family at the paper's sizes. */
+class WorkloadSizeTest
+    : public ::testing::TestWithParam<std::pair<const char *, int>>
+{};
+
+TEST_P(WorkloadSizeTest, TwoQubitCountWithinPaperRange)
+{
+    const auto [family, n] = GetParam();
+    const int count = makeBenchmark(family, n).twoQubitCount();
+    // Paper: 31..4376 two-qubit gates over the whole suite; QFT at 256+
+    // is excluded there and here.
+    EXPECT_GE(count, 15) << family;
+    EXPECT_LE(count, 9000) << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, WorkloadSizeTest,
+    ::testing::Values(std::pair{"adder", 32}, std::pair{"bv", 32},
+                      std::pair{"ghz", 32}, std::pair{"qaoa", 32},
+                      std::pair{"qft", 32}, std::pair{"sqrt", 30},
+                      std::pair{"adder", 128}, std::pair{"sqrt", 117},
+                      std::pair{"adder", 256}, std::pair{"ran", 256},
+                      std::pair{"sc", 274}, std::pair{"sqrt", 299}));
+
+} // namespace
+} // namespace mussti
