@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "common/logging.h"
@@ -41,31 +42,46 @@ timeCell(double value_us)
     return buf;
 }
 
+CompileService &
+sharedService()
+{
+    static CompileService service([] {
+        CompileServiceConfig config;
+        if (const char *env = std::getenv("MUSSTI_BENCH_THREADS"))
+            config.numThreads = std::atoi(env);
+        return config;
+    }());
+    return service;
+}
+
+std::future<CompileResult>
+submitMussti(const Circuit &circuit, const MusstiConfig &config,
+             const PhysicalParams &params)
+{
+    return sharedService().submit(makeMusstiBackend(config, params),
+                                  circuit);
+}
+
+std::future<CompileResult>
+submitBaseline(const std::string &which, const Circuit &circuit,
+               const GridConfig &grid, const PhysicalParams &params)
+{
+    return sharedService().submit(makeGridBackend(which, grid, params),
+                                  circuit);
+}
+
 CompileResult
 runMussti(const Circuit &circuit, const MusstiConfig &config,
           const PhysicalParams &params)
 {
-    return MusstiCompiler(config, params).compile(circuit);
+    return submitMussti(circuit, config, params).get();
 }
 
 CompileResult
 runBaseline(const std::string &which, const Circuit &circuit,
             const GridConfig &grid, const PhysicalParams &params)
 {
-    const std::string name = toLower(which);
-    if (name == "murali") {
-        MuraliCompiler compiler(grid, params);
-        return compiler.compile(circuit);
-    }
-    if (name == "dai") {
-        DaiCompiler compiler(grid, params);
-        return compiler.compile(circuit);
-    }
-    if (name == "mqt") {
-        MqtLikeCompiler compiler(grid, params);
-        return compiler.compile(circuit);
-    }
-    fatal("unknown baseline: " + which);
+    return submitBaseline(which, circuit, grid, params).get();
 }
 
 GridConfig smallGrid22() { return GridConfig{2, 2, 12}; }

@@ -1,19 +1,27 @@
 /**
  * @file
- * Shared harness for the paper-reproduction bench binaries: compiler
- * invocation shortcuts, formatting of the paper's table cells, and the
- * standard architecture settings of section 4.
+ * Shared harness for the paper-reproduction bench binaries: compile
+ * submission through the process-wide CompileService, formatting of the
+ * paper's table cells, and the standard architecture settings of
+ * section 4.
+ *
+ * Benches fan out: submit every compilation of a suite up front (the
+ * service spreads them across its worker pool), then collect futures in
+ * row order. Sequential helpers (runMussti/runBaseline) remain for
+ * single-shot call sites and also route through the service, so every
+ * bench shares the result cache.
  */
 #ifndef MUSSTI_BENCH_BENCH_COMMON_H
 #define MUSSTI_BENCH_BENCH_COMMON_H
 
+#include <future>
+#include <memory>
 #include <string>
 
 #include "arch/grid_device.h"
-#include "baselines/dai.h"
-#include "baselines/mqt_like.h"
-#include "baselines/murali.h"
+#include "baselines/backend_factory.h"
 #include "common/csv.h"
+#include "core/compile_service.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
 
@@ -28,12 +36,29 @@ std::string intCell(double value);
 /** Execution-time cell in microseconds. */
 std::string timeCell(double value_us);
 
-/** Compile with MUSS-TI paper defaults (overridable). */
+/**
+ * The process-wide compile service every bench submits through.
+ * Pool size = hardware concurrency, overridable with the
+ * MUSSTI_BENCH_THREADS environment variable.
+ */
+CompileService &sharedService();
+
+/** Enqueue a MUSS-TI compilation (paper defaults, overridable). */
+std::future<CompileResult>
+submitMussti(const Circuit &circuit, const MusstiConfig &config = {},
+             const PhysicalParams &params = {});
+
+/** Enqueue one of the named baselines on a grid. */
+std::future<CompileResult>
+submitBaseline(const std::string &which, const Circuit &circuit,
+               const GridConfig &grid, const PhysicalParams &params = {});
+
+/** Compile with MUSS-TI paper defaults (overridable); blocks. */
 CompileResult runMussti(const Circuit &circuit,
                         const MusstiConfig &config = {},
                         const PhysicalParams &params = {});
 
-/** Compile with one of the named baselines on a grid. */
+/** Compile with one of the named baselines on a grid; blocks. */
 CompileResult runBaseline(const std::string &which, const Circuit &circuit,
                           const GridConfig &grid,
                           const PhysicalParams &params = {});

@@ -5,7 +5,9 @@
  * [55] and [13] across the small (2x2), medium (3x4), and large (4x5)
  * suites.
  */
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/stats.h"
@@ -14,6 +16,15 @@ using namespace mussti;
 using namespace mussti::bench;
 
 namespace {
+
+/** All compilations of one suite row, in flight concurrently. */
+struct RowJobs
+{
+    BenchmarkSpec spec;
+    std::future<CompileResult> ours;
+    std::future<CompileResult> dai;
+    std::future<CompileResult> murali;
+};
 
 void
 runSuite(const std::string &label,
@@ -37,11 +48,22 @@ runSuite(const std::string &label,
     std::vector<double> murali_shuttles, ours_shuttles;
     std::vector<double> murali_times, ours_times;
 
+    // Fan the whole suite out through the compile service, then collect
+    // rows in order.
+    std::vector<RowJobs> jobs;
+    jobs.reserve(suite.size());
     for (const auto &spec : suite) {
         const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
-        const auto ours = runMussti(qc);
-        const auto dai = runBaseline("dai", qc, grid);
-        const auto murali = runBaseline("murali", qc, grid);
+        jobs.push_back({spec, submitMussti(qc),
+                        submitBaseline("dai", qc, grid),
+                        submitBaseline("murali", qc, grid)});
+    }
+
+    for (auto &job : jobs) {
+        const auto &spec = job.spec;
+        const auto ours = job.ours.get();
+        const auto dai = job.dai.get();
+        const auto murali = job.murali.get();
 
         std::vector<std::string> row{
             spec.label(),

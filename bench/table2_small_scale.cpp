@@ -6,7 +6,9 @@
  * (capacity 8), over the 30-32 qubit suite.
  */
 #include <algorithm>
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/stats.h"
@@ -31,16 +33,31 @@ runStructure(const std::string &label, const GridConfig &grid,
     std::vector<double> base_shuttles, our_shuttles;
     std::vector<double> base_times, our_times;
 
+    // All four compilers x all apps submitted up front; collected in
+    // table order.
+    struct RowJobs
+    {
+        BenchmarkSpec spec;
+        std::future<CompileResult> murali, dai, mqt, ours;
+    };
+    std::vector<RowJobs> jobs;
     for (const auto &spec : smallScaleSuite()) {
         const Circuit qc = makeBenchmark(spec.family, spec.numQubits);
-
-        const auto murali = runBaseline("murali", qc, grid);
-        const auto dai = runBaseline("dai", qc, grid);
-        const auto mqt = runBaseline("mqt", qc, grid);
-
         MusstiConfig config;
         config.device = eml;
-        const auto ours = runMussti(qc, config);
+        jobs.push_back({spec,
+                        submitBaseline("murali", qc, grid),
+                        submitBaseline("dai", qc, grid),
+                        submitBaseline("mqt", qc, grid),
+                        submitMussti(qc, config)});
+    }
+
+    for (auto &job : jobs) {
+        const auto &spec = job.spec;
+        const auto murali = job.murali.get();
+        const auto dai = job.dai.get();
+        const auto mqt = job.mqt.get();
+        const auto ours = job.ours.get();
 
         table.addRow({spec.label(),
                       intCell(murali.metrics.shuttleCount),

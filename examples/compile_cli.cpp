@@ -23,9 +23,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "circuit/qasm.h"
+#include "core/compile_service.h"
 #include "core/compiler.h"
 #include "sim/trace.h"
 #include "sim/validator.h"
@@ -117,9 +119,13 @@ main(int argc, char **argv)
         circuit = makeBenchmark(target, qubits > 0 ? qubits : 32);
     }
 
-    const MusstiCompiler compiler(config);
-    const auto result = compiler.compile(circuit);
-    const EmlDevice device = compiler.deviceFor(circuit);
+    const auto compiler = std::make_shared<const MusstiCompiler>(config);
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;   // one job; no pool needed
+    service_config.cacheCapacity = 0;
+    CompileService service(service_config);
+    const auto result = service.submit(compiler, circuit).get();
+    const EmlDevice device = compiler->deviceFor(circuit);
 
     std::cout << "circuit      : " << circuit.name() << " ("
               << circuit.numQubits() << " qubits, "

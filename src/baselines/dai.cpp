@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace mussti {
@@ -26,7 +27,13 @@ DaiCompiler::futureCost(const Pass &pass, int qubit, int trap) const
 }
 
 void
-DaiCompiler::scheduleStep(Pass &pass)
+DaiCompiler::hashConfigExtra(Fnv1a &hash) const
+{
+    hash.update(lookAhead_);
+}
+
+void
+DaiCompiler::scheduleStep(Pass &pass) const
 {
     const DagNodeId chosen = pass.dag.frontier().front();
     const Gate &gate = pass.dag.node(chosen).gate;

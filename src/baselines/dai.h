@@ -24,11 +24,12 @@ class DaiCompiler : public GridCompilerBase
     /** `look_ahead` = DAG layers scanned for future partners. */
     DaiCompiler(const GridConfig &grid, const PhysicalParams &params,
                 int look_ahead = 6)
-        : GridCompilerBase(grid, params), lookAhead_(look_ahead)
+        : GridCompilerBase("dai", grid, params), lookAhead_(look_ahead)
     {}
 
   protected:
-    void scheduleStep(Pass &pass) override;
+    void scheduleStep(Pass &pass) const override;
+    void hashConfigExtra(Fnv1a &hash) const override;
 
   private:
     int lookAhead_;

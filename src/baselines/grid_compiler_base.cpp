@@ -1,11 +1,13 @@
 #include "baselines/grid_compiler_base.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
+#include <memory>
+#include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
-#include "sim/evaluator.h"
+#include "sim/evaluation_pass.h"
 
 namespace mussti {
 
@@ -21,6 +23,90 @@ GridCompilerBase::Pass::Pass(const GridDevice &device,
 {
     schedule.initialChains = Schedule::snapshotChains(initial);
 }
+
+/** Copy the backend's grid device into the context. */
+class GridTargetPass : public CompilerPass
+{
+  public:
+    explicit GridTargetPass(const GridDevice &device) : device_(device) {}
+
+    const char *name() const override { return "grid-target"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        ctx.gridDevice.emplace(device_);
+    }
+
+  private:
+    GridDevice device_;
+};
+
+/** Row-major initial fill over the context's grid device. */
+class GridCompilerBase::PlacementPass : public CompilerPass
+{
+  public:
+    explicit PlacementPass(const GridCompilerBase &strategy)
+        : strategy_(strategy)
+    {}
+
+    const char *name() const override { return "grid-placement"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        ctx.requireGridDevice();
+        ctx.placement =
+            strategy_.initialPlacement(ctx.input.numQubits());
+    }
+
+  private:
+    const GridCompilerBase &strategy_;
+};
+
+/** Drive the strategy's scheduleStep() loop to a full schedule. */
+class GridCompilerBase::SchedulePass : public CompilerPass
+{
+  public:
+    explicit SchedulePass(const GridCompilerBase &strategy)
+        : strategy_(strategy)
+    {}
+
+    const char *name() const override { return "grid-schedule"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        Pass pass(ctx.requireGridDevice(), ctx.params,
+                  ctx.requireLowered(), ctx.requirePlacement());
+
+        while (!pass.dag.empty()) {
+            strategy_.drainExecutable(pass);
+            if (pass.dag.empty())
+                break;
+            strategy_.scheduleStep(pass);
+        }
+
+        // Trailing single-qubit gates.
+        for (const Gate &g1 : pass.dag.trailing1q()) {
+            if (!isSingleQubit(g1.kind))
+                continue;
+            ScheduledOp op;
+            op.kind = OpKind::Gate1Q;
+            op.q0 = g1.q0;
+            op.zoneFrom = pass.placement.zoneOf(g1.q0);
+            op.zoneTo = op.zoneFrom;
+            op.durationUs = ctx.params.gate1qTimeUs;
+            pass.schedule.push(op);
+        }
+
+        ctx.schedule = std::move(pass.schedule);
+        ctx.finalPlacement = std::move(pass.placement);
+    }
+
+  private:
+    const GridCompilerBase &strategy_;
+};
 
 Placement
 GridCompilerBase::initialPlacement(int num_qubits) const
@@ -70,7 +156,7 @@ GridCompilerBase::nearestTrapWithSpace(const Pass &pass, int from,
 
 void
 GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
-                           const std::vector<int> &protect)
+                           const std::vector<int> &protect) const
 {
     const int from = pass.placement.zoneOf(qubit);
     MUSSTI_ASSERT(from >= 0, "grid relocate of unplaced qubit");
@@ -102,7 +188,7 @@ GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
 }
 
 void
-GridCompilerBase::executeNode(Pass &pass, DagNodeId id)
+GridCompilerBase::executeNode(Pass &pass, DagNodeId id) const
 {
     const DagNode &node = pass.dag.node(id);
     const Gate &gate = node.gate;
@@ -140,7 +226,7 @@ GridCompilerBase::executeNode(Pass &pass, DagNodeId id)
 }
 
 void
-GridCompilerBase::drainExecutable(Pass &pass)
+GridCompilerBase::drainExecutable(Pass &pass) const
 {
     bool progressed = true;
     while (progressed) {
@@ -156,44 +242,44 @@ GridCompilerBase::drainExecutable(Pass &pass)
     }
 }
 
-CompileResult
-GridCompilerBase::compile(const Circuit &circuit)
+PassPipeline
+GridCompilerBase::makePipeline() const
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    PassPipeline pipeline;
+    pipeline.add(std::make_unique<LowerSwapsPass>())
+        .add(std::make_unique<GridTargetPass>(device_))
+        .add(std::make_unique<PlacementPass>(*this))
+        .add(std::make_unique<SchedulePass>(*this))
+        .add(std::make_unique<EvaluationPass>());
+    return pipeline;
+}
 
-    CompileResult result(circuit.withSwapsDecomposed());
-    Pass pass(device_, params_, result.lowered,
-              initialPlacement(circuit.numQubits()));
+CompileResult
+GridCompilerBase::compile(Circuit circuit) const
+{
+    // The grid strategies are deterministic; the seed is unused but a
+    // value must flow to the context.
+    return makePipeline().compile(std::move(circuit), params_, 0);
+}
 
-    while (!pass.dag.empty()) {
-        drainExecutable(pass);
-        if (pass.dag.empty())
-            break;
-        scheduleStep(pass);
-    }
+void
+GridCompilerBase::hashConfigExtra(Fnv1a &hash) const
+{
+    (void)hash;
+}
 
-    // Trailing single-qubit gates.
-    for (const Gate &g1 : pass.dag.trailing1q()) {
-        if (!isSingleQubit(g1.kind))
-            continue;
-        ScheduledOp op;
-        op.kind = OpKind::Gate1Q;
-        op.q0 = g1.q0;
-        op.zoneFrom = pass.placement.zoneOf(g1.q0);
-        op.zoneTo = op.zoneFrom;
-        op.durationUs = params_.gate1qTimeUs;
-        pass.schedule.push(op);
-    }
-
-    const auto t1 = std::chrono::steady_clock::now();
-    result.compileTimeSec = std::chrono::duration<double>(t1 - t0).count();
-    result.schedule = std::move(pass.schedule);
-    result.finalChains = Schedule::snapshotChains(pass.placement);
-
-    const Evaluator evaluator(params_);
-    result.metrics = evaluator.evaluate(result.schedule,
-                                        device_.zoneInfos());
-    return result;
+std::uint64_t
+GridCompilerBase::configDigest() const
+{
+    Fnv1a hash;
+    hash.update(name_);
+    hash.update(device_.config().width);
+    hash.update(device_.config().height);
+    hash.update(device_.config().trapCapacity);
+    hash.update(device_.config().pitchUm);
+    hash.update(paramsDigest(params_));
+    hashConfigExtra(hash);
+    return hash.digest();
 }
 
 } // namespace mussti

@@ -5,7 +5,7 @@
 namespace mussti {
 
 void
-MqtLikeCompiler::scheduleStep(Pass &pass)
+MqtLikeCompiler::scheduleStep(Pass &pass) const
 {
     const DagNodeId chosen = pass.dag.frontier().front();
     const Gate &gate = pass.dag.node(chosen).gate;

@@ -22,7 +22,7 @@ class MqtLikeCompiler : public GridCompilerBase
 {
   public:
     MqtLikeCompiler(const GridConfig &grid, const PhysicalParams &params)
-        : GridCompilerBase(grid, params),
+        : GridCompilerBase("mqt", grid, params),
           processingTrap_(grid.width / 2 + (grid.height / 2) * grid.width)
     {}
 
@@ -30,7 +30,7 @@ class MqtLikeCompiler : public GridCompilerBase
     int processingTrap() const { return processingTrap_; }
 
   protected:
-    void scheduleStep(Pass &pass) override;
+    void scheduleStep(Pass &pass) const override;
 
     /** Gates execute only inside the processing trap. */
     bool

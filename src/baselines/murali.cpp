@@ -5,7 +5,7 @@
 namespace mussti {
 
 void
-MuraliCompiler::scheduleStep(Pass &pass)
+MuraliCompiler::scheduleStep(Pass &pass) const
 {
     const DagNodeId chosen = pass.dag.frontier().front();
     const Gate &gate = pass.dag.node(chosen).gate;

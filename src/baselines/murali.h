@@ -22,11 +22,11 @@ class MuraliCompiler : public GridCompilerBase
 {
   public:
     MuraliCompiler(const GridConfig &grid, const PhysicalParams &params)
-        : GridCompilerBase(grid, params)
+        : GridCompilerBase("murali", grid, params)
     {}
 
   protected:
-    void scheduleStep(Pass &pass) override;
+    void scheduleStep(Pass &pass) const override;
 };
 
 } // namespace mussti

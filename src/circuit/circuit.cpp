@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace mussti {
@@ -111,6 +112,21 @@ Circuit::twoQubitDegrees() const
         ++degree[g.q1];
     }
     return degree;
+}
+
+std::uint64_t
+Circuit::contentHash() const
+{
+    Fnv1a hash;
+    hash.update(numQubits_);
+    hash.update(name_);
+    for (const Gate &g : gates_) {
+        hash.update(static_cast<int>(g.kind));
+        hash.update(g.q0);
+        hash.update(g.q1);
+        hash.update(g.param);
+    }
+    return hash.digest();
 }
 
 } // namespace mussti

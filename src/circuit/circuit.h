@@ -7,6 +7,7 @@
 #ifndef MUSSTI_CIRCUIT_CIRCUIT_H
 #define MUSSTI_CIRCUIT_CIRCUIT_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,13 @@ class Circuit
 
     /** Per-qubit count of two-qubit gates touching each qubit. */
     std::vector<int> twoQubitDegrees() const;
+
+    /**
+     * Platform-stable FNV-1a digest of the circuit's full content (qubit
+     * count, name, every gate). Equal circuits hash equally; used as the
+     * circuit component of the compile-service cache key.
+     */
+    std::uint64_t contentHash() const;
 
     bool operator==(const Circuit &other) const = default;
 

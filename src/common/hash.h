@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FNV-1a content hashing for cache keys and config digests.
+ *
+ * The compile-service result cache keys jobs by (circuit hash, backend
+ * config digest, seed); both hashes are built with this accumulator so
+ * they are stable across platforms and runs (unlike std::hash).
+ */
+#ifndef MUSSTI_COMMON_HASH_H
+#define MUSSTI_COMMON_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace mussti {
+
+/** Incremental 64-bit FNV-1a hash accumulator. */
+class Fnv1a
+{
+  public:
+    /** Fold `size` raw bytes into the hash. */
+    void
+    updateBytes(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= 0x100000001B3ull;
+        }
+    }
+
+    void
+    update(std::uint64_t value)
+    {
+        updateBytes(&value, sizeof(value));
+    }
+
+    void
+    update(int value)
+    {
+        update(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(value)));
+    }
+
+    void
+    update(bool value)
+    {
+        update(static_cast<std::uint64_t>(value));
+    }
+
+    /** Hash a double by bit pattern (distinguishes -0.0 from +0.0). */
+    void
+    update(double value)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &value, sizeof(bits));
+        update(bits);
+    }
+
+    /** Length-prefixed string hash (no concatenation ambiguity). */
+    void
+    update(const std::string &value)
+    {
+        update(static_cast<std::uint64_t>(value.size()));
+        updateBytes(value.data(), value.size());
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_HASH_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The uniform compiler-backend interface.
+ *
+ * A backend is a named, configured compiler: circuit in, CompileResult
+ * out. MUSS-TI (core/compiler.h) and every grid baseline
+ * (baselines/grid_compiler_base.h) implement it, so bench drivers, the
+ * CLI, and the CompileService never special-case a compiler type.
+ * Backends are immutable after construction and safe to share across
+ * threads; every compile() call builds private state.
+ */
+#ifndef MUSSTI_CORE_BACKEND_H
+#define MUSSTI_CORE_BACKEND_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace mussti {
+
+/** A configured compiler behind a uniform interface. */
+class ICompilerBackend
+{
+  public:
+    virtual ~ICompilerBackend() = default;
+
+    /** Stable backend identifier ("mussti", "murali", "dai", "mqt"). */
+    virtual const std::string &name() const = 0;
+
+    /** Compile a circuit under the backend's configured seed. */
+    virtual CompileResult compile(Circuit circuit) const = 0;
+
+    /**
+     * Compile with an explicit RNG seed for stochastic passes (the
+     * CompileService's per-job seeding hook). Deterministic backends
+     * ignore the seed and must return the same result as compile().
+     */
+    virtual CompileResult
+    compileSeeded(Circuit circuit, std::uint64_t seed) const
+    {
+        (void)seed;
+        return compile(std::move(circuit));
+    }
+
+    /**
+     * Digest of everything besides the circuit and the per-job seed that
+     * determines the output: backend identity, configuration, and
+     * physical parameters. One third of the service's cache key.
+     */
+    virtual std::uint64_t configDigest() const = 0;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_BACKEND_H

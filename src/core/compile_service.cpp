@@ -1,0 +1,171 @@
+#include "core/compile_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mussti {
+
+std::size_t
+CompileService::CacheKeyHash::operator()(const CacheKey &key) const
+{
+    Fnv1a hash;
+    hash.update(key.circuitHash);
+    hash.update(key.configDigest);
+    hash.update(key.seed);
+    hash.update(key.hasSeed);
+    return static_cast<std::size_t>(hash.digest());
+}
+
+CompileService::CompileService(const CompileServiceConfig &config)
+    : config_(config)
+{
+    int threads = config.numThreads;
+    if (threads <= 0) {
+        threads = static_cast<int>(std::thread::hardware_concurrency());
+        threads = std::max(threads, 1);
+    }
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::uint64_t
+CompileService::deriveJobSeed(std::uint64_t base_seed,
+                              std::size_t job_index)
+{
+    // SplitMix64 over (base, index): statistically independent streams
+    // per job, identical across runs and thread counts.
+    std::uint64_t x = base_seed + 0x9E3779B97F4A7C15ull *
+        (static_cast<std::uint64_t>(job_index) + 1);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::future<CompileResult>
+CompileService::submit(CompileRequest request)
+{
+    MUSSTI_REQUIRE(request.backend != nullptr,
+                   "compile request without a backend");
+    Job job{std::move(request), std::promise<CompileResult>{}};
+    std::future<CompileResult> future = job.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        MUSSTI_REQUIRE(!stopping_,
+                       "submit on a stopping CompileService");
+        queue_.push_back(std::move(job));
+    }
+    queueCv_.notify_one();
+    return future;
+}
+
+std::vector<CompileResult>
+CompileService::compileAll(std::vector<CompileRequest> requests)
+{
+    std::vector<std::future<CompileResult>> futures;
+    futures.reserve(requests.size());
+    for (CompileRequest &request : requests)
+        futures.push_back(submit(std::move(request)));
+
+    std::vector<CompileResult> results;
+    results.reserve(futures.size());
+    for (std::future<CompileResult> &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+void
+CompileService::workerLoop()
+{
+    for (;;) {
+        std::optional<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and fully drained
+            job.emplace(std::move(queue_.front()));
+            queue_.pop_front();
+        }
+        execute(std::move(*job));
+    }
+}
+
+void
+CompileService::execute(Job job)
+{
+    try {
+        CacheKey key;
+        key.circuitHash = job.request.circuit.contentHash();
+        key.configDigest = job.request.backend->configDigest();
+        key.hasSeed = job.request.seed.has_value();
+        key.seed = job.request.seed.value_or(0);
+
+        if (config_.cacheCapacity > 0) {
+            if (auto cached = cacheLookup(key)) {
+                cacheHits_.fetch_add(1);
+                job.promise.set_value(std::move(*cached));
+                return;
+            }
+        }
+
+        const CompileResult result =
+            job.request.seed
+                ? job.request.backend->compileSeeded(
+                      std::move(job.request.circuit), *job.request.seed)
+                : job.request.backend->compile(
+                      std::move(job.request.circuit));
+        jobsExecuted_.fetch_add(1);
+
+        if (config_.cacheCapacity > 0)
+            cacheStore(key, result);
+        job.promise.set_value(result);
+    } catch (...) {
+        job.promise.set_exception(std::current_exception());
+    }
+}
+
+std::optional<CompileResult>
+CompileService::cacheLookup(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    const auto it = cache_.find(key);
+    if (it == cache_.end())
+        return std::nullopt;
+    // Refresh recency.
+    lruOrder_.splice(lruOrder_.begin(), lruOrder_, it->second.second);
+    return it->second.first;
+}
+
+void
+CompileService::cacheStore(const CacheKey &key,
+                           const CompileResult &result)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    if (cache_.find(key) != cache_.end())
+        return; // A concurrent identical job already stored it.
+    while (cache_.size() >= config_.cacheCapacity && !lruOrder_.empty()) {
+        cache_.erase(lruOrder_.back());
+        lruOrder_.pop_back();
+    }
+    lruOrder_.push_front(key);
+    cache_.emplace(key, std::make_pair(result, lruOrder_.begin()));
+}
+
+} // namespace mussti

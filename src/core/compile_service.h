@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Thread-pooled batch compilation service.
+ *
+ * Jobs pair a shared ICompilerBackend with a circuit (and an optional
+ * per-job RNG seed) and run on a fixed worker pool. Every job compiles
+ * in a private CompileContext, so results are bit-identical to serial
+ * execution regardless of thread count or completion order. Results are
+ * memoised in a bounded LRU cache keyed by (circuit content hash,
+ * backend config digest, seed), which collapses the repeated
+ * compilations the bench sweeps perform.
+ */
+#ifndef MUSSTI_CORE_COMPILE_SERVICE_H
+#define MUSSTI_CORE_COMPILE_SERVICE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+
+namespace mussti {
+
+/** Pool and cache sizing. */
+struct CompileServiceConfig
+{
+    /** Worker threads; <= 0 selects the hardware concurrency. */
+    int numThreads = 0;
+
+    /** Cached results kept (LRU evicted); 0 disables the cache. */
+    std::size_t cacheCapacity = 128;
+};
+
+/** One unit of work for the service. */
+struct CompileRequest
+{
+    std::shared_ptr<const ICompilerBackend> backend;
+    Circuit circuit;
+
+    /**
+     * RNG seed for the backend's stochastic passes; unset runs under
+     * the backend's own configured seed (identical to a direct
+     * backend->compile() call).
+     */
+    std::optional<std::uint64_t> seed;
+};
+
+/** Fixed-size worker pool compiling jobs with result memoisation. */
+class CompileService
+{
+  public:
+    explicit CompileService(const CompileServiceConfig &config = {});
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /** Enqueue one job; the future yields the result (or exception). */
+    std::future<CompileResult> submit(CompileRequest request);
+
+    std::future<CompileResult>
+    submit(std::shared_ptr<const ICompilerBackend> backend,
+           Circuit circuit)
+    {
+        return submit({std::move(backend), std::move(circuit), {}});
+    }
+
+    std::future<CompileResult>
+    submit(std::shared_ptr<const ICompilerBackend> backend,
+           Circuit circuit, std::uint64_t seed)
+    {
+        return submit({std::move(backend), std::move(circuit), seed});
+    }
+
+    /**
+     * Compile a batch, returning results in submission order. Jobs run
+     * concurrently across the pool; the call blocks until all finish.
+     */
+    std::vector<CompileResult>
+    compileAll(std::vector<CompileRequest> requests);
+
+    /**
+     * Deterministic per-job seed derivation (SplitMix64 over the base
+     * seed and job index) — independent of thread count and completion
+     * order, so seeded batches replay exactly.
+     */
+    static std::uint64_t deriveJobSeed(std::uint64_t base_seed,
+                                       std::size_t job_index);
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Jobs that actually compiled (cache misses). */
+    std::uint64_t jobsExecuted() const { return jobsExecuted_.load(); }
+
+    /** Jobs served from the result cache. */
+    std::uint64_t cacheHits() const { return cacheHits_.load(); }
+
+  private:
+    struct Job
+    {
+        CompileRequest request;
+        std::promise<CompileResult> promise;
+    };
+
+    struct CacheKey
+    {
+        std::uint64_t circuitHash = 0;
+        std::uint64_t configDigest = 0;
+        std::uint64_t seed = 0;
+        bool hasSeed = false;
+
+        bool operator==(const CacheKey &other) const = default;
+    };
+
+    struct CacheKeyHash
+    {
+        std::size_t operator()(const CacheKey &key) const;
+    };
+
+    void workerLoop();
+    void execute(Job job);
+
+    std::optional<CompileResult> cacheLookup(const CacheKey &key);
+    void cacheStore(const CacheKey &key, const CompileResult &result);
+
+    CompileServiceConfig config_;
+    std::vector<std::thread> workers_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Job> queue_;
+    bool stopping_ = false;
+
+    std::mutex cacheMutex_;
+    std::unordered_map<CacheKey,
+                       std::pair<CompileResult,
+                                 std::list<CacheKey>::iterator>,
+                       CacheKeyHash>
+        cache_;
+    std::list<CacheKey> lruOrder_; ///< Front = most recently used.
+
+    std::atomic<std::uint64_t> jobsExecuted_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_COMPILE_SERVICE_H

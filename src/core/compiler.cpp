@@ -1,12 +1,148 @@
 #include "core/compiler.h"
 
-#include <chrono>
+#include <memory>
+#include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "core/mapper.h"
 #include "core/scheduler.h"
+#include "sim/evaluation_pass.h"
+#include "sim/evaluator.h"
 
 namespace mussti {
+
+namespace {
+
+/** Apply the context's per-job seed to a config copy. */
+MusstiConfig
+seededConfig(const MusstiConfig &config, std::uint64_t seed)
+{
+    MusstiConfig seeded = config;
+    seeded.seed = seed;
+    return seeded;
+}
+
+/** Build the EML device sized for the input circuit. */
+class EmlTargetPass : public CompilerPass
+{
+  public:
+    explicit EmlTargetPass(const EmlConfig &device) : device_(device) {}
+
+    const char *name() const override { return "eml-target"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        ctx.emlDevice.emplace(device_, ctx.input.numQubits());
+    }
+
+  private:
+    EmlConfig device_;
+};
+
+/** Level-ordered sequential initial mapping (paper section 3.4). */
+class TrivialPlacementPass : public CompilerPass
+{
+  public:
+    const char *name() const override { return "trivial-placement"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        ctx.placement = trivialPlacement(ctx.requireEmlDevice(),
+                                         ctx.input.numQubits());
+    }
+};
+
+/**
+ * Forward scheduling pass from the context's placement. Under
+ * MappingKind::Trivial this produces the final schedule; under Sabre it
+ * is the first leg of the two-fold search and a candidate result.
+ */
+class MusstiSchedulePass : public CompilerPass
+{
+  public:
+    explicit MusstiSchedulePass(const MusstiConfig &config)
+        : config_(config)
+    {}
+
+    const char *name() const override { return "mussti-schedule"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        const MusstiConfig config = seededConfig(config_, ctx.seed);
+        const MusstiScheduler scheduler(ctx.requireEmlDevice(),
+                                        ctx.params, config);
+        auto output = scheduler.run(ctx.requireLowered(),
+                                    ctx.requirePlacement());
+        ctx.schedule = std::move(output.schedule);
+        ctx.finalPlacement = std::move(output.finalPlacement);
+        ctx.swapInsertions = output.swapInsertions;
+        ctx.evictions = output.evictions;
+    }
+
+  private:
+    MusstiConfig config_;
+};
+
+/**
+ * SABRE two-fold search (paper section 3.4): a reverse pass seeded by
+ * the forward pass's final placement, then a forward pass from the
+ * reverse pass's final placement. The two executions yield two candidate
+ * compilations; keep whichever scored better. No-op under
+ * MappingKind::Trivial.
+ */
+class SabreTwoFoldPass : public CompilerPass
+{
+  public:
+    explicit SabreTwoFoldPass(const MusstiConfig &config)
+        : config_(config)
+    {}
+
+    const char *name() const override { return "sabre-two-fold"; }
+
+    void
+    run(CompileContext &ctx) const override
+    {
+        if (config_.mapping != MappingKind::Sabre)
+            return;
+
+        const MusstiConfig config = seededConfig(config_, ctx.seed);
+        const EmlDevice &device = ctx.requireEmlDevice();
+        const MusstiScheduler scheduler(device, ctx.params, config);
+        const Evaluator evaluator(ctx.params);
+
+        // Score the forward candidate the schedule pass left behind.
+        ctx.metrics = evaluator.evaluate(ctx.schedule,
+                                         device.zoneInfos());
+        ctx.metricsValid = true;
+
+        MUSSTI_ASSERT(ctx.finalPlacement.has_value(),
+                      "sabre-two-fold needs the forward pass's final "
+                      "placement");
+        const Circuit reversed = ctx.requireLowered().reversed();
+        auto backward = scheduler.run(reversed, *ctx.finalPlacement);
+        auto refined = scheduler.run(ctx.requireLowered(),
+                                     backward.finalPlacement);
+        const Metrics refined_metrics = evaluator.evaluate(
+            refined.schedule, device.zoneInfos());
+
+        if (refined_metrics.lnFidelity > ctx.metrics.lnFidelity) {
+            ctx.schedule = std::move(refined.schedule);
+            ctx.finalPlacement = std::move(refined.finalPlacement);
+            ctx.swapInsertions = refined.swapInsertions;
+            ctx.evictions = refined.evictions;
+            ctx.metrics = refined_metrics;
+        }
+    }
+
+  private:
+    MusstiConfig config_;
+};
+
+} // namespace
 
 EmlDevice
 MusstiCompiler::deviceFor(const Circuit &circuit) const
@@ -14,53 +150,59 @@ MusstiCompiler::deviceFor(const Circuit &circuit) const
     return EmlDevice(config_.device, circuit.numQubits());
 }
 
-CompileResult
-MusstiCompiler::compile(const Circuit &circuit) const
+PassPipeline
+MusstiCompiler::makePipeline() const
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    PassPipeline pipeline;
+    pipeline.add(std::make_unique<LowerSwapsPass>())
+        .add(std::make_unique<EmlTargetPass>(config_.device))
+        .add(std::make_unique<TrivialPlacementPass>())
+        .add(std::make_unique<MusstiSchedulePass>(config_))
+        .add(std::make_unique<SabreTwoFoldPass>(config_))
+        .add(std::make_unique<EvaluationPass>());
+    return pipeline;
+}
 
-    CompileResult result(circuit.withSwapsDecomposed());
-    const EmlDevice device = deviceFor(circuit);
-    MusstiScheduler scheduler(device, params_, config_);
-    const Evaluator evaluator(params_);
+CompileResult
+MusstiCompiler::compile(Circuit circuit) const
+{
+    return makePipeline().compile(std::move(circuit), params_,
+                                  config_.seed);
+}
 
-    // Forward pass from the trivial mapping. Under MappingKind::Trivial
-    // this is the final answer; under Sabre it doubles as the first leg
-    // of the two-fold search and as a candidate result.
-    const Placement trivial = trivialPlacement(device,
-                                               circuit.numQubits());
-    auto output = scheduler.run(result.lowered, trivial);
-    Metrics metrics = evaluator.evaluate(output.schedule,
-                                         device.zoneInfos());
+CompileResult
+MusstiCompiler::compileSeeded(Circuit circuit, std::uint64_t seed) const
+{
+    return makePipeline().compile(std::move(circuit), params_, seed);
+}
 
-    if (config_.mapping == MappingKind::Sabre) {
-        // Reverse pass seeded by the forward pass's final placement,
-        // then a forward pass from the reverse pass's final placement.
-        // The two executions yield two candidate mappings (section
-        // 3.4); keep whichever compiled better.
-        const Circuit reversed = result.lowered.reversed();
-        auto backward = scheduler.run(reversed, output.finalPlacement);
-        auto refined = scheduler.run(result.lowered,
-                                     backward.finalPlacement);
-        Metrics refined_metrics = evaluator.evaluate(
-            refined.schedule, device.zoneInfos());
-        if (refined_metrics.lnFidelity > metrics.lnFidelity) {
-            output = std::move(refined);
-            metrics = refined_metrics;
-        }
-    }
+const std::string &
+MusstiCompiler::name() const
+{
+    static const std::string kName = "mussti";
+    return kName;
+}
 
-    const auto t1 = std::chrono::steady_clock::now();
-    result.compileTimeSec =
-        std::chrono::duration<double>(t1 - t0).count();
-
-    result.schedule = std::move(output.schedule);
-    result.swapInsertions = output.swapInsertions;
-    result.evictions = output.evictions;
-    result.finalChains =
-        Schedule::snapshotChains(output.finalPlacement);
-    result.metrics = metrics;
-    return result;
+std::uint64_t
+MusstiCompiler::configDigest() const
+{
+    Fnv1a hash;
+    hash.update(name());
+    hash.update(config_.lookAhead);
+    hash.update(config_.swapThreshold);
+    hash.update(config_.enableSwapInsertion);
+    hash.update(static_cast<int>(config_.mapping));
+    hash.update(static_cast<int>(config_.replacement));
+    hash.update(config_.seed);
+    hash.update(config_.device.trapCapacity);
+    hash.update(config_.device.numStorageZones);
+    hash.update(config_.device.numOperationZones);
+    hash.update(config_.device.numOpticalZones);
+    hash.update(config_.device.maxQubitsPerModule);
+    hash.update(config_.device.zonePitchUm);
+    hash.update(config_.device.forcedNumModules);
+    hash.update(paramsDigest(params_));
+    return hash.digest();
 }
 
 } // namespace mussti

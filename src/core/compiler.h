@@ -2,35 +2,27 @@
  * @file
  * The MUSS-TI compiler facade: circuit in, evaluated schedule out.
  * This is the primary public entry point of the library.
+ *
+ * Internally the compiler is a pass pipeline (core/pipeline.h):
+ *
+ *   lower-swaps -> eml-target -> trivial-placement -> mussti-schedule
+ *               -> sabre-two-fold -> evaluate
+ *
+ * and it is one ICompilerBackend among several (core/backend.h), so
+ * services and bench drivers can treat it interchangeably with the grid
+ * baselines.
  */
 #ifndef MUSSTI_CORE_COMPILER_H
 #define MUSSTI_CORE_COMPILER_H
 
-#include <vector>
-
 #include "arch/eml_device.h"
 #include "circuit/circuit.h"
+#include "core/backend.h"
 #include "core/config.h"
-#include "sim/evaluator.h"
+#include "core/pipeline.h"
 #include "sim/params.h"
-#include "sim/schedule.h"
 
 namespace mussti {
-
-/** Everything a compilation produces. */
-struct CompileResult
-{
-    Circuit lowered;          ///< Input with SWAPs decomposed to 3 CX;
-                              ///< the circuit the schedule implements.
-    Schedule schedule;        ///< The physical op stream.
-    Metrics metrics;          ///< Evaluated under the compiler's params.
-    double compileTimeSec = 0.0; ///< Wall-clock of mapping + scheduling.
-    int swapInsertions = 0;   ///< Logical SWAPs added (section 3.3).
-    int evictions = 0;        ///< Conflict-handling relocations.
-    std::vector<std::vector<int>> finalChains; ///< End-of-run placement.
-
-    CompileResult(Circuit c) : lowered(std::move(c)) {}
-};
 
 /**
  * MUSS-TI compiler for EML-QCCD devices.
@@ -43,7 +35,7 @@ struct CompileResult
  *   std::cout << result.metrics.shuttleCount;
  * @endcode
  */
-class MusstiCompiler
+class MusstiCompiler : public ICompilerBackend
 {
   public:
     explicit MusstiCompiler(const MusstiConfig &config = {},
@@ -58,7 +50,18 @@ class MusstiCompiler
     EmlDevice deviceFor(const Circuit &circuit) const;
 
     /** Compile and evaluate. */
-    CompileResult compile(const Circuit &circuit) const;
+    CompileResult compile(Circuit circuit) const override;
+
+    /** Compile with the configured seed replaced (per-job seeding). */
+    CompileResult compileSeeded(Circuit circuit,
+                                std::uint64_t seed) const override;
+
+    const std::string &name() const override;
+
+    std::uint64_t configDigest() const override;
+
+    /** The pass sequence compile() runs (exposed for tests/tools). */
+    PassPipeline makePipeline() const;
 
   private:
     MusstiConfig config_;

@@ -1,0 +1,110 @@
+#include "core/pipeline.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+const std::vector<ZoneInfo> &
+CompileContext::zoneInfos() const
+{
+    MUSSTI_ASSERT(emlDevice || gridDevice,
+                  "pass needs a target device but no target pass ran");
+    return emlDevice ? emlDevice->zoneInfos() : gridDevice->zoneInfos();
+}
+
+const Circuit &
+CompileContext::requireLowered() const
+{
+    MUSSTI_ASSERT(loweredReady,
+                  "pass needs the lowered circuit but no lowering pass ran");
+    return lowered;
+}
+
+const Placement &
+CompileContext::requirePlacement() const
+{
+    MUSSTI_ASSERT(placement.has_value(),
+                  "pass needs a placement but no mapping pass ran");
+    return *placement;
+}
+
+const EmlDevice &
+CompileContext::requireEmlDevice() const
+{
+    MUSSTI_ASSERT(emlDevice.has_value(),
+                  "pass needs an EML device but no EML target pass ran");
+    return *emlDevice;
+}
+
+const GridDevice &
+CompileContext::requireGridDevice() const
+{
+    MUSSTI_ASSERT(gridDevice.has_value(),
+                  "pass needs a grid device but no grid target pass ran");
+    return *gridDevice;
+}
+
+PassPipeline &
+PassPipeline::add(std::unique_ptr<CompilerPass> pass)
+{
+    MUSSTI_ASSERT(pass != nullptr, "null pass added to pipeline");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+std::vector<std::string>
+PassPipeline::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const auto &pass : passes_)
+        names.emplace_back(pass->name());
+    return names;
+}
+
+CompileResult
+PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
+                      std::uint64_t seed) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    CompileContext ctx(std::move(circuit), params, seed);
+
+    for (const auto &pass : passes_) {
+        const auto p0 = std::chrono::steady_clock::now();
+        pass->run(ctx);
+        const auto p1 = std::chrono::steady_clock::now();
+        ctx.trace.push_back(
+            {pass->name(),
+             std::chrono::duration<double>(p1 - p0).count()});
+    }
+
+    MUSSTI_ASSERT(ctx.loweredReady,
+                  "pipeline finished without a lowering pass");
+    MUSSTI_ASSERT(ctx.metricsValid,
+                  "pipeline finished without an evaluation pass");
+
+    const auto t1 = std::chrono::steady_clock::now();
+
+    CompileResult result(std::move(ctx.lowered));
+    result.schedule = std::move(ctx.schedule);
+    result.metrics = ctx.metrics;
+    result.swapInsertions = ctx.swapInsertions;
+    result.evictions = ctx.evictions;
+    if (ctx.finalPlacement)
+        result.finalChains = Schedule::snapshotChains(*ctx.finalPlacement);
+    result.compileTimeSec =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.passTrace = std::move(ctx.trace);
+    return result;
+}
+
+void
+LowerSwapsPass::run(CompileContext &ctx) const
+{
+    ctx.lowered = ctx.input.withSwapsDecomposed();
+    ctx.loweredReady = true;
+}
+
+} // namespace mussti

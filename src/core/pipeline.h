@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The pass-based compilation pipeline.
+ *
+ * A compilation is an ordered sequence of CompilerPass objects run over
+ * one CompileContext. The context carries everything the stages exchange:
+ * the input and lowered circuits, the target device, the working and
+ * final placements, the op schedule, counters, and the evaluated metrics.
+ * PassPipeline owns the sequence, times each stage, enforces the
+ * end-of-pipeline invariants (a lowering pass ran, an evaluation pass
+ * ran), and assembles the CompileResult.
+ *
+ * Every compiler in the library — MUSS-TI and the grid baselines — is a
+ * pass sequence behind the ICompilerBackend interface (core/backend.h);
+ * adding a compilation stage means adding a pass, not editing a monolith.
+ */
+#ifndef MUSSTI_CORE_PIPELINE_H
+#define MUSSTI_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/eml_device.h"
+#include "arch/grid_device.h"
+#include "arch/placement.h"
+#include "circuit/circuit.h"
+#include "sim/evaluator.h"
+#include "sim/params.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+/** Wall-clock record of one executed pass. */
+struct PassTiming
+{
+    std::string pass;
+    double seconds = 0.0;
+};
+
+/** Everything a compilation produces. */
+struct CompileResult
+{
+    Circuit lowered;          ///< Input with SWAPs decomposed to 3 CX;
+                              ///< the circuit the schedule implements.
+    Schedule schedule;        ///< The physical op stream.
+    Metrics metrics;          ///< Evaluated under the compiler's params.
+    double compileTimeSec = 0.0; ///< Wall-clock of the full pipeline.
+    int swapInsertions = 0;   ///< Logical SWAPs added (section 3.3).
+    int evictions = 0;        ///< Conflict-handling relocations.
+    std::vector<std::vector<int>> finalChains; ///< End-of-run placement.
+    std::vector<PassTiming> passTrace; ///< Per-pass wall-clock breakdown.
+
+    explicit CompileResult(Circuit c) : lowered(std::move(c)) {}
+};
+
+/**
+ * Shared state of one compilation, created per job and owned by the
+ * pipeline run — nothing in it is shared across concurrent compiles.
+ */
+struct CompileContext
+{
+    CompileContext(Circuit input_circuit, const PhysicalParams &physical,
+                   std::uint64_t rng_seed)
+        : input(std::move(input_circuit)), params(physical),
+          seed(rng_seed), lowered(1)
+    {}
+
+    // ---- inputs -------------------------------------------------------
+    Circuit input;            ///< The circuit as submitted.
+    PhysicalParams params;    ///< Physics the schedule is costed under.
+    std::uint64_t seed;       ///< Per-job RNG seed for stochastic passes.
+
+    // ---- produced by passes ------------------------------------------
+    Circuit lowered;          ///< Valid once loweredReady (LowerSwapsPass).
+    bool loweredReady = false;
+
+    std::optional<EmlDevice> emlDevice;   ///< EML target (MUSS-TI path).
+    std::optional<GridDevice> gridDevice; ///< Grid target (baseline path).
+
+    std::optional<Placement> placement;      ///< Initial/working mapping.
+    std::optional<Placement> finalPlacement; ///< End-of-run mapping.
+
+    Schedule schedule;
+    int swapInsertions = 0;
+    int evictions = 0;
+
+    Metrics metrics;
+    bool metricsValid = false; ///< Set by whichever pass evaluated last.
+
+    std::vector<PassTiming> trace; ///< Filled by PassPipeline.
+
+    // ---- invariant helpers (passes call these on entry) --------------
+    /** Zone descriptors of whichever target device is set. */
+    const std::vector<ZoneInfo> &zoneInfos() const;
+
+    /** The lowered circuit; panics if no lowering pass ran yet. */
+    const Circuit &requireLowered() const;
+
+    /** The working placement; panics if no mapping pass ran yet. */
+    const Placement &requirePlacement() const;
+
+    /** The EML device; panics if no EML target pass ran yet. */
+    const EmlDevice &requireEmlDevice() const;
+
+    /** The grid device; panics if no grid target pass ran yet. */
+    const GridDevice &requireGridDevice() const;
+};
+
+/** One stage of a compilation pipeline. */
+class CompilerPass
+{
+  public:
+    virtual ~CompilerPass() = default;
+
+    /** Stable identifier used in pass traces and diagnostics. */
+    virtual const char *name() const = 0;
+
+    /** Execute the stage, reading and extending the context. */
+    virtual void run(CompileContext &ctx) const = 0;
+};
+
+/**
+ * An ordered, immutable-after-construction sequence of passes.
+ *
+ * compile() is const and re-entrant: each invocation builds a private
+ * CompileContext, so one pipeline instance may serve concurrent jobs.
+ */
+class PassPipeline
+{
+  public:
+    PassPipeline() = default;
+    PassPipeline(PassPipeline &&) = default;
+    PassPipeline &operator=(PassPipeline &&) = default;
+
+    /** Append a pass; returns *this for chaining. */
+    PassPipeline &add(std::unique_ptr<CompilerPass> pass);
+
+    /** Names of the registered passes, in execution order. */
+    std::vector<std::string> passNames() const;
+
+    std::size_t size() const { return passes_.size(); }
+
+    /**
+     * Run every pass over a fresh context and assemble the result.
+     * Panics unless a lowering pass and an evaluation pass both ran.
+     */
+    CompileResult compile(Circuit circuit, const PhysicalParams &params,
+                          std::uint64_t seed) const;
+
+  private:
+    std::vector<std::unique_ptr<CompilerPass>> passes_;
+};
+
+/** Lowering: decompose SWAP gates into 3 CX (native trapped-ion form). */
+class LowerSwapsPass : public CompilerPass
+{
+  public:
+    const char *name() const override { return "lower-swaps"; }
+    void run(CompileContext &ctx) const override;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_CORE_PIPELINE_H

@@ -1,0 +1,17 @@
+#include "sim/evaluation_pass.h"
+
+#include "sim/evaluator.h"
+
+namespace mussti {
+
+void
+EvaluationPass::run(CompileContext &ctx) const
+{
+    if (ctx.metricsValid)
+        return;
+    const Evaluator evaluator(ctx.params);
+    ctx.metrics = evaluator.evaluate(ctx.schedule, ctx.zoneInfos());
+    ctx.metricsValid = true;
+}
+
+} // namespace mussti

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The pipeline stage that evaluates a compiled schedule.
+ *
+ * Terminal pass of every backend's pipeline: replays the context's
+ * schedule against the target device's zones and fills ctx.metrics.
+ * A pass that already evaluated (e.g. SABRE candidate selection, which
+ * must score both candidates to pick one) sets ctx.metricsValid and this
+ * pass becomes a no-op, so the schedule is never scored twice.
+ */
+#ifndef MUSSTI_SIM_EVALUATION_PASS_H
+#define MUSSTI_SIM_EVALUATION_PASS_H
+
+#include "core/pipeline.h"
+
+namespace mussti {
+
+/** Evaluate ctx.schedule into ctx.metrics (skips if already valid). */
+class EvaluationPass : public CompilerPass
+{
+  public:
+    const char *name() const override { return "evaluate"; }
+    void run(CompileContext &ctx) const override;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_EVALUATION_PASS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace mussti {
@@ -29,6 +30,32 @@ PhysicalParams::moveTimeUs(double distance_um) const
 {
     MUSSTI_ASSERT(distance_um >= 0.0, "negative move distance");
     return distance_um / moveSpeedUmPerUs;
+}
+
+std::uint64_t
+paramsDigest(const PhysicalParams &params)
+{
+    Fnv1a hash;
+    hash.update(params.splitTimeUs);
+    hash.update(params.mergeTimeUs);
+    hash.update(params.ionSwapTimeUs);
+    hash.update(params.moveSpeedUmPerUs);
+    hash.update(params.splitNbar);
+    hash.update(params.mergeNbar);
+    hash.update(params.ionSwapNbar);
+    hash.update(params.moveNbar);
+    hash.update(params.gate1qTimeUs);
+    hash.update(params.gate2qTimeUs);
+    hash.update(params.fiberGateTimeUs);
+    hash.update(params.gate1qFidelity);
+    hash.update(params.fiberGateFidelity);
+    hash.update(params.epsilon);
+    hash.update(params.t1Us);
+    hash.update(params.heatingRate);
+    hash.update(params.perfectShuttle);
+    hash.update(params.perfectGate);
+    hash.update(params.perfectGateFidelity);
+    return hash.digest();
 }
 
 } // namespace mussti

@@ -11,6 +11,8 @@
 #ifndef MUSSTI_SIM_PARAMS_H
 #define MUSSTI_SIM_PARAMS_H
 
+#include <cstdint>
+
 namespace mussti {
 
 /** Tunable physics; defaults reproduce the paper's Table 1. */
@@ -55,6 +57,12 @@ struct PhysicalParams
     /** Move duration for a shuttle covering the given distance. */
     double moveTimeUs(double distance_um) const;
 };
+
+/**
+ * Content digest over every field; part of a backend's configDigest so
+ * the compile-service cache distinguishes runs under different physics.
+ */
+std::uint64_t paramsDigest(const PhysicalParams &params);
 
 } // namespace mussti
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the batch CompileService: N-thread batches bit-identical to
+ * serial execution, deterministic per-job seeding independent of thread
+ * count, result-cache behaviour, and error propagation through futures.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/backend_factory.h"
+#include "core/compile_service.h"
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+void
+expectIdentical(const CompileResult &a, const CompileResult &b)
+{
+    EXPECT_EQ(a.schedule.ops.size(), b.schedule.ops.size());
+    EXPECT_EQ(a.metrics.shuttleCount, b.metrics.shuttleCount);
+    EXPECT_EQ(a.metrics.ionSwapCount, b.metrics.ionSwapCount);
+    EXPECT_EQ(a.metrics.gate1qCount, b.metrics.gate1qCount);
+    EXPECT_EQ(a.metrics.gate2qCount, b.metrics.gate2qCount);
+    EXPECT_EQ(a.metrics.fiberGateCount, b.metrics.fiberGateCount);
+    EXPECT_EQ(a.metrics.executionTimeUs, b.metrics.executionTimeUs);
+    EXPECT_EQ(a.metrics.lnFidelity, b.metrics.lnFidelity);
+    EXPECT_EQ(a.swapInsertions, b.swapInsertions);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.finalChains, b.finalChains);
+}
+
+/** A mixed batch over every stock backend: >= 8 jobs. */
+std::vector<CompileRequest>
+mixedBatch()
+{
+    const GridConfig grid{2, 2, 16};
+    std::vector<CompileRequest> requests;
+    for (const char *family : {"adder", "ghz", "qft"}) {
+        requests.push_back(
+            {makeMusstiBackend(), makeBenchmark(family, 30), {}});
+    }
+    for (const auto &name : gridBackendNames()) {
+        requests.push_back({makeGridBackend(name, grid),
+                            makeBenchmark("adder", 32), {}});
+    }
+    requests.push_back(
+        {makeMusstiBackend(), makeBenchmark("bv", 64), {}});
+    requests.push_back(
+        {makeMusstiBackend(), makeBenchmark("sqrt", 45), {}});
+    return requests;
+}
+
+TEST(CompileService, FourThreadBatchIdenticalToSerial)
+{
+    auto requests = mixedBatch();
+    ASSERT_GE(requests.size(), 8u);
+
+    // Serial reference: direct backend calls, no service involved.
+    std::vector<CompileResult> serial;
+    for (const auto &request : requests)
+        serial.push_back(request.backend->compile(request.circuit));
+
+    CompileServiceConfig config;
+    config.numThreads = 4;
+    CompileService service(config);
+    EXPECT_EQ(service.numThreads(), 4);
+
+    const auto parallel = service.compileAll(std::move(requests));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdentical(parallel[i], serial[i]);
+}
+
+TEST(CompileService, SeededBatchIndependentOfThreadCount)
+{
+    // Stochastic backend: the replacement policy consumes the RNG, so
+    // wrong seed plumbing would change the metrics.
+    MusstiConfig config;
+    config.replacement = ReplacementPolicy::Random;
+    const auto backend = makeMusstiBackend(config);
+    const std::uint64_t base = 42;
+
+    auto makeRequests = [&] {
+        std::vector<CompileRequest> requests;
+        for (std::size_t i = 0; i < 8; ++i) {
+            requests.push_back({backend, makeBenchmark("ran", 40),
+                                CompileService::deriveJobSeed(base, i)});
+        }
+        return requests;
+    };
+
+    CompileServiceConfig one_thread;
+    one_thread.numThreads = 1;
+    one_thread.cacheCapacity = 0; // force real recompilation
+    CompileServiceConfig four_threads;
+    four_threads.numThreads = 4;
+    four_threads.cacheCapacity = 0;
+
+    CompileService serial(one_thread);
+    CompileService parallel(four_threads);
+    const auto a = serial.compileAll(makeRequests());
+    const auto b = parallel.compileAll(makeRequests());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+    EXPECT_EQ(serial.jobsExecuted(), 8u);
+    EXPECT_EQ(parallel.jobsExecuted(), 8u);
+}
+
+TEST(CompileService, DeriveJobSeedDeterministicAndDistinct)
+{
+    EXPECT_EQ(CompileService::deriveJobSeed(7, 3),
+              CompileService::deriveJobSeed(7, 3));
+    EXPECT_NE(CompileService::deriveJobSeed(7, 3),
+              CompileService::deriveJobSeed(7, 4));
+    EXPECT_NE(CompileService::deriveJobSeed(7, 3),
+              CompileService::deriveJobSeed(8, 3));
+}
+
+TEST(CompileService, CacheServesRepeatedJobs)
+{
+    CompileServiceConfig config;
+    config.numThreads = 2;
+    CompileService service(config);
+    const auto backend = makeMusstiBackend();
+    const Circuit qc = makeBenchmark("adder", 30);
+
+    const auto first = service.submit(backend, qc).get();
+    EXPECT_EQ(service.jobsExecuted(), 1u);
+    EXPECT_EQ(service.cacheHits(), 0u);
+
+    const auto second = service.submit(backend, qc).get();
+    EXPECT_EQ(service.jobsExecuted(), 1u);
+    EXPECT_EQ(service.cacheHits(), 1u);
+    expectIdentical(first, second);
+}
+
+TEST(CompileService, CacheKeysDistinguishConfigAndCircuit)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+
+    MusstiConfig trivial;
+    trivial.mapping = MappingKind::Trivial;
+    const Circuit qc = makeBenchmark("ghz", 30);
+
+    (void)service.submit(makeMusstiBackend(), qc).get();
+    (void)service.submit(makeMusstiBackend(trivial), qc).get();
+    (void)service.submit(makeMusstiBackend(),
+                         makeBenchmark("ghz", 31)).get();
+    EXPECT_EQ(service.jobsExecuted(), 3u);
+    EXPECT_EQ(service.cacheHits(), 0u);
+}
+
+TEST(CompileService, SeedIsPartOfTheCacheKey)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+    MusstiConfig config;
+    config.replacement = ReplacementPolicy::Random;
+    const auto backend = makeMusstiBackend(config);
+    const Circuit qc = makeBenchmark("ran", 36);
+
+    (void)service.submit(backend, qc, 1).get();
+    (void)service.submit(backend, qc, 2).get();
+    (void)service.submit(backend, qc, 1).get();
+    EXPECT_EQ(service.jobsExecuted(), 2u);
+    EXPECT_EQ(service.cacheHits(), 1u);
+}
+
+TEST(CompileService, CompileErrorsPropagateThroughFutures)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 2;
+    CompileService service(service_config);
+    // 32 qubits cannot fit a 2x2 grid with capacity 4 (16 slots).
+    const auto backend =
+        makeGridBackend("murali", GridConfig{2, 2, 4});
+    auto future = service.submit(backend, makeGhz(32));
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(CompileService, CacheEvictsLeastRecentlyUsed)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    service_config.cacheCapacity = 2;
+    CompileService service(service_config);
+    const auto backend = makeMusstiBackend();
+
+    const Circuit a = makeBenchmark("ghz", 30);
+    const Circuit b = makeBenchmark("ghz", 31);
+    const Circuit c = makeBenchmark("ghz", 33);
+
+    (void)service.submit(backend, a).get(); // cache: a
+    (void)service.submit(backend, b).get(); // cache: b a
+    (void)service.submit(backend, a).get(); // hit -> a b
+    (void)service.submit(backend, c).get(); // evicts b -> c a
+    (void)service.submit(backend, b).get(); // miss again
+    EXPECT_EQ(service.jobsExecuted(), 4u);
+    EXPECT_EQ(service.cacheHits(), 1u);
+}
+
+} // namespace
+} // namespace mussti
