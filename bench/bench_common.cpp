@@ -47,8 +47,11 @@ sharedService()
 {
     static CompileService service([] {
         CompileServiceConfig config;
-        if (const char *env = std::getenv("MUSSTI_BENCH_THREADS"))
-            config.numThreads = std::atoi(env);
+        // Validated parse: garbage, negatives, and zero fall back to
+        // hardware concurrency with a warning instead of atoi's silent
+        // 0 / accepted negatives.
+        config.numThreads = CompileService::parseThreadCount(
+            std::getenv("MUSSTI_BENCH_THREADS"));
         return config;
     }());
     return service;

@@ -1,98 +1,225 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the compiler pipeline stages:
- * DAG construction, trivial/SABRE mapping, full compilation, and the
- * baseline compilers, sized to show the O(n*g) scaling of section 5.6.
+ * Scheduler compile-time microbenchmark and the source of the repo's
+ * BENCH_*.json trajectory.
+ *
+ * Times full MUSS-TI compilations (SABRE mapping, paper defaults)
+ * across three workload tiers — small (64q), medium (160q), large
+ * (288q) — for the Fig-10 families, taking the best of N repeats, and
+ * emits machine-readable results (common/bench_json.h) including the
+ * per-pass trace of the best run.
+ *
+ * Compilations go straight through MusstiCompiler, NOT the shared
+ * CompileService, so the result cache cannot fake the timings.
+ *
+ * Usage:
+ *   micro_scheduler_bench [--repeats N] [--quick]
+ *                         [--out bench_results.json]
+ *                         [--baseline old_results.json]
+ *                         [--require-speedup X]
+ *
+ * With --baseline, each record gains speedup_vs_baseline against the
+ * matching (suite, name, qubits) entry of the old file, and the summary
+ * reports the large tier's aggregate speedup (summed wall time, so the
+ * heavy workloads dominate and sub-millisecond ones don't add noise).
+ * --require-speedup X exits non-zero unless that aggregate reaches X
+ * and every large-tier workload has a baseline entry (the CI perf
+ * gate; it refuses to pass vacuously).
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "baselines/murali.h"
+#include "common/bench_json.h"
 #include "core/compiler.h"
-#include "core/mapper.h"
-#include "dag/dag.h"
 #include "workloads/workloads.h"
-
-namespace {
 
 using namespace mussti;
 
-void
-BM_DagConstruction(benchmark::State &state)
-{
-    const Circuit qc = makeRandomCircuit(
-        static_cast<int>(state.range(0)),
-        static_cast<int>(state.range(0)) * 10, 3);
-    for (auto _ : state) {
-        DependencyDag dag(qc);
-        benchmark::DoNotOptimize(dag.remaining());
-    }
-    state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_DagConstruction)->Range(32, 256)->Complexity();
+namespace {
 
-void
-BM_TrivialMapping(benchmark::State &state)
+struct Tier
 {
-    MusstiConfig config;
-    const int n = static_cast<int>(state.range(0));
-    const EmlDevice device(config.device, n);
-    for (auto _ : state) {
-        Placement p = trivialPlacement(device, n);
-        benchmark::DoNotOptimize(p.allPlaced());
-    }
-}
-BENCHMARK(BM_TrivialMapping)->Range(32, 256);
+    const char *label;
+    int qubits;
+};
 
-void
-BM_CompileGhzTrivial(benchmark::State &state)
-{
-    MusstiConfig config;
-    config.mapping = MappingKind::Trivial;
-    const MusstiCompiler compiler(config);
-    const Circuit qc = makeGhz(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto result = compiler.compile(qc);
-        benchmark::DoNotOptimize(result.metrics.shuttleCount);
-    }
-    state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_CompileGhzTrivial)->Range(32, 256)->Complexity();
+constexpr Tier kTiers[] = {{"small", 64}, {"medium", 160}, {"large", 288}};
+constexpr const char *kFamilies[] = {"adder", "bv", "ghz", "qaoa"};
 
-void
-BM_CompileAdderSabre(benchmark::State &state)
+double
+toMs(std::chrono::steady_clock::duration d)
 {
-    const MusstiCompiler compiler;
-    const Circuit qc = makeAdder(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto result = compiler.compile(qc);
-        benchmark::DoNotOptimize(result.metrics.shuttleCount);
-    }
+    return 1e3 * std::chrono::duration<double>(d).count();
 }
-BENCHMARK(BM_CompileAdderSabre)->Range(32, 128);
 
-void
-BM_CompileSqrtFull(benchmark::State &state)
+BenchRecord
+measure(const std::string &tier, const std::string &family, int qubits,
+        int repeats)
 {
-    const MusstiCompiler compiler;
-    const Circuit qc = makeSqrt(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        auto result = compiler.compile(qc);
-        benchmark::DoNotOptimize(result.metrics.shuttleCount);
-    }
-}
-BENCHMARK(BM_CompileSqrtFull)->Arg(63)->Arg(117);
+    const MusstiCompiler compiler; // paper defaults, SABRE mapping
+    const Circuit qc = makeBenchmark(family, qubits);
 
-void
-BM_BaselineMurali(benchmark::State &state)
-{
-    const PhysicalParams params;
-    const Circuit qc = makeAdder(static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        MuraliCompiler compiler(GridConfig{3, 4, 16}, params);
-        auto result = compiler.compile(qc);
-        benchmark::DoNotOptimize(result.metrics.shuttleCount);
+    BenchRecord record;
+    record.suite = "micro_scheduler/" + tier;
+    record.name = family;
+    record.qubits = qubits;
+    record.repeats = repeats;
+    record.wallMs = -1.0;
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const CompileResult result = compiler.compile(qc);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms = toMs(t1 - t0);
+        if (record.wallMs < 0.0 || wall_ms < record.wallMs) {
+            record.wallMs = wall_ms;
+            record.passTrace.clear();
+            for (const PassTiming &timing : result.passTrace)
+                record.passTrace.push_back(
+                    {timing.pass, 1e3 * timing.seconds});
+        }
     }
+    return record;
 }
-BENCHMARK(BM_BaselineMurali)->Arg(32)->Arg(128);
+
+const BenchRecord *
+findBaseline(const std::vector<BenchRecord> &baseline,
+             const BenchRecord &record)
+{
+    for (const BenchRecord &b : baseline) {
+        if (b.suite == record.suite && b.name == record.name &&
+            b.qubits == record.qubits)
+            return &b;
+    }
+    return nullptr;
+}
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    int repeats = 5;
+    std::string out_path = "bench_results.json";
+    std::string baseline_path;
+    double require_speedup = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after " + arg);
+            return argv[++i];
+        };
+        if (arg == "--repeats") {
+            repeats = std::atoi(next().c_str());
+            if (repeats < 1)
+                fatal("--repeats must be >= 1");
+        } else if (arg == "--quick") {
+            repeats = 2;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--require-speedup") {
+            // Strict parse: atof would turn a typo into 0.0 and
+            // silently disable the CI gate.
+            const std::string value = next();
+            char *end = nullptr;
+            require_speedup = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                require_speedup <= 0.0)
+                fatal("--require-speedup wants a positive number, got `" +
+                      value + "`");
+        } else {
+            fatal("unknown argument: " + arg + " (see the file header "
+                  "for usage)");
+        }
+    }
+
+    // The gate must never pass vacuously: demanding a speedup with no
+    // baseline to compare against is a misconfiguration, not a pass.
+    if (require_speedup > 0.0 && baseline_path.empty())
+        fatal("--require-speedup needs --baseline <old_results.json>");
+
+    std::vector<BenchRecord> baseline;
+    if (!baseline_path.empty())
+        baseline = readBenchResults(baseline_path);
+
+    std::cout << "micro_scheduler_bench: full-compile wall time, best of "
+              << repeats << " repeats\n";
+    std::printf("%-8s %-6s %7s %12s %10s\n", "tier", "family", "qubits",
+                "wall-ms", "speedup");
+
+    std::vector<BenchRecord> records;
+    bool gate_ok = true;
+    double large_wall_ms = 0.0;
+    double large_baseline_ms = 0.0;
+    for (const Tier &tier : kTiers) {
+        for (const char *family : kFamilies) {
+            BenchRecord record = measure(tier.label, family, tier.qubits,
+                                         repeats);
+            std::string speedup_cell = "-";
+            const BenchRecord *base = findBaseline(baseline, record);
+            if (base != nullptr) {
+                record.speedupVsBaseline = base->wallMs / record.wallMs;
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%.2fx",
+                              record.speedupVsBaseline);
+                speedup_cell = buf;
+            }
+            if (std::strcmp(tier.label, "large") == 0) {
+                if (base != nullptr) {
+                    // Aggregate over MATCHED records only, so a partial
+                    // baseline compares like against like instead of
+                    // dividing mismatched workload sets.
+                    large_wall_ms += record.wallMs;
+                    large_baseline_ms += base->wallMs;
+                } else if (!baseline.empty()) {
+                    // A large-tier workload with no baseline entry can
+                    // never prove its speedup — warn always, and fail
+                    // the gate instead of passing vacuously (e.g. a
+                    // stale or mismatched baseline file).
+                    std::printf("no baseline entry for %s/%s n=%d\n",
+                                tier.label, family, record.qubits);
+                    if (require_speedup > 0.0)
+                        gate_ok = false;
+                }
+            }
+            std::printf("%-8s %-6s %7d %12.3f %10s\n", tier.label, family,
+                        record.qubits, record.wallMs,
+                        speedup_cell.c_str());
+            records.push_back(std::move(record));
+        }
+    }
+
+    const double large_tier_speedup = large_baseline_ms > 0.0
+        ? large_baseline_ms / large_wall_ms
+        : 0.0;
+    if (require_speedup > 0.0 && large_tier_speedup < require_speedup)
+        gate_ok = false;
+
+    std::string context = "micro_scheduler_bench --repeats " +
+        std::to_string(repeats);
+    if (!baseline_path.empty())
+        context += " --baseline " + baseline_path;
+    writeBenchResults(out_path, records, context);
+    std::cout << "wrote " << out_path << "\n";
+
+    if (large_tier_speedup > 0.0) {
+        std::printf("large-tier aggregate speedup vs baseline: %.2fx "
+                    "(%.2f ms -> %.2f ms)\n", large_tier_speedup,
+                    large_baseline_ms, large_wall_ms);
+    }
+    if (!gate_ok) {
+        std::printf("FAIL: large-tier aggregate speedup below the "
+                    "required %.2fx\n", require_speedup);
+        return 1;
+    }
+    return 0;
+}

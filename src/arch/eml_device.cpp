@@ -62,14 +62,20 @@ EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
             zones_.push_back(info);
         }
     }
-}
 
-const ZoneInfo &
-EmlDevice::zone(int zone_id) const
-{
-    MUSSTI_ASSERT(zone_id >= 0 && zone_id < numZones(),
-                  "zone id " << zone_id << " out of range");
-    return zones_[zone_id];
+    // Zone-distance lookup: distanceUm sits inside the router's
+    // plan-costing loops, so resolve the geometry once here. Cross-
+    // module pairs stay -1 (ions never shuttle between modules).
+    const int nz = numZones();
+    zoneDistanceUm_.assign(static_cast<std::size_t>(nz) * nz, -1.0);
+    for (int m = 0; m < numModules_; ++m) {
+        for (int a : moduleZones_[m]) {
+            for (int b : moduleZones_[m]) {
+                zoneDistanceUm_[static_cast<std::size_t>(a) * nz + b] =
+                    std::fabs(zones_[a].positionUm - zones_[b].positionUm);
+            }
+        }
+    }
 }
 
 const std::vector<int> &
@@ -105,12 +111,19 @@ EmlDevice::gateZonesOfModule(int module) const
 double
 EmlDevice::distanceUm(int zone_a, int zone_b) const
 {
-    const ZoneInfo &a = zone(zone_a);
-    const ZoneInfo &b = zone(zone_b);
-    MUSSTI_ASSERT(a.module == b.module,
-                  "distanceUm across modules " << a.module << " and "
-                  << b.module << "; ions cannot shuttle between modules");
-    return std::fabs(a.positionUm - b.positionUm);
+    MUSSTI_ASSERT(zone_a >= 0 && zone_a < numZones() && zone_b >= 0 &&
+                  zone_b < numZones(),
+                  "distanceUm zone out of range: " << zone_a << ", "
+                  << zone_b);
+    const double distance =
+        zoneDistanceUm_[static_cast<std::size_t>(zone_a) * numZones() +
+                        zone_b];
+    MUSSTI_ASSERT(distance >= 0.0,
+                  "distanceUm across modules "
+                  << zones_[zone_a].module << " and "
+                  << zones_[zone_b].module
+                  << "; ions cannot shuttle between modules");
+    return distance;
 }
 
 bool

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "arch/zone.h"
+#include "common/logging.h"
 
 namespace mussti {
 
@@ -51,8 +52,14 @@ class EmlDevice
     int numZones() const { return static_cast<int>(zones_.size()); }
     int numQubits() const { return numQubits_; }
 
-    /** Static zone descriptor by global zone id. */
-    const ZoneInfo &zone(int zone_id) const;
+    /** Static zone descriptor by global zone id (hot path, inline). */
+    const ZoneInfo &
+    zone(int zone_id) const
+    {
+        MUSSTI_ASSERT(zone_id >= 0 && zone_id < numZones(),
+                      "zone id " << zone_id << " out of range");
+        return zones_[zone_id];
+    }
 
     /** All zone descriptors (evaluator/validator input). */
     const std::vector<ZoneInfo> &zoneInfos() const { return zones_; }
@@ -66,7 +73,11 @@ class EmlDevice
     /** Gate-capable zone ids (operation + optical) within a module. */
     std::vector<int> gateZonesOfModule(int module) const;
 
-    /** Intra-module center-to-center distance in micrometers. */
+    /**
+     * Intra-module center-to-center distance in micrometers. Served
+     * from a table precomputed at construction — this sits inside the
+     * router's plan-costing inner loops.
+     */
     double distanceUm(int zone_a, int zone_b) const;
 
     /** True if a fiber gate may couple these two zones. */
@@ -84,6 +95,8 @@ class EmlDevice
     int numModules_;
     std::vector<ZoneInfo> zones_;
     std::vector<std::vector<int>> moduleZones_;
+    std::vector<double> zoneDistanceUm_; ///< numZones x numZones lookup;
+                                         ///< -1 marks cross-module pairs.
 };
 
 } // namespace mussti

@@ -13,41 +13,6 @@ Placement::Placement(int num_qubits, int num_zones)
     MUSSTI_REQUIRE(num_zones > 0, "placement needs zones");
 }
 
-void
-Placement::checkQubit(int qubit) const
-{
-    MUSSTI_ASSERT(qubit >= 0 && qubit < numQubits(),
-                  "qubit " << qubit << " out of range");
-}
-
-void
-Placement::checkZone(int zone) const
-{
-    MUSSTI_ASSERT(zone >= 0 && zone < numZones(),
-                  "zone " << zone << " out of range");
-}
-
-int
-Placement::zoneOf(int qubit) const
-{
-    checkQubit(qubit);
-    return qubitZone_[qubit];
-}
-
-const std::deque<int> &
-Placement::chain(int zone) const
-{
-    checkZone(zone);
-    return chains_[zone];
-}
-
-int
-Placement::sizeOf(int zone) const
-{
-    checkZone(zone);
-    return static_cast<int>(chains_[zone].size());
-}
-
 int
 Placement::chainIndex(int qubit) const
 {

@@ -11,6 +11,8 @@
 #include <deque>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace mussti {
 
 /** Which chain edge an ion enters or leaves through. */
@@ -28,14 +30,33 @@ class Placement
     int numQubits() const { return static_cast<int>(qubitZone_.size()); }
     int numZones() const { return static_cast<int>(chains_.size()); }
 
+    // The three accessors below sit inside the router's plan-costing
+    // and weight-table inner loops; they are defined inline so the
+    // range checks fold into the callers.
+
     /** Zone holding a qubit, or -1 if unplaced. */
-    int zoneOf(int qubit) const;
+    int
+    zoneOf(int qubit) const
+    {
+        checkQubit(qubit);
+        return qubitZone_[qubit];
+    }
 
     /** Chain order (front..back) of a zone. */
-    const std::deque<int> &chain(int zone) const;
+    const std::deque<int> &
+    chain(int zone) const
+    {
+        checkZone(zone);
+        return chains_[zone];
+    }
 
     /** Number of ions resident in a zone. */
-    int sizeOf(int zone) const;
+    int
+    sizeOf(int zone) const
+    {
+        checkZone(zone);
+        return static_cast<int>(chains_[zone].size());
+    }
 
     /** Position of the qubit in its chain (0 = front). */
     int chainIndex(int qubit) const;
@@ -74,8 +95,19 @@ class Placement
     std::vector<int> qubitZone_;
     std::vector<std::deque<int>> chains_;
 
-    void checkQubit(int qubit) const;
-    void checkZone(int zone) const;
+    void
+    checkQubit(int qubit) const
+    {
+        MUSSTI_ASSERT(qubit >= 0 && qubit < numQubits(),
+                      "qubit " << qubit << " out of range");
+    }
+
+    void
+    checkZone(int zone) const
+    {
+        MUSSTI_ASSERT(zone >= 0 && zone < numZones(),
+                      "zone " << zone << " out of range");
+    }
 };
 
 } // namespace mussti

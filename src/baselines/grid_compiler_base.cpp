@@ -170,8 +170,17 @@ GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
            device_.config().trapCapacity) {
         const int victim = pass.lru.victim(pass.placement.chain(target_trap),
                                            guarded);
-        MUSSTI_ASSERT(victim >= 0, "grid spill dead-lock in trap "
-                      << target_trap);
+        // victim() returns -1 when every resident is protected — a
+        // capacity dead-lock (trap smaller than the protected working
+        // set), which must fail loudly instead of indexing with -1.
+        if (victim < 0) {
+            panic("grid spill dead-lock in trap " +
+                  std::to_string(target_trap) + ": all " +
+                  std::to_string(pass.placement.sizeOf(target_trap)) +
+                  " residents are protected (" +
+                  std::to_string(guarded.size()) + " protected qubits); "
+                  "trap capacity too small for the gate's working set");
+        }
         const int spill_to = nearestTrapWithSpace(pass, target_trap,
                                                   target_trap);
         MUSSTI_ASSERT(spill_to >= 0, "grid completely full");

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <istream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -47,20 +48,112 @@ gateToQasm(const Gate &g)
     }
 }
 
+/**
+ * Strict full-string double parse; diagnostics name the offending
+ * statement (std::stod alone throws bare exceptions and silently
+ * accepts trailing garbage).
+ */
+double
+parseReal(const std::string &text, const std::string &stmt)
+{
+    const std::optional<double> value = parseDoubleStrict(text);
+    MUSSTI_REQUIRE(value.has_value(),
+                   "unparsable number `" << text << "` in statement: "
+                   << stmt);
+    return *value;
+}
+
+/** Strict full-string non-negative integer parse with diagnostics. */
+int
+parseIndex(const std::string &text, const std::string &stmt)
+{
+    const std::optional<int> value = parseIntStrict(text);
+    MUSSTI_REQUIRE(value.has_value(),
+                   "unparsable index `" << text << "` in statement: "
+                   << stmt);
+    MUSSTI_REQUIRE(*value >= 0,
+                   "negative index `" << text << "` in statement: "
+                   << stmt);
+    return *value;
+}
+
 /** Parse "q[7]" -> 7; fatal on other register names. */
 int
-parseOperand(const std::string &token, const std::string &reg_name)
+parseOperand(const std::string &token, const std::string &reg_name,
+             const std::string &stmt)
 {
     const std::string t = trim(token);
     const std::size_t lb = t.find('[');
     const std::size_t rb = t.find(']');
     MUSSTI_REQUIRE(lb != std::string::npos && rb != std::string::npos &&
-                   rb > lb, "malformed operand: " + token);
+                   rb > lb + 1,
+                   "malformed operand `" + token + "` in statement: " +
+                   stmt);
     const std::string reg = trim(t.substr(0, lb));
     MUSSTI_REQUIRE(reg == reg_name,
                    "unsupported register `" + reg + "` (expected " +
-                   reg_name + ")");
-    return std::stoi(t.substr(lb + 1, rb - lb - 1));
+                   reg_name + ") in statement: " + stmt);
+    return parseIndex(trim(t.substr(lb + 1, rb - lb - 1)), stmt);
+}
+
+/**
+ * Parse one parameter fragment: a plain number, or the pi expressions
+ * QASMBench emits — `pi`, `pi/b`, `a*pi`, `pi*a`, `a*pi/b`, each with
+ * an optional leading sign. Zero denominators and malformed products
+ * are rejected with the offending statement (the old code let `pi/0`
+ * through as inf and read every `a*pi` as plain pi).
+ */
+double
+parseParam(const std::string &fragment, const std::string &stmt)
+{
+    std::string text = trim(fragment);
+    if (text.empty())
+        return 0.0;
+
+    double sign = 1.0;
+    if (text[0] == '+' || text[0] == '-') {
+        sign = text[0] == '-' ? -1.0 : 1.0;
+        text = trim(text.substr(1));
+        MUSSTI_REQUIRE(!text.empty(), "dangling sign in parameter of "
+                       "statement: " << stmt);
+    }
+
+    if (text.find("pi") == std::string::npos)
+        return sign * parseReal(text, stmt);
+
+    double scale = 1.0;
+    const auto frac = split(text, '/');
+    MUSSTI_REQUIRE(frac.size() <= 2,
+                   "chained division in parameter of statement: " << stmt);
+    if (frac.size() == 2) {
+        const double denominator = parseReal(trim(frac[1]), stmt);
+        MUSSTI_REQUIRE(denominator != 0.0,
+                       "zero denominator in parameter of statement: "
+                       << stmt);
+        scale /= denominator;
+    }
+
+    const std::string head = trim(frac[0]);
+    const auto product = split(head, '*');
+    MUSSTI_REQUIRE(product.size() <= 2,
+                   "chained product in parameter of statement: " << stmt);
+    if (product.size() == 1) {
+        MUSSTI_REQUIRE(trim(product[0]) == "pi",
+                       "unsupported parameter expression `" << text
+                       << "` in statement: " << stmt);
+    } else {
+        const std::string lhs = trim(product[0]);
+        const std::string rhs = trim(product[1]);
+        if (lhs == "pi") {
+            scale *= parseReal(rhs, stmt);
+        } else if (rhs == "pi") {
+            scale *= parseReal(lhs, stmt);
+        } else {
+            fatal("unsupported parameter expression `" + text +
+                  "` in statement: " + stmt);
+        }
+    }
+    return sign * M_PI * scale;
 }
 
 } // namespace
@@ -119,10 +212,16 @@ fromQasm(const std::string &text, const std::string &name)
                            "multiple qreg declarations are unsupported");
             const std::size_t lb = stmt.find('[');
             const std::size_t rb = stmt.find(']');
-            MUSSTI_REQUIRE(lb != std::string::npos && rb > lb,
+            MUSSTI_REQUIRE(lb != std::string::npos &&
+                           rb != std::string::npos && rb > lb + 1,
                            "malformed qreg: " + stmt);
             qreg_name = trim(stmt.substr(4, lb - 4));
-            num_qubits = std::stoi(stmt.substr(lb + 1, rb - lb - 1));
+            MUSSTI_REQUIRE(!qreg_name.empty(),
+                           "qreg without a register name: " + stmt);
+            num_qubits = parseIndex(trim(stmt.substr(lb + 1, rb - lb - 1)),
+                                    stmt);
+            MUSSTI_REQUIRE(num_qubits > 0,
+                           "qreg needs a positive size: " + stmt);
             continue;
         }
         MUSSTI_REQUIRE(!startsWith(stmt, "gate") && !startsWith(stmt, "if"),
@@ -135,24 +234,17 @@ fromQasm(const std::string &text, const std::string &name)
         const std::string mnemonic = stmt.substr(0, cut);
         double param = 0.0;
         std::string rest = stmt.substr(cut);
-        if (!rest.empty() && trim(rest)[0] == '(') {
+        if (startsWith(trim(rest), "(")) {
             const std::size_t open = rest.find('(');
             const std::size_t close = rest.find(')');
-            MUSSTI_REQUIRE(close != std::string::npos,
+            MUSSTI_REQUIRE(close != std::string::npos && close > open,
                            "unterminated parameter list: " + stmt);
-            const std::string params = rest.substr(open + 1, close - open - 1);
-            // Accept "pi/2"-style fragments commonly emitted by QASMBench.
-            std::string first = trim(split(params, ',')[0]);
-            if (first.find("pi") != std::string::npos) {
-                double scale = 1.0;
-                const auto frac = split(first, '/');
-                if (frac.size() == 2)
-                    scale = 1.0 / std::stod(frac[1]);
-                double sign = startsWith(first, "-") ? -1.0 : 1.0;
-                param = sign * M_PI * scale;
-            } else if (!first.empty()) {
-                param = std::stod(first);
-            }
+            const std::string params = rest.substr(open + 1,
+                                                   close - open - 1);
+            // Only the first parameter matters for the simulated gate
+            // set (u's theta, rotations' angle); "pi/2"-style fragments
+            // as emitted by QASMBench are accepted.
+            param = parseParam(split(params, ',')[0], stmt);
             rest = rest.substr(close + 1);
         }
 
@@ -163,19 +255,23 @@ fromQasm(const std::string &text, const std::string &name)
         }
         if (kind == GateKind::Measure) {
             const std::string lhs = split(rest, '-')[0];
-            pending.emplace_back(kind, parseOperand(lhs, qreg_name));
+            pending.emplace_back(kind,
+                                 parseOperand(lhs, qreg_name, stmt));
             continue;
         }
         const auto operands = split(rest, ',');
         if (gateArity(kind) == 2) {
             MUSSTI_REQUIRE(operands.size() == 2,
                            "two-qubit gate needs two operands: " + stmt);
-            pending.emplace_back(kind, parseOperand(operands[0], qreg_name),
-                                 parseOperand(operands[1], qreg_name), param);
+            pending.emplace_back(kind,
+                                 parseOperand(operands[0], qreg_name, stmt),
+                                 parseOperand(operands[1], qreg_name, stmt),
+                                 param);
         } else {
             MUSSTI_REQUIRE(operands.size() == 1,
                            "one-qubit gate needs one operand: " + stmt);
-            pending.emplace_back(kind, parseOperand(operands[0], qreg_name),
+            pending.emplace_back(kind,
+                                 parseOperand(operands[0], qreg_name, stmt),
                                  param);
         }
     }
@@ -183,10 +279,17 @@ fromQasm(const std::string &text, const std::string &name)
     MUSSTI_REQUIRE(num_qubits > 0, "no qreg declaration found");
     Circuit circuit(num_qubits, name);
     for (const Gate &g : pending) {
-        if (g.kind == GateKind::Barrier)
+        if (g.kind == GateKind::Barrier) {
             circuit.add(Gate(GateKind::Barrier, -1));
-        else
+        } else {
+            MUSSTI_REQUIRE(g.q0 < num_qubits &&
+                           (gateArity(g.kind) < 2 || g.q1 < num_qubits),
+                           "operand index exceeds qreg size "
+                           << num_qubits << " (gate " << gateName(g.kind)
+                           << " q" << g.q0 << (gateArity(g.kind) == 2
+                               ? ",q" + std::to_string(g.q1) : "") << ")");
             circuit.add(g);
+        }
     }
     return circuit;
 }

@@ -1,0 +1,368 @@
+#include "common/bench_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mussti {
+
+namespace {
+
+/** JSON-escape a string (the fields we emit are plain ASCII). */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+number(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+/**
+ * Minimal recursive-descent JSON reader, just enough to round-trip the
+ * mussti-bench-v1 schema without external dependencies. fatal() (not
+ * panic) on malformed input: a bad file is a user error.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    char
+    peek()
+    {
+        skipWs();
+        MUSSTI_REQUIRE(pos_ < text_.size(),
+                       "bench JSON truncated at offset " << pos_);
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        MUSSTI_REQUIRE(peek() == c, "bench JSON expected `" << c
+                       << "` at offset " << pos_ << ", found `"
+                       << text_[pos_] << "`");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            MUSSTI_REQUIRE(pos_ < text_.size(), "unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                MUSSTI_REQUIRE(pos_ < text_.size(), "unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    MUSSTI_REQUIRE(pos_ + 4 <= text_.size(),
+                                   "truncated \\u escape");
+                    const std::string hex = text_.substr(pos_, 4);
+                    int code = 0;
+                    try {
+                        std::size_t consumed = 0;
+                        code = std::stoi(hex, &consumed, 16);
+                        MUSSTI_REQUIRE(consumed == hex.size(),
+                                       "malformed \\u escape `" << hex
+                                       << "`");
+                    } catch (const std::invalid_argument &) {
+                        fatal("malformed \\u escape `" + hex + "`");
+                    }
+                    pos_ += 4;
+                    out += static_cast<char>(code); // ASCII payloads only
+                    break;
+                  }
+                  default:
+                    fatal("unsupported JSON escape in bench file");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        MUSSTI_REQUIRE(pos_ > start, "bench JSON expected a number at "
+                       "offset " << start);
+        const std::string token = text_.substr(start, pos_ - start);
+        // The character-class scan accepts sequences stod does not
+        // (".e", "-", "e5"); keep the promised fatal() contract.
+        const std::optional<double> value = parseDoubleStrict(token);
+        MUSSTI_REQUIRE(value.has_value(),
+                       "bench JSON malformed number `" << token
+                       << "` at offset " << start);
+        return *value;
+    }
+
+    /** Skip any balanced value (for unknown keys). */
+    void
+    skipValue()
+    {
+        const char c = peek();
+        if (c == 't' || c == 'f' || c == 'n') {
+            // Bare literals an unknown key may carry.
+            for (const char *lit : {"true", "false", "null"}) {
+                if (text_.compare(pos_, std::strlen(lit), lit) == 0) {
+                    pos_ += std::strlen(lit);
+                    return;
+                }
+            }
+            fatal("bench JSON malformed literal at offset " +
+                  std::to_string(pos_));
+        } else if (c == '"') {
+            (void)parseString();
+        } else if (c == '{') {
+            ++pos_;
+            if (!consumeIf('}')) {
+                do {
+                    (void)parseString();
+                    expect(':');
+                    skipValue();
+                } while (consumeIf(','));
+                expect('}');
+            }
+        } else if (c == '[') {
+            ++pos_;
+            if (!consumeIf(']')) {
+                do {
+                    skipValue();
+                } while (consumeIf(','));
+                expect(']');
+            }
+        } else {
+            (void)parseNumber();
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+};
+
+BenchPassTiming
+parsePassTiming(JsonParser &p)
+{
+    BenchPassTiming timing;
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "pass")
+            timing.pass = p.parseString();
+        else if (key == "ms")
+            timing.ms = p.parseNumber();
+        else
+            p.skipValue();
+    } while (p.consumeIf(','));
+    p.expect('}');
+    return timing;
+}
+
+BenchRecord
+parseRecord(JsonParser &p)
+{
+    BenchRecord record;
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "suite") {
+            record.suite = p.parseString();
+        } else if (key == "name") {
+            record.name = p.parseString();
+        } else if (key == "qubits") {
+            record.qubits = static_cast<int>(p.parseNumber());
+        } else if (key == "repeats") {
+            record.repeats = static_cast<int>(p.parseNumber());
+        } else if (key == "wall_ms") {
+            record.wallMs = p.parseNumber();
+        } else if (key == "speedup_vs_baseline") {
+            record.speedupVsBaseline = p.parseNumber();
+        } else if (key == "pass_trace") {
+            p.expect('[');
+            if (!p.consumeIf(']')) {
+                do {
+                    record.passTrace.push_back(parsePassTiming(p));
+                } while (p.consumeIf(','));
+                p.expect(']');
+            }
+        } else {
+            p.skipValue();
+        }
+    } while (p.consumeIf(','));
+    p.expect('}');
+    return record;
+}
+
+} // namespace
+
+std::string
+benchResultsToJson(const std::vector<BenchRecord> &records,
+                   const std::string &context)
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"mussti-bench-v1\",\n";
+    out << "  \"context\": \"" << escape(context) << "\",\n";
+    out << "  \"results\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord &r = records[i];
+        out << (i ? ",\n" : "\n");
+        out << "    {\"suite\": \"" << escape(r.suite) << "\", "
+            << "\"name\": \"" << escape(r.name) << "\", "
+            << "\"qubits\": " << r.qubits << ", "
+            << "\"repeats\": " << r.repeats << ", "
+            << "\"wall_ms\": " << number(r.wallMs);
+        if (r.speedupVsBaseline > 0.0) {
+            out << ", \"speedup_vs_baseline\": "
+                << number(r.speedupVsBaseline);
+        }
+        if (!r.passTrace.empty()) {
+            out << ", \"pass_trace\": [";
+            for (std::size_t j = 0; j < r.passTrace.size(); ++j) {
+                out << (j ? ", " : "")
+                    << "{\"pass\": \"" << escape(r.passTrace[j].pass)
+                    << "\", \"ms\": " << number(r.passTrace[j].ms) << "}";
+            }
+            out << "]";
+        }
+        out << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+void
+writeBenchResults(const std::string &path,
+                  const std::vector<BenchRecord> &records,
+                  const std::string &context)
+{
+    std::ofstream out(path);
+    MUSSTI_REQUIRE(out.good(), "cannot open bench results file: " << path);
+    out << benchResultsToJson(records, context);
+    out.flush();
+    MUSSTI_REQUIRE(out.good(), "failed writing bench results: " << path);
+}
+
+std::vector<BenchRecord>
+parseBenchResults(const std::string &text, std::string *context_out)
+{
+    JsonParser p(text);
+    std::vector<BenchRecord> records;
+    std::string schema;
+
+    p.expect('{');
+    do {
+        const std::string key = p.parseString();
+        p.expect(':');
+        if (key == "schema") {
+            schema = p.parseString();
+        } else if (key == "context") {
+            const std::string context = p.parseString();
+            if (context_out)
+                *context_out = context;
+        } else if (key == "results") {
+            p.expect('[');
+            if (!p.consumeIf(']')) {
+                do {
+                    records.push_back(parseRecord(p));
+                } while (p.consumeIf(','));
+                p.expect(']');
+            }
+        } else {
+            p.skipValue();
+        }
+    } while (p.consumeIf(','));
+    p.expect('}');
+    MUSSTI_REQUIRE(p.atEnd(), "trailing content after bench JSON");
+    MUSSTI_REQUIRE(schema == "mussti-bench-v1",
+                   "unsupported bench schema: `" << schema << "`");
+    return records;
+}
+
+std::vector<BenchRecord>
+readBenchResults(const std::string &path, std::string *context_out)
+{
+    std::ifstream in(path);
+    MUSSTI_REQUIRE(in.good(), "cannot read bench results file: " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseBenchResults(buffer.str(), context_out);
+}
+
+} // namespace mussti

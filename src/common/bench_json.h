@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Machine-readable benchmark results (the repo's BENCH_*.json format).
+ *
+ * Every perf harness emits the same schema so runs are comparable
+ * across PRs and tooling can diff them:
+ *
+ * @code{.json}
+ * {
+ *   "schema": "mussti-bench-v1",
+ *   "context": "micro_scheduler_bench --repeats 5",
+ *   "results": [
+ *     {
+ *       "suite": "micro_scheduler/large",
+ *       "name": "qaoa",
+ *       "qubits": 288,
+ *       "repeats": 5,
+ *       "wall_ms": 4.31,
+ *       "speedup_vs_baseline": 12.9,
+ *       "pass_trace": [{"pass": "mussti-schedule", "ms": 1.02}, ...]
+ *     }
+ *   ]
+ * }
+ * @endcode
+ *
+ * `wall_ms` is the best-of-`repeats` wall clock of one compilation;
+ * `pass_trace` is CompileResult::passTrace of the best run;
+ * `speedup_vs_baseline` is present (> 0) only when the harness was
+ * given a baseline file to compare against. The reader is a small
+ * self-contained JSON parser, so round-tripping needs no external
+ * dependency (tests assert write -> parse fidelity).
+ */
+#ifndef MUSSTI_COMMON_BENCH_JSON_H
+#define MUSSTI_COMMON_BENCH_JSON_H
+
+#include <string>
+#include <vector>
+
+namespace mussti {
+
+/** One pass of a result's per-pass wall-clock breakdown. */
+struct BenchPassTiming
+{
+    std::string pass;
+    double ms = 0.0;
+};
+
+/** One benchmark measurement. */
+struct BenchRecord
+{
+    std::string suite;  ///< Harness + tier, e.g. "micro_scheduler/large".
+    std::string name;   ///< Workload family.
+    int qubits = 0;
+    int repeats = 1;
+    double wallMs = 0.0;             ///< Best-of-repeats wall clock.
+    double speedupVsBaseline = 0.0;  ///< baseline/current; 0 = unknown.
+    std::vector<BenchPassTiming> passTrace;
+};
+
+/** Render records as a mussti-bench-v1 JSON document. */
+std::string benchResultsToJson(const std::vector<BenchRecord> &records,
+                               const std::string &context);
+
+/** Write the JSON document to `path`; fatal() on I/O failure. */
+void writeBenchResults(const std::string &path,
+                       const std::vector<BenchRecord> &records,
+                       const std::string &context);
+
+/**
+ * Parse a mussti-bench-v1 document back into records; fatal() on
+ * malformed input or a wrong schema tag. `context_out`, when non-null,
+ * receives the document's context string.
+ */
+std::vector<BenchRecord> parseBenchResults(const std::string &text,
+                                           std::string *context_out =
+                                               nullptr);
+
+/** Read and parse a results file; fatal() if unreadable. */
+std::vector<BenchRecord> readBenchResults(const std::string &path,
+                                          std::string *context_out =
+                                              nullptr);
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_BENCH_JSON_H

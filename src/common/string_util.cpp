@@ -3,8 +3,45 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace mussti {
+
+std::optional<double>
+parseDoubleStrict(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed != text.size() || !std::isfinite(value))
+            return std::nullopt;
+        return value;
+    } catch (const std::invalid_argument &) {
+        return std::nullopt;
+    } catch (const std::out_of_range &) {
+        return std::nullopt;
+    }
+}
+
+std::optional<int>
+parseIntStrict(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(text, &consumed);
+        if (consumed != text.size())
+            return std::nullopt;
+        return value;
+    } catch (const std::invalid_argument &) {
+        return std::nullopt;
+    } catch (const std::out_of_range &) {
+        return std::nullopt;
+    }
+}
 
 std::string
 trim(const std::string &text)

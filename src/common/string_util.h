@@ -5,6 +5,7 @@
 #ifndef MUSSTI_COMMON_STRING_UTIL_H
 #define MUSSTI_COMMON_STRING_UTIL_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,18 @@ std::vector<std::string> split(const std::string &text, char delim);
 
 /** True if text begins with the given prefix. */
 bool startsWith(const std::string &text, const std::string &prefix);
+
+/**
+ * Strict full-string base-10 double parse: the whole string must be a
+ * finite number (no trailing garbage, no inf/nan, no empty input);
+ * nullopt otherwise. The one numeric-validation used by the QASM
+ * parser, the bench-JSON reader, and the env-var parsing, so hardening
+ * fixes land everywhere at once.
+ */
+std::optional<double> parseDoubleStrict(const std::string &text);
+
+/** Strict full-string int parse; nullopt on garbage or overflow. */
+std::optional<int> parseIntStrict(const std::string &text);
 
 /** Lower-case an ASCII string. */
 std::string toLower(const std::string &text);

@@ -1,10 +1,13 @@
 #include "core/compile_service.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace mussti {
 
@@ -54,6 +57,31 @@ CompileService::deriveJobSeed(std::uint64_t base_seed,
     x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
     x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
     return x ^ (x >> 31);
+}
+
+int
+CompileService::parseThreadCount(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return 0;
+
+    const std::optional<int> value = parseIntStrict(text);
+    if (!value.has_value()) {
+        warn(std::string("ignoring unparsable thread count `") + text +
+             "` (want a positive integer); using hardware concurrency");
+        return 0;
+    }
+    if (*value <= 0) {
+        warn(std::string("ignoring non-positive thread count `") + text +
+             "`; using hardware concurrency");
+        return 0;
+    }
+    if (*value > kMaxThreads) {
+        warn("clamping thread count " + std::to_string(*value) + " to " +
+             std::to_string(kMaxThreads));
+        return kMaxThreads;
+    }
+    return *value;
 }
 
 std::future<CompileResult>

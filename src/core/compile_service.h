@@ -96,6 +96,20 @@ class CompileService
     static std::uint64_t deriveJobSeed(std::uint64_t base_seed,
                                        std::size_t job_index);
 
+    /** Upper bound accepted for an explicit worker-thread count. */
+    static constexpr int kMaxThreads = 512;
+
+    /**
+     * Parse a thread-count override (the MUSSTI_BENCH_THREADS
+     * environment variable). Returns 0 — "auto", i.e. hardware
+     * concurrency — for null/empty input, and the parsed value for a
+     * well-formed positive integer, clamped to kMaxThreads with a
+     * warning. Garbage or non-positive values (which std::atoi would
+     * silently turn into 0 or accept) are rejected with a logged
+     * warning and fall back to auto.
+     */
+    static int parseThreadCount(const char *text);
+
     int numThreads() const { return static_cast<int>(workers_.size()); }
 
     /** Jobs that actually compiled (cache misses). */

@@ -23,6 +23,15 @@ seededConfig(const MusstiConfig &config, std::uint64_t seed)
     return seeded;
 }
 
+/** The job's scheduler buffer cache, created on first use. */
+SchedulerWorkspace &
+schedulerWorkspaceOf(CompileContext &ctx)
+{
+    if (!ctx.schedulerWorkspace)
+        ctx.schedulerWorkspace = std::make_shared<SchedulerWorkspace>();
+    return *ctx.schedulerWorkspace;
+}
+
 /** Build the EML device sized for the input circuit. */
 class EmlTargetPass : public CompilerPass
 {
@@ -76,7 +85,8 @@ class MusstiSchedulePass : public CompilerPass
         const MusstiScheduler scheduler(ctx.requireEmlDevice(),
                                         ctx.params, config);
         auto output = scheduler.run(ctx.requireLowered(),
-                                    ctx.requirePlacement());
+                                    ctx.requirePlacement(),
+                                    &schedulerWorkspaceOf(ctx));
         ctx.schedule = std::move(output.schedule);
         ctx.finalPlacement = std::move(output.finalPlacement);
         ctx.swapInsertions = output.swapInsertions;
@@ -122,10 +132,12 @@ class SabreTwoFoldPass : public CompilerPass
         MUSSTI_ASSERT(ctx.finalPlacement.has_value(),
                       "sabre-two-fold needs the forward pass's final "
                       "placement");
+        SchedulerWorkspace &workspace = schedulerWorkspaceOf(ctx);
         const Circuit reversed = ctx.requireLowered().reversed();
-        auto backward = scheduler.run(reversed, *ctx.finalPlacement);
+        auto backward = scheduler.run(reversed, *ctx.finalPlacement,
+                                      &workspace);
         auto refined = scheduler.run(ctx.requireLowered(),
-                                     backward.finalPlacement);
+                                     backward.finalPlacement, &workspace);
         const Metrics refined_metrics = evaluator.evaluate(
             refined.schedule, device.zoneInfos());
 
@@ -191,6 +203,7 @@ MusstiCompiler::configDigest() const
     hash.update(config_.lookAhead);
     hash.update(config_.swapThreshold);
     hash.update(config_.enableSwapInsertion);
+    hash.update(config_.nextUseHorizon);
     hash.update(static_cast<int>(config_.mapping));
     hash.update(static_cast<int>(config_.replacement));
     hash.update(config_.seed);

@@ -48,6 +48,15 @@ struct MusstiConfig
     /** Enable the section-3.3 SWAP insertion pass. */
     bool enableSwapInsertion = true;
 
+    /**
+     * Layers of the incrementally maintained DAG window the replacement
+     * scheduler consults for anticipated qubit usage (section 3.4). Also
+     * the "idle" sentinel: a qubit with no gate within the horizon
+     * reports this value. Larger horizons approximate Belady better but
+     * widen the window the DAG maintains per retirement.
+     */
+    int nextUseHorizon = 64;
+
     /** Initial mapping strategy. */
     MappingKind mapping = MappingKind::Sabre;
 

@@ -44,17 +44,19 @@ sabrePlacement(const EmlDevice &device, const PhysicalParams &params,
                const MusstiConfig &config, const Circuit &lowered)
 {
     MusstiScheduler scheduler(device, params, config);
+    SchedulerWorkspace workspace;
 
     // Forward pass from the trivial mapping.
     const Placement trivial = trivialPlacement(device,
                                                lowered.numQubits());
-    auto forward = scheduler.run(lowered, trivial);
+    auto forward = scheduler.run(lowered, trivial, &workspace);
 
     // Reverse pass seeded by the forward pass's final placement: the
     // placement it ends in is one that serves the *start* of the
     // circuit well.
     const Circuit reversed = lowered.reversed();
-    auto backward = scheduler.run(reversed, forward.finalPlacement);
+    auto backward = scheduler.run(reversed, forward.finalPlacement,
+                                  &workspace);
 
     return backward.finalPlacement;
 }

@@ -33,6 +33,8 @@
 
 namespace mussti {
 
+struct SchedulerWorkspace; // core/scheduler.h
+
 /** Wall-clock record of one executed pass. */
 struct PassTiming
 {
@@ -89,6 +91,13 @@ struct CompileContext
 
     Metrics metrics;
     bool metricsValid = false; ///< Set by whichever pass evaluated last.
+
+    /**
+     * Scheduler buffer cache shared by the scheduling passes of one job
+     * (created by the first pass that runs a scheduler, reused by the
+     * SABRE legs). Per-context, so concurrent jobs never share it.
+     */
+    std::shared_ptr<SchedulerWorkspace> schedulerWorkspace;
 
     std::vector<PassTiming> trace; ///< Filled by PassPipeline.
 

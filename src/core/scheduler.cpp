@@ -1,5 +1,6 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -27,43 +28,36 @@ struct PassState
 
     std::vector<int> nextUse;
 
-    /** Layers scanned when estimating each qubit's next use. */
-    static constexpr int nextUseHorizon = 64;
-
     PassState(const EmlDevice &dev, const PhysicalParams &par,
               const MusstiConfig &cfg, const Circuit &circuit,
-              const Placement &initial)
+              const Placement &initial, SchedulerWorkspace &ws)
         : device(dev), params(par), placement(initial),
           lru(circuit.numQubits()),
           router(dev, par, placement, schedule, lru, cfg.replacement,
                  cfg.seed),
           inserter(dev, par, cfg, placement, schedule, router, lru),
-          dag(circuit),
-          nextUse(circuit.numQubits(), 0)
+          dag(circuit, cfg.nextUseHorizon),
+          nextUse(std::move(ws.nextUseScratch))
     {
+        nextUse.assign(circuit.numQubits(), 0);
         schedule.initialChains = Schedule::snapshotChains(initial);
+        schedule.ops.reserve(ws.opReserveHint);
         router.setNextUse(&nextUse);
     }
 
     /**
-     * Refresh the anticipated-usage table: nextUse[q] = index of the
-     * first DAG layer (within the horizon) whose gates touch q, or the
-     * horizon sentinel when q is idle throughout the window. This is
-     * the "anticipated qubit usage" the paper's replacement scheduler
-     * combines with LRU history.
+     * Snapshot the anticipated-usage table the DAG maintains
+     * incrementally: nextUse[q] = window depth of qubit q's next gate,
+     * or the horizon sentinel when q is idle throughout the window.
+     * This is the "anticipated qubit usage" the paper's replacement
+     * scheduler combines with LRU history. Taken once per routing step
+     * (an O(qubits) copy) so eviction decisions between snapshots see a
+     * stable table, exactly as the full recomputation did.
      */
     void
-    refreshNextUse()
+    snapshotNextUse()
     {
-        std::fill(nextUse.begin(), nextUse.end(), nextUseHorizon);
-        const auto layers = dag.frontLayers(nextUseHorizon);
-        for (int depth = static_cast<int>(layers.size()) - 1; depth >= 0;
-             --depth) {
-            for (DagNodeId id : layers[depth]) {
-                nextUse[dag.node(id).gate.q0] = depth;
-                nextUse[dag.node(id).gate.q1] = depth;
-            }
-        }
+        nextUse = dag.nextUse();
     }
 };
 
@@ -143,12 +137,15 @@ executeGate(PassState &st, const MusstiConfig &config, DagNodeId id,
 } // namespace
 
 MusstiScheduler::RunOutput
-MusstiScheduler::run(const Circuit &lowered, const Placement &initial) const
+MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
+                     SchedulerWorkspace *workspace) const
 {
     MUSSTI_REQUIRE(initial.allPlaced(),
                    "initial mapping leaves qubits unplaced");
 
-    PassState st(device_, params_, config_, lowered, initial);
+    SchedulerWorkspace local;
+    SchedulerWorkspace &ws = workspace ? *workspace : local;
+    PassState st(device_, params_, config_, lowered, initial, ws);
     int swap_insertions = 0;
 
     while (!st.dag.empty()) {
@@ -174,13 +171,18 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial) const
         // look-ahead window.
         const DagNodeId chosen = st.dag.frontier().front();
         const Gate &gate = st.dag.node(chosen).gate;
-        st.refreshNextUse();
+        st.snapshotNextUse();
         st.router.routeForGate(gate.q0, gate.q1);
         executeGate(st, config_, chosen, swap_insertions);
     }
 
     for (const Gate &g1 : st.dag.trailing1q())
         emit1q(st, g1);
+
+    // Hand the reusable buffers back so the next run (the SABRE
+    // reverse/refine legs) starts pre-sized.
+    ws.opReserveHint = std::max(ws.opReserveHint, st.schedule.ops.size());
+    ws.nextUseScratch = std::move(st.nextUse);
 
     RunOutput out(std::move(st.placement));
     out.schedule = std::move(st.schedule);

@@ -8,6 +8,9 @@
 #ifndef MUSSTI_CORE_SCHEDULER_H
 #define MUSSTI_CORE_SCHEDULER_H
 
+#include <cstddef>
+#include <vector>
+
 #include "arch/eml_device.h"
 #include "arch/placement.h"
 #include "circuit/circuit.h"
@@ -16,6 +19,24 @@
 #include "sim/schedule.h"
 
 namespace mussti {
+
+/**
+ * Reusable buffers for MusstiScheduler::run. A SABRE compile runs the
+ * scheduler three times (forward, reverse, refined forward); sharing one
+ * workspace across those runs recycles the anticipated-usage snapshot
+ * buffer and pre-sizes the op stream from the previous run instead of
+ * re-growing it from empty. Purely an allocation cache: results are
+ * bit-identical with or without one, and a default-constructed instance
+ * is always valid.
+ */
+struct SchedulerWorkspace
+{
+    /** Recycled storage for the per-pass nextUse snapshot. */
+    std::vector<int> nextUseScratch;
+
+    /** Op count of the largest run so far; seeds Schedule::ops reserve. */
+    std::size_t opReserveHint = 0;
+};
 
 /** One full scheduling pass over a circuit. */
 class MusstiScheduler
@@ -41,8 +62,12 @@ class MusstiScheduler
     /**
      * Schedule `lowered` (SWAPs already decomposed) starting from
      * `initial` placement. The initial placement must place all qubits.
+     * `workspace`, when given, donates reusable buffers and receives
+     * them back on return (see SchedulerWorkspace); output is identical
+     * either way.
      */
-    RunOutput run(const Circuit &lowered, const Placement &initial) const;
+    RunOutput run(const Circuit &lowered, const Placement &initial,
+                  SchedulerWorkspace *workspace = nullptr) const;
 
   private:
     const EmlDevice &device_;

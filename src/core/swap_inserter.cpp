@@ -90,23 +90,24 @@ SwapInserter::maybeInsert(const DependencyDag &dag, int qubit_a,
                           int qubit_b)
 {
     int performed = 0;
+    // The view reads the live dag/placement, so each query already sees
+    // the effect of any SWAP performed for the first operand; only the
+    // cached row must be dropped after a migration.
+    weights_.bind(dag, placement_, device_, config_.lookAhead);
     for (int q : {qubit_a, qubit_b}) {
-        // Rebuild the weight window after each potential migration: a
-        // performed SWAP changes every residency the table depends on.
-        const WeightTable weights(dag, placement_, device_,
-                                  config_.lookAhead);
         const int home = device_.zone(placement_.zoneOf(q)).module;
-        if (weights.weight(q, home) != 0)
+        if (weights_.weight(q, home) != 0)
             continue;
-        const auto [target, weight] = weights.bestForeignModule(q, home);
+        const auto [target, weight] = weights_.bestForeignModule(q, home);
         if (target < 0 || weight <= config_.swapThreshold)
             continue;
-        const int partner = choosePartner(weights, target,
+        const int partner = choosePartner(weights_, target,
                                           {qubit_a, qubit_b});
         if (partner < 0)
             continue;
         performSwap(q, partner);
         ++performed;
+        weights_.invalidateCache();
     }
     return performed;
 }

@@ -52,6 +52,8 @@ class SwapInserter
     Router &router_;
     LruTracker &lru_;
     int inserted_ = 0;
+    WeightTable weights_; ///< Lazy weight view re-bound per maybeInsert;
+                          ///< row storage reused across the whole pass.
 
     /** Pick the exchange partner on the target module, or -1. */
     int choosePartner(const WeightTable &weights, int target_module,

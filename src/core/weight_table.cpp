@@ -1,31 +1,59 @@
 #include "core/weight_table.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace mussti {
 
-WeightTable::WeightTable(const DependencyDag &dag,
-                         const Placement &placement,
-                         const EmlDevice &device, int look_ahead)
-    : numModules_(device.numModules())
+const std::vector<int> &
+WeightTable::row(int qubit) const
 {
-    table_.assign(static_cast<std::size_t>(placement.numQubits()) *
-                  numModules_, 0);
+    MUSSTI_ASSERT(dag_ != nullptr, "query on an unbound weight table");
+    if (rowQubit_ == qubit)
+        return row_;
+    row_.assign(numModules_, 0);
 
-    const auto layers = dag.frontLayers(look_ahead);
-    for (const auto &layer : layers) {
-        for (DagNodeId id : layer) {
-            const Gate &g = dag.node(id).gate;
-            const int zone_a = placement.zoneOf(g.q0);
-            const int zone_b = placement.zoneOf(g.q1);
-            MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0,
-                          "weight table over unplaced qubits");
-            const int module_a = device.zone(zone_a).module;
-            const int module_b = device.zone(zone_b).module;
-            ++table_[rowOf(g.q0) + module_b];
-            ++table_[rowOf(g.q1) + module_a];
+    if (lookAhead_ <= dag_->windowHorizon()) {
+        // The qubit's window gates are a chain prefix: walk it until the
+        // first node at or beyond the look-ahead depth. Counts match an
+        // eager frontLayers(lookAhead_) build exactly — that build
+        // increments this row once per window gate touching the qubit,
+        // which is precisely this prefix.
+        const auto &chain = dag_->qubitChain(qubit);
+        for (int i = dag_->qubitChainHead(qubit);
+             i < static_cast<int>(chain.size()); ++i) {
+            const DagNodeId id = chain[i];
+            if (dag_->windowDepth(id) >= lookAhead_)
+                break;
+            const Gate &g = dag_->node(id).gate;
+            const int partner = g.q0 == qubit ? g.q1 : g.q0;
+            const int zone = placement_->zoneOf(partner);
+            MUSSTI_ASSERT(zone >= 0, "weight table over unplaced qubits");
+            ++row_[device_->zone(zone).module];
+        }
+    } else {
+        // Look-aheads beyond the DAG's incremental horizon cannot use
+        // the clamped depths; fall back to a peel (rare: the default
+        // horizon is far above the paper's k = 8).
+        for (const auto &layer : dag_->frontLayers(lookAhead_)) {
+            for (DagNodeId id : layer) {
+                const Gate &g = dag_->node(id).gate;
+                for (int partner : {g.q0 == qubit ? g.q1 : -1,
+                                    g.q1 == qubit ? g.q0 : -1}) {
+                    if (partner < 0)
+                        continue;
+                    const int zone = placement_->zoneOf(partner);
+                    MUSSTI_ASSERT(zone >= 0,
+                                  "weight table over unplaced qubits");
+                    ++row_[device_->zone(zone).module];
+                }
+            }
         }
     }
+
+    rowQubit_ = qubit;
+    return row_;
 }
 
 int
@@ -33,29 +61,30 @@ WeightTable::weight(int qubit, int module) const
 {
     MUSSTI_ASSERT(module >= 0 && module < numModules_,
                   "weight table module out of range");
-    return table_[rowOf(qubit) + module];
+    return row(qubit)[module];
 }
 
 int
 WeightTable::totalWeight(int qubit) const
 {
+    const std::vector<int> &r = row(qubit);
     int total = 0;
     for (int m = 0; m < numModules_; ++m)
-        total += table_[rowOf(qubit) + m];
+        total += r[m];
     return total;
 }
 
 std::pair<int, int>
 WeightTable::bestForeignModule(int qubit, int exclude_module) const
 {
+    const std::vector<int> &r = row(qubit);
     int best_module = -1;
     int best_weight = 0;
     for (int m = 0; m < numModules_; ++m) {
         if (m == exclude_module)
             continue;
-        const int w = table_[rowOf(qubit) + m];
-        if (w > best_weight) {
-            best_weight = w;
+        if (r[m] > best_weight) {
+            best_weight = r[m];
             best_module = m;
         }
     }

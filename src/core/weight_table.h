@@ -8,6 +8,15 @@
  * future work where it lives; if some other module holds more than T
  * future partners, migrating the qubit there (via a logical SWAP) saves
  * shuttles.
+ *
+ * The table is a lazy view, not a materialised matrix: a qubit's window
+ * gates are a prefix of its dependency chain (window depths are
+ * non-decreasing along a chain), so one row costs O(k) chain entries.
+ * The SWAP-insertion hot path touches a handful of rows per fiber gate,
+ * which makes the on-demand rows far cheaper than rebuilding the full
+ * numQubits x numModules matrix each time. Values are identical to an
+ * eager build from DependencyDag::frontLayers(k) — each row counts
+ * exactly the window gates touching that qubit.
  */
 #ifndef MUSSTI_CORE_WEIGHT_TABLE_H
 #define MUSSTI_CORE_WEIGHT_TABLE_H
@@ -21,16 +30,44 @@
 
 namespace mussti {
 
-/** Snapshot of W(q, c) over the first k layers of a DAG. */
+/** Lazy view of W(q, c) over the first k layers of a DAG. */
 class WeightTable
 {
   public:
-    /**
-     * Build from the current DAG frontier window and placement.
-     * O(k * layer width).
-     */
+    /** Unbound table; bind() before the first query. */
+    WeightTable() = default;
+
+    /** Bind to the current DAG window and placement (cheap). */
     WeightTable(const DependencyDag &dag, const Placement &placement,
-                const EmlDevice &device, int look_ahead);
+                const EmlDevice &device, int look_ahead)
+    {
+        bind(dag, placement, device, look_ahead);
+    }
+
+    /**
+     * (Re)bind the view. O(1): rows are computed on first use per
+     * qubit. Queries reflect the bound structures' state at query time;
+     * call again (or invalidateCache) after mutating the placement or
+     * DAG to drop the row cache.
+     */
+    void
+    bind(const DependencyDag &dag, const Placement &placement,
+         const EmlDevice &device, int look_ahead)
+    {
+        dag_ = &dag;
+        placement_ = &placement;
+        device_ = &device;
+        lookAhead_ = look_ahead;
+        numModules_ = device.numModules();
+        invalidateCache();
+    }
+
+    /** Drop the cached row (after a placement/DAG mutation). */
+    void
+    invalidateCache()
+    {
+        rowQubit_ = -1;
+    }
 
     /** W(q, module). */
     int weight(int qubit, int module) const;
@@ -46,9 +83,17 @@ class WeightTable
                                           int exclude_module) const;
 
   private:
-    int numModules_;
-    std::vector<int> table_; ///< numQubits x numModules, row-major.
-    int rowOf(int qubit) const { return qubit * numModules_; }
+    const DependencyDag *dag_ = nullptr;
+    const Placement *placement_ = nullptr;
+    const EmlDevice *device_ = nullptr;
+    int lookAhead_ = 0;
+    int numModules_ = 0;
+
+    mutable std::vector<int> row_; ///< Cached row, numModules wide.
+    mutable int rowQubit_ = -1;    ///< Owner of row_, or -1.
+
+    /** Compute (or fetch) the qubit's row of module counts. */
+    const std::vector<int> &row(int qubit) const;
 };
 
 } // namespace mussti

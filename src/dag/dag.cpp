@@ -6,8 +6,13 @@
 
 namespace mussti {
 
-DependencyDag::DependencyDag(const Circuit &circuit)
+DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
+    : horizon_(window_horizon)
 {
+    MUSSTI_REQUIRE(window_horizon >= 1,
+                   "DAG window horizon must be >= 1, got "
+                   << window_horizon);
+
     const int n = circuit.numQubits();
     // lastNode[q]: most recent 2q node touching qubit q, or -1.
     std::vector<DagNodeId> last_node(n, -1);
@@ -45,6 +50,7 @@ DependencyDag::DependencyDag(const Circuit &circuit)
                 if (std::find(succs.begin(), succs.end(), id) ==
                     succs.end()) {
                     succs.push_back(id);
+                    node.preds.push_back(prev);
                     ++node.pendingPreds;
                 }
             }
@@ -64,6 +70,56 @@ DependencyDag::DependencyDag(const Circuit &circuit)
     }
     // Node ids are created in circuit order, so the frontier built by an
     // id scan is already FCFS-sorted.
+
+    // Window depths in one topological sweep (ids are already in
+    // topological order): a node's layer is one past its deepest
+    // predecessor, clamped to the horizon.
+    depth_.resize(nodes_.size());
+    for (DagNodeId id = 0; id < size(); ++id)
+        depth_[id] = recomputeDepth(id);
+
+    // Per-qubit dependency chains: the nodes touching a qubit are
+    // totally ordered through it, so the first unfinished one always
+    // carries the qubit's minimum window depth.
+    qubitChain_.resize(n);
+    chainHead_.assign(n, 0);
+    for (DagNodeId id = 0; id < size(); ++id) {
+        qubitChain_[nodes_[id].gate.q0].push_back(id);
+        qubitChain_[nodes_[id].gate.q1].push_back(id);
+    }
+    nextUse_.assign(n, horizon_);
+    for (int q = 0; q < n; ++q)
+        refreshQubitNextUse(q);
+
+    // Window buckets: unfinished nodes grouped by depth, for the
+    // order-independent windowLayer() view.
+    windowBuckets_.resize(horizon_);
+    bucketPos_.assign(nodes_.size(), -1);
+    for (DagNodeId id = 0; id < size(); ++id) {
+        if (depth_[id] < horizon_)
+            bucketInsert(id, depth_[id]);
+    }
+}
+
+void
+DependencyDag::bucketRemove(DagNodeId id) const
+{
+    const int pos = bucketPos_[id];
+    if (pos < 0)
+        return;
+    auto &bucket = windowBuckets_[depth_[id]];
+    const DagNodeId moved = bucket.back();
+    bucket[pos] = moved;
+    bucketPos_[moved] = pos;
+    bucket.pop_back();
+    bucketPos_[id] = -1;
+}
+
+void
+DependencyDag::bucketInsert(DagNodeId id, int d) const
+{
+    bucketPos_[id] = static_cast<int>(windowBuckets_[d].size());
+    windowBuckets_[d].push_back(id);
 }
 
 bool
@@ -80,6 +136,74 @@ DependencyDag::insertSortedFrontier(DagNodeId id)
     frontier_.insert(it, id);
 }
 
+int
+DependencyDag::recomputeDepth(DagNodeId id) const
+{
+    int deepest = -1;
+    for (DagNodeId pred : nodes_[id].preds) {
+        if (!nodes_[pred].done)
+            deepest = std::max(deepest, depth_[pred]);
+    }
+    return std::min(horizon_, deepest + 1);
+}
+
+void
+DependencyDag::refreshQubitNextUse(int q) const
+{
+    const auto &chain = qubitChain_[q];
+    const int head = chainHead_[q];
+    nextUse_[q] = head < static_cast<int>(chain.size())
+        ? depth_[chain[head]]
+        : horizon_;
+}
+
+void
+DependencyDag::flushWindow() const
+{
+    if (pendingRetired_.empty() && dirtyQubits_.empty())
+        return;
+
+    // Decrease-only worklist over the cone affected by every queued
+    // retirement at once. Depths are a pure function of the retired
+    // set, so one batched wave lands on the same fixpoint as per-
+    // retirement propagation; clamping to the horizon stops changes
+    // beyond the window immediately. A phase-1 drain of n executable
+    // gates therefore costs one wave, not n.
+    worklist_.clear();
+    for (DagNodeId id : pendingRetired_) {
+        for (DagNodeId succ : nodes_[id].succs) {
+            if (!nodes_[succ].done)
+                worklist_.push_back(succ);
+        }
+    }
+    pendingRetired_.clear();
+    while (!worklist_.empty()) {
+        const DagNodeId n = worklist_.back();
+        worklist_.pop_back();
+        const int fresh = recomputeDepth(n);
+        if (fresh >= depth_[n])
+            continue;
+        bucketRemove(n);
+        depth_[n] = fresh;
+        bucketInsert(n, fresh);
+        const DagNode &node = nodes_[n];
+        for (int q : {node.gate.q0, node.gate.q1}) {
+            const auto &chain = qubitChain_[q];
+            const int head = chainHead_[q];
+            if (head < static_cast<int>(chain.size()) && chain[head] == n)
+                nextUse_[q] = fresh;
+        }
+        for (DagNodeId succ : node.succs) {
+            if (!nodes_[succ].done)
+                worklist_.push_back(succ);
+        }
+    }
+
+    for (int q : dirtyQubits_)
+        refreshQubitNextUse(q);
+    dirtyQubits_.clear();
+}
+
 void
 DependencyDag::complete(DagNodeId id)
 {
@@ -91,10 +215,25 @@ DependencyDag::complete(DagNodeId id)
     MUSSTI_ASSERT(!node.done, "double completion of node " << id);
     node.done = true;
     --remaining_;
+    bucketRemove(id);
     for (DagNodeId succ : node.succs) {
         if (--nodes_[succ].pendingPreds == 0)
             insertSortedFrontier(succ);
     }
+
+    // Incremental window maintenance: the retired node was the chain
+    // head of both its qubits (frontier nodes have no unfinished
+    // ancestors), so advance their heads now (O(1)) and queue the depth
+    // relaxation for the next window read (flushWindow).
+    for (int q : {node.gate.q0, node.gate.q1}) {
+        const auto &chain = qubitChain_[q];
+        int &head = chainHead_[q];
+        while (head < static_cast<int>(chain.size()) &&
+               nodes_[chain[head]].done)
+            ++head;
+        dirtyQubits_.push_back(q);
+    }
+    pendingRetired_.push_back(id);
 }
 
 std::vector<std::vector<DagNodeId>>
@@ -105,25 +244,36 @@ DependencyDag::frontLayers(int k) const
         return layers;
 
     // Simulate retirement on a scratch predecessor count, touching only
-    // the nodes actually reached (far cheaper than a full copy for the
-    // k ~ 8 window the scheduler uses).
-    std::vector<DagNodeId> current = frontier_;
-    std::vector<int> scratch_preds(nodes_.size(), -1);
+    // the nodes actually reached. The scratch persists across calls
+    // (entries reset on exit), so no O(total-gates) allocation happens
+    // per call. The MUSS-TI scheduler itself reads the incremental
+    // window (nextUse/windowLayer, horizon 64 by default) instead of
+    // peeling; this remains for consumers that need layer-internal FCFS
+    // order (the Dai baseline) or look-aheads beyond the horizon.
+    if (peelPreds_.size() != nodes_.size())
+        peelPreds_.assign(nodes_.size(), -1);
 
+    std::vector<DagNodeId> current = frontier_;
     for (int layer = 0; layer < k && !current.empty(); ++layer) {
-        layers.push_back(current);
         std::vector<DagNodeId> next;
         for (DagNodeId id : current) {
             for (DagNodeId succ : nodes_[id].succs) {
-                if (scratch_preds[succ] < 0)
-                    scratch_preds[succ] = nodes_[succ].pendingPreds;
-                if (--scratch_preds[succ] == 0)
+                if (peelPreds_[succ] < 0) {
+                    peelPreds_[succ] = nodes_[succ].pendingPreds;
+                    peelTouched_.push_back(succ);
+                }
+                if (--peelPreds_[succ] == 0)
                     next.push_back(succ);
             }
         }
         std::sort(next.begin(), next.end());
+        layers.push_back(std::move(current));
         current = std::move(next);
     }
+
+    for (DagNodeId id : peelTouched_)
+        peelPreds_[id] = -1;
+    peelTouched_.clear();
     return layers;
 }
 

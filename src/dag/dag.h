@@ -10,9 +10,34 @@
  * frontier is the set of nodes with zero unresolved predecessors.
  *
  * The structure is consumed destructively by schedulers: complete(node)
- * retires a frontier node and unlocks its successors. The k-layer window
- * needed by the SWAP-insertion weight table is computed on demand without
- * mutating the graph.
+ * retires a frontier node and unlocks its successors.
+ *
+ * ## The incremental front window
+ *
+ * The replacement scheduler needs, at every routing step, the DAG layer
+ * of each qubit's next two-qubit gate within a `windowHorizon`-layer
+ * look-ahead (the paper's "anticipated qubit usage", section 3.4). Layer
+ * membership is the longest-path depth over the *remaining* (non-retired)
+ * nodes: a node's layer is 0 when every predecessor is done, otherwise
+ * 1 + the maximum layer among its unfinished predecessors — exactly the
+ * layers a peel of the current frontier would produce.
+ *
+ * Instead of re-peeling the graph per step (O(gates) scratch and walk),
+ * the DAG maintains this state persistently:
+ *
+ *  - `windowDepth(node)`: the node's layer, clamped to the horizon,
+ *    initialised by one topological sweep at construction and updated on
+ *    every complete()/retire by a decrease-only worklist over the
+ *    affected cone (depths never increase as nodes retire);
+ *  - `nextUse()`: per qubit, the layer of its first unfinished gate (the
+ *    head of its dependency chain), or the horizon sentinel when the
+ *    qubit is idle throughout the window. Because the gates touching a
+ *    qubit form a chain in the DAG, the chain head always carries the
+ *    minimum depth, so this is an O(1)-per-qubit read.
+ *
+ * frontLayers(k) keeps the non-destructive peel (the SWAP-insertion
+ * weight table wants explicit layer lists) but reuses persistent scratch
+ * buffers, so it performs no O(total-gates) allocation per call.
  */
 #ifndef MUSSTI_DAG_DAG_H
 #define MUSSTI_DAG_DAG_H
@@ -21,11 +46,40 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "common/logging.h"
 
 namespace mussti {
 
 /** Node id inside a DependencyDag (index into its node array). */
 using DagNodeId = int;
+
+/**
+ * Inline edge list of a DAG node. A node has at most two edges per
+ * direction — its qubits each contribute one previous and one next gate
+ * (deduplicated when both operands share the neighbour) — so edges live
+ * inside the node, sparing two heap allocations per gate and a pointer
+ * chase per traversal.
+ */
+class DagEdgeList
+{
+  public:
+    void
+    push_back(DagNodeId id)
+    {
+        MUSSTI_ASSERT(count_ < 2, "a DAG node has at most 2 edges per "
+                      "direction (one per operand qubit)");
+        ids_[count_++] = id;
+    }
+
+    const DagNodeId *begin() const { return ids_; }
+    const DagNodeId *end() const { return ids_ + count_; }
+    std::size_t size() const { return static_cast<std::size_t>(count_); }
+    bool empty() const { return count_ == 0; }
+
+  private:
+    DagNodeId ids_[2] = {-1, -1};
+    int count_ = 0;
+};
 
 /** One two-qubit gate node. */
 struct DagNode
@@ -33,7 +87,9 @@ struct DagNode
     Gate gate;                       ///< The two-qubit gate.
     int circuitIndex = -1;           ///< Position in the source circuit
                                      ///< (FCFS tie-breaking key).
-    std::vector<DagNodeId> succs;    ///< Dependent nodes.
+    DagEdgeList succs;               ///< Dependent nodes.
+    DagEdgeList preds;               ///< Prerequisite nodes (mirror of
+                                     ///< succs; drives window updates).
     int pendingPreds = 0;            ///< Unresolved predecessor count.
     std::vector<Gate> leading1q;     ///< 1q gates to cost just before this
                                      ///< node executes.
@@ -46,8 +102,16 @@ struct DagNode
 class DependencyDag
 {
   public:
-    /** Build from a circuit in O(g). */
-    explicit DependencyDag(const Circuit &circuit);
+    /** Default look-ahead horizon of the incremental window (layers). */
+    static constexpr int kDefaultWindowHorizon = 64;
+
+    /**
+     * Build from a circuit in O(g). `window_horizon` bounds the
+     * incremental look-ahead window: depths and nextUse() values are
+     * clamped to it, and it doubles as the idle sentinel.
+     */
+    explicit DependencyDag(const Circuit &circuit,
+                           int window_horizon = kDefaultWindowHorizon);
 
     /** Total number of two-qubit nodes. */
     int size() const { return static_cast<int>(nodes_.size()); }
@@ -69,16 +133,85 @@ class DependencyDag
 
     /**
      * Retire a frontier node; its successors whose predecessors are all
-     * done join the frontier. Panics if the node is not in the frontier.
+     * done join the frontier, and the incremental window (depths and
+     * nextUse) is updated in place. Panics if the node is not in the
+     * frontier.
      */
     void complete(DagNodeId id);
 
     /**
      * Nodes in the first `k` layers of the remaining graph, layer by
      * layer: layer 0 is the frontier, layer i+1 are nodes unlocked when
-     * layers <= i retire. Non-destructive.
+     * layers <= i retire. Non-destructive; reuses internal scratch, so
+     * calls allocate only for the returned layers themselves.
      */
     std::vector<std::vector<DagNodeId>> frontLayers(int k) const;
+
+    /** The window horizon this DAG was built with. */
+    int windowHorizon() const { return horizon_; }
+
+    /**
+     * Unfinished nodes whose window depth is exactly `depth`
+     * (0 <= depth < windowHorizon()), maintained incrementally. The
+     * order is arbitrary — use frontLayers() when layer-internal FCFS
+     * order matters; use this for order-independent aggregation like
+     * the SWAP-insertion weight table. For depth < k <= horizon the set
+     * equals layer `depth` of frontLayers(k).
+     */
+    const std::vector<DagNodeId> &
+    windowLayer(int depth) const
+    {
+        MUSSTI_ASSERT(depth >= 0 && depth < horizon_,
+                      "window layer " << depth << " outside horizon "
+                      << horizon_);
+        flushWindow();
+        return windowBuckets_[depth];
+    }
+
+    /**
+     * Layer of a node within the window, clamped to windowHorizon():
+     * 0 for frontier nodes, horizon for nodes at or beyond it. Retired
+     * nodes keep their last depth (callers filter on done).
+     */
+    int
+    windowDepth(DagNodeId id) const
+    {
+        flushWindow();
+        return depth_[id];
+    }
+
+    /**
+     * Anticipated-usage table, maintained incrementally: nextUse()[q] is
+     * the window depth of qubit q's first unfinished two-qubit gate, or
+     * windowHorizon() when q has none within the window. Always sized to
+     * the circuit's qubit count.
+     *
+     * Retirements are batched: complete() only queues the update, and
+     * the first read after a burst settles the window in one
+     * output-sensitive wave (see flushWindow), so draining a run of
+     * executable gates costs nothing per gate.
+     */
+    const std::vector<int> &
+    nextUse() const
+    {
+        flushWindow();
+        return nextUse_;
+    }
+
+    /**
+     * All nodes touching qubit q, in circuit order. The unfinished ones
+     * form the suffix starting at qubitChainHead(q), and their window
+     * depths are non-decreasing along the chain (each gate depends on
+     * the previous gate on the same qubit), so the nodes of q inside a
+     * k-layer window are a prefix of that suffix.
+     */
+    const std::vector<DagNodeId> &qubitChain(int q) const
+    {
+        return qubitChain_[q];
+    }
+
+    /** Index into qubitChain(q) of q's first unfinished node. */
+    int qubitChainHead(int q) const { return chainHead_[q]; }
 
     /**
      * Trailing single-qubit gates (after the last 2q gate on their qubit)
@@ -94,8 +227,48 @@ class DependencyDag
     std::vector<DagNodeId> frontier_;
     std::vector<Gate> trailing1q_;
     int remaining_ = 0;
+    int horizon_ = kDefaultWindowHorizon;
+
+    // ---- incremental window state ------------------------------------
+    // Depths are a pure function of the retired set, so maintenance is
+    // lazy: complete() queues the retirement and the next read settles
+    // every queued one in a single decrease-only wave. All mutable: the
+    // flush happens under const readers.
+    mutable std::vector<int> depth_;   ///< Clamped remaining-graph layer.
+    mutable std::vector<int> nextUse_; ///< Per-qubit chain-head depth
+                                       ///< (or horizon).
+    std::vector<std::vector<DagNodeId>> qubitChain_; ///< Nodes touching q,
+                                                     ///< in circuit order.
+    std::vector<int> chainHead_; ///< Index of q's first unfinished node.
+    mutable std::vector<DagNodeId> worklist_; ///< Depth-update scratch.
+    mutable std::vector<std::vector<DagNodeId>> windowBuckets_;
+                                 ///< Unfinished nodes per depth < horizon.
+    mutable std::vector<int> bucketPos_; ///< Index in bucket, or -1.
+    mutable std::vector<DagNodeId> pendingRetired_; ///< Retirements not
+                                 ///< yet folded into depths/nextUse.
+    mutable std::vector<int> dirtyQubits_; ///< Qubits whose chain head
+                                 ///< advanced since the last flush.
+
+    // ---- frontLayers peel scratch (reset after every call) -----------
+    mutable std::vector<int> peelPreds_;      ///< -1 = untouched.
+    mutable std::vector<DagNodeId> peelTouched_;
 
     void insertSortedFrontier(DagNodeId id);
+
+    /** Recompute one node's depth from its unfinished predecessors. */
+    int recomputeDepth(DagNodeId id) const;
+
+    /** Refresh nextUse_[q] from q's chain head. */
+    void refreshQubitNextUse(int q) const;
+
+    /** Fold every queued retirement into depths/buckets/nextUse. */
+    void flushWindow() const;
+
+    /** Remove a node from its window bucket (no-op when outside). */
+    void bucketRemove(DagNodeId id) const;
+
+    /** Insert a node into the bucket of depth d (d < horizon). */
+    void bucketInsert(DagNodeId id, int d) const;
 };
 
 } // namespace mussti

@@ -141,6 +141,55 @@ TEST(GridBase, HopAccountingExceedsMergeCountOnBigGrids)
     expectValid(compiler.device(), result);
 }
 
+/** Exposes the protected spill machinery for dead-lock regression. */
+class SpillProbe : public MuraliCompiler
+{
+  public:
+    using MuraliCompiler::MuraliCompiler;
+    using MuraliCompiler::Pass;
+    using MuraliCompiler::initialPlacement;
+    using MuraliCompiler::relocate;
+};
+
+TEST(GridBase, SpillDeadLockPanicsCleanly)
+{
+    // Regression for the all-candidates-excluded case: the target trap
+    // is full and every resident is protected, so LruTracker::victim
+    // returns -1. The relocation must fail with a clean diagnostic
+    // panic, not index a placement with -1.
+    const PhysicalParams params;
+    const GridConfig grid{2, 1, 2}; // two traps, capacity 2
+    SpillProbe probe(grid, params);
+
+    Circuit qc(4, "spill");
+    qc.cx(0, 1);
+    const Circuit lowered = qc.withSwapsDecomposed();
+    SpillProbe::Pass pass(probe.device(), params, lowered,
+                          probe.initialPlacement(4));
+    // Row-major fill: trap 0 holds {0, 1}, trap 1 holds {2, 3}.
+    // Moving qubit 2 into trap 0 while protecting both residents leaves
+    // no spill victim.
+    EXPECT_THROW(probe.relocate(pass, 2, 0, {0, 1}), std::logic_error);
+}
+
+TEST(GridBase, SpillWithFreeVictimSucceeds)
+{
+    // Same setup with an unprotected resident and a free slot for it:
+    // the spill resolves. Trap 0 holds {0, 1}, trap 1 holds only {2}.
+    const PhysicalParams params;
+    const GridConfig grid{2, 1, 2};
+    SpillProbe probe(grid, params);
+
+    Circuit qc(3, "spill-ok");
+    qc.cx(0, 1);
+    const Circuit lowered = qc.withSwapsDecomposed();
+    SpillProbe::Pass pass(probe.device(), params, lowered,
+                          probe.initialPlacement(3));
+    probe.relocate(pass, 2, 0, {0});
+    EXPECT_EQ(pass.placement.zoneOf(2), 0);
+    EXPECT_NE(pass.placement.zoneOf(1), 0); // qubit 1 was spilled out
+}
+
 TEST(GridBase, MediumGridSuiteValidates)
 {
     const PhysicalParams params;

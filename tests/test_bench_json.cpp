@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Perf-harness smoke tests: the bench-results JSON (the format
+ * micro_scheduler_bench and fig10_compile_time emit, and the repo's
+ * BENCH_*.json trajectory) must be emitted to disk and round-trip
+ * through the bundled parser without loss.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/bench_json.h"
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+std::vector<BenchRecord>
+sampleRecords()
+{
+    BenchRecord a;
+    a.suite = "micro_scheduler/large";
+    a.name = "qaoa";
+    a.qubits = 288;
+    a.repeats = 5;
+    a.wallMs = 4.125;
+    a.speedupVsBaseline = 12.5;
+    a.passTrace = {{"lower-swaps", 0.01}, {"mussti-schedule", 1.25},
+                   {"sabre-two-fold", 2.5}};
+
+    BenchRecord b; // no baseline, no trace
+    b.suite = "fig10_compile_time";
+    b.name = "bv";
+    b.qubits = 160;
+    b.repeats = 1;
+    b.wallMs = 0.25;
+    return {a, b};
+}
+
+void
+expectSameRecords(const std::vector<BenchRecord> &x,
+                  const std::vector<BenchRecord> &y)
+{
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(x[i].suite, y[i].suite);
+        EXPECT_EQ(x[i].name, y[i].name);
+        EXPECT_EQ(x[i].qubits, y[i].qubits);
+        EXPECT_EQ(x[i].repeats, y[i].repeats);
+        EXPECT_NEAR(x[i].wallMs, y[i].wallMs, 1e-9);
+        EXPECT_NEAR(x[i].speedupVsBaseline, y[i].speedupVsBaseline,
+                    1e-9);
+        ASSERT_EQ(x[i].passTrace.size(), y[i].passTrace.size());
+        for (std::size_t j = 0; j < x[i].passTrace.size(); ++j) {
+            EXPECT_EQ(x[i].passTrace[j].pass, y[i].passTrace[j].pass);
+            EXPECT_NEAR(x[i].passTrace[j].ms, y[i].passTrace[j].ms,
+                        1e-9);
+        }
+    }
+}
+
+TEST(BenchJson, RoundTripsThroughText)
+{
+    const auto records = sampleRecords();
+    std::string context;
+    const auto reparsed = parseBenchResults(
+        benchResultsToJson(records, "unit-test run"), &context);
+    EXPECT_EQ(context, "unit-test run");
+    expectSameRecords(records, reparsed);
+}
+
+TEST(BenchJson, EmitsAndRoundTripsThroughAFile)
+{
+    const std::string path = ::testing::TempDir() + "bench_results.json";
+    writeBenchResults(path, sampleRecords(), "file round-trip");
+
+    std::ifstream probe(path);
+    ASSERT_TRUE(probe.good()) << "bench_results.json was not emitted";
+
+    const auto reparsed = readBenchResults(path);
+    expectSameRecords(sampleRecords(), reparsed);
+    std::remove(path.c_str());
+}
+
+TEST(BenchJson, CompileResultPassTraceRoundTrips)
+{
+    // End-to-end: a real compilation's pass trace survives the JSON
+    // round trip — the property the perf harness depends on.
+    const auto result = MusstiCompiler().compile(makeBenchmark("ghz", 32));
+    ASSERT_FALSE(result.passTrace.empty());
+
+    BenchRecord record;
+    record.suite = "micro_scheduler/smoke";
+    record.name = "ghz";
+    record.qubits = 32;
+    record.wallMs = 1e3 * result.compileTimeSec;
+    for (const PassTiming &timing : result.passTrace)
+        record.passTrace.push_back({timing.pass, 1e3 * timing.seconds});
+
+    const auto reparsed =
+        parseBenchResults(benchResultsToJson({record}, "smoke"));
+    ASSERT_EQ(reparsed.size(), 1u);
+    ASSERT_EQ(reparsed[0].passTrace.size(), result.passTrace.size());
+    for (std::size_t i = 0; i < result.passTrace.size(); ++i)
+        EXPECT_EQ(reparsed[0].passTrace[i].pass, result.passTrace[i].pass);
+}
+
+TEST(BenchJson, RejectsWrongSchemaAndGarbage)
+{
+    EXPECT_THROW(parseBenchResults("{\"schema\": \"other-v9\", "
+                                   "\"results\": []}"),
+                 std::runtime_error);
+    EXPECT_THROW(parseBenchResults("not json at all"),
+                 std::runtime_error);
+    EXPECT_THROW(parseBenchResults("{\"schema\": \"mussti-bench-v1\""),
+                 std::runtime_error); // truncated
+}
+
+TEST(BenchJson, ToleratesUnknownKeysIncludingLiterals)
+{
+    // Forward compatibility: unknown keys of any value shape —
+    // including bare true/false/null — are skipped, not fatal.
+    const auto records = parseBenchResults(
+        "{\"schema\": \"mussti-bench-v1\", \"extra\": {\"nested\": [1, "
+        "true, null]}, \"results\": [{\"suite\": \"s\", \"name\": "
+        "\"n\", \"qubits\": 4, \"wall_ms\": 1.5, \"quick\": true, "
+        "\"note\": null}]}");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].suite, "s");
+    EXPECT_NEAR(records[0].wallMs, 1.5, 1e-12);
+}
+
+TEST(BenchJson, SpecialCharactersInContextSurvive)
+{
+    const auto records = sampleRecords();
+    std::string context;
+    (void)parseBenchResults(
+        benchResultsToJson(records, "quote \" backslash \\ tab \t"),
+        &context);
+    EXPECT_EQ(context, "quote \" backslash \\ tab \t");
+}
+
+} // namespace
+} // namespace mussti

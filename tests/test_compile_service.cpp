@@ -206,5 +206,55 @@ TEST(CompileService, CacheEvictsLeastRecentlyUsed)
     EXPECT_EQ(service.cacheHits(), 1u);
 }
 
+TEST(CompileService, EvictedJobIsCachedAgainOnResubmit)
+{
+    // After a capacity eviction, re-submitting the evicted job must
+    // recompile once, re-enter the cache, and then hit.
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    service_config.cacheCapacity = 2;
+    CompileService service(service_config);
+    const auto backend = makeMusstiBackend();
+
+    const Circuit a = makeBenchmark("ghz", 30);
+    const Circuit b = makeBenchmark("ghz", 31);
+    const Circuit c = makeBenchmark("ghz", 33);
+
+    const auto first_a = service.submit(backend, a).get();
+    (void)service.submit(backend, b).get();
+    (void)service.submit(backend, c).get(); // cache full: evicts a
+    EXPECT_EQ(service.jobsExecuted(), 3u);
+
+    const auto second_a = service.submit(backend, a).get(); // miss
+    EXPECT_EQ(service.jobsExecuted(), 4u);
+    const auto third_a = service.submit(backend, a).get(); // hit again
+    EXPECT_EQ(service.jobsExecuted(), 4u);
+    EXPECT_EQ(service.cacheHits(), 1u);
+    expectIdentical(first_a, second_a);
+    expectIdentical(second_a, third_a);
+}
+
+TEST(CompileService, ParseThreadCountValidatesInput)
+{
+    // Auto (hardware concurrency) cases.
+    EXPECT_EQ(CompileService::parseThreadCount(nullptr), 0);
+    EXPECT_EQ(CompileService::parseThreadCount(""), 0);
+
+    // Well-formed values pass through.
+    EXPECT_EQ(CompileService::parseThreadCount("1"), 1);
+    EXPECT_EQ(CompileService::parseThreadCount("16"), 16);
+
+    // Garbage and non-positive values fall back to auto (std::atoi
+    // silently turned these into 0 or accepted them).
+    EXPECT_EQ(CompileService::parseThreadCount("lots"), 0);
+    EXPECT_EQ(CompileService::parseThreadCount("4x"), 0);
+    EXPECT_EQ(CompileService::parseThreadCount("0"), 0);
+    EXPECT_EQ(CompileService::parseThreadCount("-3"), 0);
+
+    // Absurd values clamp.
+    EXPECT_EQ(CompileService::parseThreadCount("99999"),
+              CompileService::kMaxThreads);
+}
+
 } // namespace
 } // namespace mussti

@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "dag/dag.h"
 #include "workloads/workloads.h"
 
@@ -174,6 +177,133 @@ TEST(Dag, FullDrainOfWorkload)
         ++retired;
     }
     EXPECT_EQ(retired, qc.twoQubitCount());
+}
+
+/**
+ * Reference nextUse computation the incremental window must match: the
+ * historical full recompute from a frontLayers peel.
+ */
+std::vector<int>
+referenceNextUse(const DependencyDag &dag, int num_qubits, int horizon)
+{
+    std::vector<int> next_use(num_qubits, horizon);
+    const auto layers = dag.frontLayers(horizon);
+    for (int depth = static_cast<int>(layers.size()) - 1; depth >= 0;
+         --depth) {
+        for (DagNodeId id : layers[depth]) {
+            next_use[dag.node(id).gate.q0] = depth;
+            next_use[dag.node(id).gate.q1] = depth;
+        }
+    }
+    return next_use;
+}
+
+TEST(Dag, IncrementalNextUseMatchesReferenceWhileDraining)
+{
+    // Drain random DAGs from varying frontier positions; after every
+    // retirement the incrementally maintained table must equal the full
+    // recompute. Also checked at a small horizon so clamping and the
+    // idle sentinel are exercised.
+    for (const int horizon : {DependencyDag::kDefaultWindowHorizon, 4}) {
+        const Circuit qc = makeRandomCircuit(18, 160, 7);
+        DependencyDag dag(qc, horizon);
+        EXPECT_EQ(dag.windowHorizon(), horizon);
+        EXPECT_EQ(dag.nextUse(),
+                  referenceNextUse(dag, qc.numQubits(), horizon));
+        std::size_t pick = 0;
+        while (!dag.empty()) {
+            const auto &frontier = dag.frontier();
+            dag.complete(frontier[pick % frontier.size()]);
+            pick += 3;
+            ASSERT_EQ(dag.nextUse(),
+                      referenceNextUse(dag, qc.numQubits(), horizon))
+                << "divergence after " << pick / 3 << " retirements at "
+                << "horizon " << horizon;
+        }
+        for (int v : dag.nextUse())
+            EXPECT_EQ(v, horizon); // fully drained -> all idle
+    }
+}
+
+TEST(Dag, IncrementalNextUseMatchesReferenceAfterBursts)
+{
+    // Same equivalence, but reading only every few retirements, so the
+    // batched flush folds multi-retirement bursts in one wave.
+    const Circuit qc = makeAdder(24);
+    DependencyDag dag(qc);
+    int retired = 0;
+    while (!dag.empty()) {
+        dag.complete(dag.frontier().front());
+        if (++retired % 5 == 0) {
+            ASSERT_EQ(dag.nextUse(),
+                      referenceNextUse(dag, qc.numQubits(),
+                                       dag.windowHorizon()));
+        }
+    }
+}
+
+TEST(Dag, WindowLayersMatchFrontLayersAsSets)
+{
+    // windowLayer(d) returns layer d of a peel, unordered.
+    const Circuit qc = makeRandomCircuit(16, 120, 5);
+    DependencyDag dag(qc);
+    std::size_t pick = 0;
+    for (int step = 0; step < 40 && !dag.empty(); ++step) {
+        const int k = 6;
+        const auto layers = dag.frontLayers(k);
+        for (int d = 0; d < k; ++d) {
+            std::vector<DagNodeId> window = dag.windowLayer(d);
+            std::sort(window.begin(), window.end());
+            const std::vector<DagNodeId> expected =
+                d < static_cast<int>(layers.size())
+                    ? layers[d]
+                    : std::vector<DagNodeId>{};
+            ASSERT_EQ(window, expected) << "layer " << d << " at step "
+                                        << step;
+        }
+        const auto &frontier = dag.frontier();
+        dag.complete(frontier[pick % frontier.size()]);
+        ++pick;
+    }
+}
+
+TEST(Dag, WindowDepthZeroIsTheFrontier)
+{
+    const Circuit qc = makeAdder(16);
+    DependencyDag dag(qc);
+    while (!dag.empty()) {
+        for (DagNodeId id : dag.frontier())
+            EXPECT_EQ(dag.windowDepth(id), 0);
+        std::vector<DagNodeId> layer0 = dag.windowLayer(0);
+        std::sort(layer0.begin(), layer0.end());
+        EXPECT_EQ(layer0, dag.frontier());
+        dag.complete(dag.frontier().front());
+    }
+}
+
+TEST(Dag, QubitChainsArePerQubitAndOrdered)
+{
+    Circuit qc(4);
+    qc.cx(0, 1);
+    qc.cx(1, 2);
+    qc.cx(2, 3);
+    qc.cx(0, 1);
+    DependencyDag dag(qc);
+    ASSERT_EQ(dag.qubitChain(1).size(), 3u);
+    EXPECT_EQ(dag.qubitChain(1), (std::vector<DagNodeId>{0, 1, 3}));
+    EXPECT_EQ(dag.qubitChainHead(1), 0);
+    dag.complete(0);
+    EXPECT_EQ(dag.qubitChainHead(1), 1);
+    // nextUse follows the chain head's depth.
+    EXPECT_EQ(dag.nextUse()[1], dag.windowDepth(1));
+}
+
+TEST(Dag, RejectsNonPositiveHorizon)
+{
+    Circuit qc(2);
+    qc.cx(0, 1);
+    EXPECT_THROW(DependencyDag(qc, 0), std::runtime_error);
+    EXPECT_THROW(DependencyDag(qc, -3), std::runtime_error);
 }
 
 TEST(Dag, TopologicalInvariantUnderRandomDrain)

@@ -5,6 +5,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "circuit/qasm.h"
 #include "workloads/workloads.h"
 
@@ -96,6 +98,83 @@ TEST(Qasm, RoundTripAllFamilies)
         const Circuit reparsed = fromQasm(toQasm(original));
         EXPECT_EQ(reparsed.twoQubitCount(), original.twoQubitCount())
             << family;
+    }
+}
+
+TEST(Qasm, ParsesPiProducts)
+{
+    // "a*pi", "pi*a", and "a*pi/b" forms (the old parser read every one
+    // of these as plain pi).
+    const Circuit qc = fromQasm(
+        "qreg q[1]; rz(2*pi) q[0]; rz(pi*3) q[0]; rz(-3*pi/2) q[0]; "
+        "rz(0.5*pi/2) q[0];");
+    EXPECT_NEAR(qc[0].param, 2.0 * M_PI, 1e-12);
+    EXPECT_NEAR(qc[1].param, 3.0 * M_PI, 1e-12);
+    EXPECT_NEAR(qc[2].param, -1.5 * M_PI, 1e-12);
+    EXPECT_NEAR(qc[3].param, 0.25 * M_PI, 1e-12);
+}
+
+TEST(Qasm, RejectsZeroDenominatorPi)
+{
+    // pi/0 used to silently parse to inf.
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(pi/0) q[0];"),
+                 std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(pi/0.0) q[0];"),
+                 std::runtime_error);
+}
+
+TEST(Qasm, RejectsMalformedOperands)
+{
+    // Unchecked find('[')/find(']') results used to reach substr/stoi.
+    EXPECT_THROW(fromQasm("qreg q[2]; h q0;"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[2]; h q[;"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[2]; h q[];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[2]; h q[x];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[2]; h q[1extra];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[2]; cx q[0] q[1];"),
+                 std::runtime_error); // missing comma
+}
+
+TEST(Qasm, RejectsMalformedQreg)
+{
+    EXPECT_THROW(fromQasm("qreg q[; h q[0];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[]; h q[0];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[zzz]; h q[0];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[0]; h q[0];"), std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg [4]; h q[0];"), std::runtime_error);
+}
+
+TEST(Qasm, RejectsMalformedParams)
+{
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(abc) q[0];"),
+                 std::runtime_error);
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(0.5 q[0];"),
+                 std::runtime_error); // unterminated list
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(1.5x) q[0];"),
+                 std::runtime_error); // trailing garbage
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(pi/2/2) q[0];"),
+                 std::runtime_error); // chained division
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(2*3) q[0];"),
+                 std::runtime_error); // product without pi
+    EXPECT_THROW(fromQasm("qreg q[1]; rz(-) q[0];"),
+                 std::runtime_error); // dangling sign
+}
+
+TEST(Qasm, RejectsOutOfRangeOperand)
+{
+    EXPECT_THROW(fromQasm("qreg q[2]; cx q[0],q[5];"),
+                 std::runtime_error);
+}
+
+TEST(Qasm, DiagnosticsNameTheStatement)
+{
+    try {
+        fromQasm("qreg q[1]; rz(pi/0) q[0];");
+        FAIL() << "expected a parse failure";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("rz(pi/0)"),
+                  std::string::npos)
+            << "diagnostic should quote the statement: " << err.what();
     }
 }
 

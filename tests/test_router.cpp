@@ -42,6 +42,21 @@ TEST(Lru, ExclusionRespected)
     EXPECT_EQ(lru.victim(zone, {0, 1}), -1);
 }
 
+TEST(Lru, AllCandidatesExcludedReturnsSentinel)
+{
+    // Regression for the documented -1 contract: every caller must
+    // guard it (grid spill dead-lock test exercises the caller side).
+    LruTracker lru(4);
+    lru.touch(0);
+    lru.touch(1);
+    std::deque<int> zone{0, 1, 2};
+    EXPECT_EQ(lru.victim(zone, {0, 1, 2}), -1);
+    EXPECT_EQ(lru.victim(zone, {2, 1, 0}), -1); // order irrelevant
+    EXPECT_EQ(lru.victim({}, {}), -1);          // empty chain
+    // Excess exclusions beyond the chain are harmless.
+    EXPECT_EQ(lru.victim(zone, {0, 1, 2, 3}), -1);
+}
+
 /** Small 1-module fixture: capacity 4 per zone, 12 qubits. */
 class RouterTest : public ::testing::Test
 {

@@ -8,6 +8,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/hash.h"
 #include "core/compiler.h"
 #include "core/mapper.h"
 #include "core/scheduler.h"
@@ -139,6 +140,113 @@ TEST(Scheduler, MetricsTimeMatchesScheduleSum)
     const auto result = compileWith(makeQft(16), MappingKind::Trivial);
     EXPECT_NEAR(result.metrics.executionTimeUs,
                 result.schedule.serialDurationUs(), 1e-9);
+}
+
+/**
+ * FNV-1a fingerprint over everything a compilation produces: the full
+ * op stream (every field of every op), the initial and final chain
+ * snapshots, the counters, and the headline metrics. Any behavioural
+ * drift in the scheduler/router/SWAP-inserter changes it.
+ */
+std::uint64_t
+scheduleFingerprint(const CompileResult &r)
+{
+    Fnv1a h;
+    h.update(static_cast<std::uint64_t>(r.schedule.ops.size()));
+    for (const ScheduledOp &op : r.schedule.ops) {
+        h.update(static_cast<int>(op.kind));
+        h.update(op.q0);
+        h.update(op.q1);
+        h.update(op.zoneFrom);
+        h.update(op.zoneTo);
+        h.update(op.durationUs);
+        h.update(op.nbar);
+        h.update(op.circuitGate);
+        h.update(op.inserted);
+        h.update(op.enterFront);
+    }
+    for (const auto &chain : r.schedule.initialChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    for (const auto &chain : r.finalChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    h.update(r.schedule.shuttleCount);
+    h.update(r.schedule.ionSwapCount);
+    h.update(r.schedule.insertedSwapGates);
+    h.update(r.swapInsertions);
+    h.update(r.evictions);
+    h.update(r.metrics.shuttleCount);
+    h.update(r.metrics.executionTimeUs);
+    h.update(r.metrics.lnFidelity);
+    return h.digest();
+}
+
+struct GoldenCase
+{
+    const char *family;
+    int qubits;
+    MappingKind mapping;
+    ReplacementPolicy policy;
+    std::uint64_t fingerprint;
+};
+
+/**
+ * Golden fingerprints captured from the pre-incremental-window
+ * implementation (the PR-1 tree, whose scheduler recomputed the whole
+ * look-ahead window per routing step). The incremental DAG window,
+ * nextUse snapshotting, lazy weight rows, distance table, and workspace
+ * reuse must all be pure optimisations: schedules and metrics stay
+ * bit-identical. If an INTENTIONAL behaviour change ever lands, refresh
+ * these constants in the same commit and say so in its message.
+ */
+TEST(Scheduler, BitIdenticalToPreIncrementalWindowImplementation)
+{
+    const GoldenCase cases[] = {
+        {"adder", 16, MappingKind::Trivial,
+         ReplacementPolicy::AnticipatoryLru, 0xb9187d857d8727f8ull},
+        {"adder", 48, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x7f671609132e03adull},
+        {"bv", 48, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0xd1cbd994e5467a2bull},
+        {"ghz", 64, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0xde02e8451cc0bd8aull},
+        {"qaoa", 48, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0xc0f43afa63592fb0ull},
+        {"qft", 32, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x0fe7e02abaeb3ec6ull},
+        {"sqrt", 45, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x48c6afefa71e0c0eull},
+        {"ran", 40, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x58a2db1e0094056dull},
+        {"sc", 36, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0xb0c28092aa9b9f79ull},
+        {"adder", 128, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x9da91635a092ba24ull},
+        {"qaoa", 96, MappingKind::Sabre,
+         ReplacementPolicy::AnticipatoryLru, 0x1040969b00253364ull},
+        {"ran", 40, MappingKind::Sabre, ReplacementPolicy::Lru,
+         0xa60e1087b9b955a0ull},
+        {"ran", 40, MappingKind::Sabre, ReplacementPolicy::Fifo,
+         0x3771b757ac38925dull},
+        {"ran", 40, MappingKind::Sabre, ReplacementPolicy::Random,
+         0x55b80d6e0f148401ull},
+    };
+    for (const GoldenCase &c : cases) {
+        MusstiConfig config;
+        config.mapping = c.mapping;
+        config.replacement = c.policy;
+        const auto result =
+            MusstiCompiler(config).compile(makeBenchmark(c.family,
+                                                         c.qubits));
+        EXPECT_EQ(scheduleFingerprint(result), c.fingerprint)
+            << c.family << "_n" << c.qubits << " diverged from the "
+            << "pre-incremental-window scheduler";
+    }
 }
 
 /** Every workload family at several sizes must produce valid schedules
