@@ -80,6 +80,19 @@ runMussti(const Circuit &circuit, const MusstiConfig &config,
     return submitMussti(circuit, config, params).get();
 }
 
+std::future<CompileResult>
+submitMusstiOnSpec(const Circuit &circuit, const std::string &device_spec,
+                   const PhysicalParams &params)
+{
+    const DeviceSpec spec = DeviceRegistry::parse(device_spec);
+    MUSSTI_REQUIRE(spec.family == DeviceFamily::Eml,
+                   "submitMusstiOnSpec needs an eml:... spec, got: "
+                   << device_spec);
+    MusstiConfig config;
+    config.device = spec.eml;
+    return submitMussti(circuit, config, params);
+}
+
 CompileResult
 runBaseline(const std::string &which, const Circuit &circuit,
             const GridConfig &grid, const PhysicalParams &params)
@@ -87,11 +100,11 @@ runBaseline(const std::string &which, const Circuit &circuit,
     return submitBaseline(which, circuit, grid, params).get();
 }
 
-GridConfig smallGrid22() { return GridConfig{2, 2, 12}; }
-GridConfig smallGrid23() { return GridConfig{3, 2, 8}; }
-GridConfig smallGrid()   { return GridConfig{2, 2, 16}; }
-GridConfig mediumGrid()  { return GridConfig{4, 3, 16}; }
-GridConfig largeGrid()   { return GridConfig{5, 4, 16}; }
+GridConfig smallGrid22() { return DeviceRegistry::parse("grid:2x2,cap=12").grid; }
+GridConfig smallGrid23() { return DeviceRegistry::parse("grid:3x2,cap=8").grid; }
+GridConfig smallGrid()   { return DeviceRegistry::parse("grid:2x2,cap=16").grid; }
+GridConfig mediumGrid()  { return DeviceRegistry::parse("grid:4x3,cap=16").grid; }
+GridConfig largeGrid()   { return DeviceRegistry::parse("grid:5x4,cap=16").grid; }
 
 void
 printHeader(const std::string &experiment, const std::string &description)

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "arch/device_registry.h"
 #include "arch/grid_device.h"
 #include "baselines/backend_factory.h"
 #include "common/csv.h"
@@ -53,6 +54,15 @@ std::future<CompileResult>
 submitBaseline(const std::string &which, const Circuit &circuit,
                const GridConfig &grid, const PhysicalParams &params = {});
 
+/**
+ * Enqueue a MUSS-TI compilation on a DeviceRegistry spec ("eml:...",
+ * including heterogeneous eml:hetero=... mixes); other MUSS-TI knobs
+ * stay at paper defaults.
+ */
+std::future<CompileResult>
+submitMusstiOnSpec(const Circuit &circuit, const std::string &device_spec,
+                   const PhysicalParams &params = {});
+
 /** Compile with MUSS-TI paper defaults (overridable); blocks. */
 CompileResult runMussti(const Circuit &circuit,
                         const MusstiConfig &config = {},
@@ -63,12 +73,16 @@ CompileResult runBaseline(const std::string &which, const Circuit &circuit,
                           const GridConfig &grid,
                           const PhysicalParams &params = {});
 
-/** The paper's grid settings per suite (section 4). */
-GridConfig smallGrid22();   ///< 2x2, capacity 12 (Table 2).
-GridConfig smallGrid23();   ///< 2x3, capacity 8  (Table 2).
-GridConfig smallGrid();     ///< 2x2, capacity 16 (Fig 6 small).
-GridConfig mediumGrid();    ///< 3x4, capacity 16 (Fig 6 medium).
-GridConfig largeGrid();     ///< 4x5, capacity 16 (Fig 6 large).
+/**
+ * The paper's grid settings per suite (section 4), selected by
+ * DeviceRegistry spec so every bench exercises the same parsing path
+ * as the CLI.
+ */
+GridConfig smallGrid22();   ///< grid:2x2,cap=12 (Table 2).
+GridConfig smallGrid23();   ///< grid:3x2,cap=8  (Table 2).
+GridConfig smallGrid();     ///< grid:2x2,cap=16 (Fig 6 small).
+GridConfig mediumGrid();    ///< grid:4x3,cap=16 (Fig 6 medium).
+GridConfig largeGrid();     ///< grid:5x4,cap=16 (Fig 6 large).
 
 /** Section-4 architecture banner printed by every bench binary. */
 void printHeader(const std::string &experiment,

@@ -32,12 +32,12 @@ main()
         MusstiConfig config;
         const MusstiCompiler compiler(config);
         const auto result = compiler.compile(qc);
-        const EmlDevice device = compiler.deviceFor(qc);
+        const auto device = compiler.deviceFor(qc);
 
-        const Timeline timeline(device.zoneInfos());
+        const Timeline timeline(*device);
         const auto t = timeline.replay(result.schedule, qc.numQubits());
         const auto report = analyzeSchedule(
-            result.schedule, device.zoneInfos(), compiler.params());
+            result.schedule, *device, compiler.params());
         const int hottest = report.hottestZones().front();
 
         char overlap[32];

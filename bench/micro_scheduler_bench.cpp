@@ -9,7 +9,13 @@
  * emits machine-readable results (common/bench_json.h) including the
  * per-pass trace of the best run.
  *
- * Compilations go straight through MusstiCompiler, NOT the shared
+ * A fourth suite, grid_router, times the grid baseline compilers
+ * (murali/dai/mqt) on a registry-spec'd 8x8 grid whose relocation inner
+ * loops lean on TargetDevice::hopDistance() — the table-lookup path —
+ * so regressions in the shared device layer show up here even when the
+ * MUSS-TI tiers are unaffected.
+ *
+ * Compilations go straight through the backends, NOT the shared
  * CompileService, so the result cache cannot fake the timings.
  *
  * Usage:
@@ -34,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "arch/device_registry.h"
+#include "baselines/backend_factory.h"
 #include "common/bench_json.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
@@ -50,6 +58,13 @@ struct Tier
 
 constexpr Tier kTiers[] = {{"small", 64}, {"medium", 160}, {"large", 288}};
 constexpr const char *kFamilies[] = {"adder", "bv", "ghz", "qaoa"};
+
+// The grid-router suite: a capacity-starved grid so the baselines'
+// relocation/spill loops (hopDistance + nearestTrapWithSpace) dominate.
+constexpr const char *kGridSpec = "grid:8x8,cap=4";
+constexpr const char *kGridSuite = "grid_router/8x8cap4";
+constexpr const char *kGridFamily = "qaoa";
+constexpr int kGridQubits = 96;
 
 double
 toMs(std::chrono::steady_clock::duration d)
@@ -74,6 +89,36 @@ measure(const std::string &tier, const std::string &family, int qubits,
     for (int rep = 0; rep < repeats; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
         const CompileResult result = compiler.compile(qc);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms = toMs(t1 - t0);
+        if (record.wallMs < 0.0 || wall_ms < record.wallMs) {
+            record.wallMs = wall_ms;
+            record.passTrace.clear();
+            for (const PassTiming &timing : result.passTrace)
+                record.passTrace.push_back(
+                    {timing.pass, 1e3 * timing.seconds});
+        }
+    }
+    return record;
+}
+
+BenchRecord
+measureGrid(const std::string &which, int repeats)
+{
+    const DeviceSpec spec = DeviceRegistry::parse(kGridSpec);
+    const auto backend = makeGridBackend(which, spec.grid);
+    const Circuit qc = makeBenchmark(kGridFamily, kGridQubits);
+
+    BenchRecord record;
+    record.suite = kGridSuite;
+    record.name = which;
+    record.qubits = kGridQubits;
+    record.repeats = repeats;
+    record.wallMs = -1.0;
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const CompileResult result = backend->compile(qc);
         const auto t1 = std::chrono::steady_clock::now();
         const double wall_ms = toMs(t1 - t0);
         if (record.wallMs < 0.0 || wall_ms < record.wallMs) {
@@ -196,6 +241,24 @@ main(int argc, char **argv)
                         speedup_cell.c_str());
             records.push_back(std::move(record));
         }
+    }
+
+    // Grid-router suite (informational; the --require-speedup gate
+    // stays on the large MUSS-TI tier).
+    for (const char *which : {"murali", "dai", "mqt"}) {
+        BenchRecord record = measureGrid(which, repeats);
+        std::string speedup_cell = "-";
+        const BenchRecord *base = findBaseline(baseline, record);
+        if (base != nullptr) {
+            record.speedupVsBaseline = base->wallMs / record.wallMs;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2fx",
+                          record.speedupVsBaseline);
+            speedup_cell = buf;
+        }
+        std::printf("%-8s %-6s %7d %12.3f %10s\n", "grid", which,
+                    record.qubits, record.wallMs, speedup_cell.c_str());
+        records.push_back(std::move(record));
     }
 
     const double large_tier_speedup = large_baseline_ms > 0.0

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_explorer.dir/examples/capacity_explorer.cpp.o"
+  "CMakeFiles/capacity_explorer.dir/examples/capacity_explorer.cpp.o.d"
+  "capacity_explorer"
+  "capacity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_cli.dir/examples/compile_cli.cpp.o"
+  "CMakeFiles/compile_cli.dir/examples/compile_cli.cpp.o.d"
+  "compile_cli"
+  "compile_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

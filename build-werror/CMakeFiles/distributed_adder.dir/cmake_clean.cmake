@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_adder.dir/examples/distributed_adder.cpp.o"
+  "CMakeFiles/distributed_adder.dir/examples/distributed_adder.cpp.o.d"
+  "distributed_adder"
+  "distributed_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

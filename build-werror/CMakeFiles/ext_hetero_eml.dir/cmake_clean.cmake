@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hetero_eml.dir/bench/ext_hetero_eml.cpp.o"
+  "CMakeFiles/ext_hetero_eml.dir/bench/ext_hetero_eml.cpp.o.d"
+  "ext_hetero_eml"
+  "ext_hetero_eml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hetero_eml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_hetero_eml.
+# This may be replaced when dependencies are built.

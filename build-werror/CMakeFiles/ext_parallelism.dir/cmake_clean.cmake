@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallelism.dir/bench/ext_parallelism.cpp.o"
+  "CMakeFiles/ext_parallelism.dir/bench/ext_parallelism.cpp.o.d"
+  "ext_parallelism"
+  "ext_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qec_outlook.dir/bench/ext_qec_outlook.cpp.o"
+  "CMakeFiles/ext_qec_outlook.dir/bench/ext_qec_outlook.cpp.o.d"
+  "ext_qec_outlook"
+  "ext_qec_outlook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qec_outlook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

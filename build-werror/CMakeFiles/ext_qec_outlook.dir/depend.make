@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_qec_outlook.
+# This may be replaced when dependencies are built.

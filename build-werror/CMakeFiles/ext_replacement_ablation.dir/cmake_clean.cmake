@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_replacement_ablation.dir/bench/ext_replacement_ablation.cpp.o"
+  "CMakeFiles/ext_replacement_ablation.dir/bench/ext_replacement_ablation.cpp.o.d"
+  "ext_replacement_ablation"
+  "ext_replacement_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_replacement_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

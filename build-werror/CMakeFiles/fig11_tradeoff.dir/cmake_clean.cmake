@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tradeoff.dir/bench/fig11_tradeoff.cpp.o"
+  "CMakeFiles/fig11_tradeoff.dir/bench/fig11_tradeoff.cpp.o.d"
+  "fig11_tradeoff"
+  "fig11_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_entanglement_zones.dir/bench/fig12_entanglement_zones.cpp.o"
+  "CMakeFiles/fig12_entanglement_zones.dir/bench/fig12_entanglement_zones.cpp.o.d"
+  "fig12_entanglement_zones"
+  "fig12_entanglement_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_entanglement_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_optimality.dir/bench/fig13_optimality.cpp.o"
+  "CMakeFiles/fig13_optimality.dir/bench/fig13_optimality.cpp.o.d"
+  "fig13_optimality"
+  "fig13_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

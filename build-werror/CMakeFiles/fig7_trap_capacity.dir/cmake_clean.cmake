@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_trap_capacity.dir/bench/fig7_trap_capacity.cpp.o"
+  "CMakeFiles/fig7_trap_capacity.dir/bench/fig7_trap_capacity.cpp.o.d"
+  "fig7_trap_capacity"
+  "fig7_trap_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_trap_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

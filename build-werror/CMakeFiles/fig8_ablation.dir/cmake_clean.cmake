@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ablation.dir/bench/fig8_ablation.cpp.o"
+  "CMakeFiles/fig8_ablation.dir/bench/fig8_ablation.cpp.o.d"
+  "fig8_ablation"
+  "fig8_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

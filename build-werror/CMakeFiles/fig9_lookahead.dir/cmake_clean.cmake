@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_lookahead.dir/bench/fig9_lookahead.cpp.o"
+  "CMakeFiles/fig9_lookahead.dir/bench/fig9_lookahead.cpp.o.d"
+  "fig9_lookahead"
+  "fig9_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler_bench.dir/bench/micro_scheduler_bench.cpp.o"
+  "CMakeFiles/micro_scheduler_bench.dir/bench/micro_scheduler_bench.cpp.o.d"
+  "micro_scheduler_bench"
+  "micro_scheduler_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

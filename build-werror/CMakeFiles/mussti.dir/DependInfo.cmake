@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/device_registry.cpp" "CMakeFiles/mussti.dir/src/arch/device_registry.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/device_registry.cpp.o.d"
+  "/root/repo/src/arch/eml_device.cpp" "CMakeFiles/mussti.dir/src/arch/eml_device.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/eml_device.cpp.o.d"
+  "/root/repo/src/arch/grid_device.cpp" "CMakeFiles/mussti.dir/src/arch/grid_device.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/grid_device.cpp.o.d"
+  "/root/repo/src/arch/placement.cpp" "CMakeFiles/mussti.dir/src/arch/placement.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/placement.cpp.o.d"
+  "/root/repo/src/arch/target_device.cpp" "CMakeFiles/mussti.dir/src/arch/target_device.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/target_device.cpp.o.d"
+  "/root/repo/src/arch/zone.cpp" "CMakeFiles/mussti.dir/src/arch/zone.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/arch/zone.cpp.o.d"
+  "/root/repo/src/baselines/backend_factory.cpp" "CMakeFiles/mussti.dir/src/baselines/backend_factory.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/baselines/backend_factory.cpp.o.d"
+  "/root/repo/src/baselines/dai.cpp" "CMakeFiles/mussti.dir/src/baselines/dai.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/baselines/dai.cpp.o.d"
+  "/root/repo/src/baselines/grid_compiler_base.cpp" "CMakeFiles/mussti.dir/src/baselines/grid_compiler_base.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/baselines/grid_compiler_base.cpp.o.d"
+  "/root/repo/src/baselines/mqt_like.cpp" "CMakeFiles/mussti.dir/src/baselines/mqt_like.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/baselines/mqt_like.cpp.o.d"
+  "/root/repo/src/baselines/murali.cpp" "CMakeFiles/mussti.dir/src/baselines/murali.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/baselines/murali.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "CMakeFiles/mussti.dir/src/circuit/circuit.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "CMakeFiles/mussti.dir/src/circuit/gate.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "CMakeFiles/mussti.dir/src/circuit/qasm.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/circuit/qasm.cpp.o.d"
+  "/root/repo/src/circuit/transforms.cpp" "CMakeFiles/mussti.dir/src/circuit/transforms.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/circuit/transforms.cpp.o.d"
+  "/root/repo/src/common/bench_json.cpp" "CMakeFiles/mussti.dir/src/common/bench_json.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/common/bench_json.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "CMakeFiles/mussti.dir/src/common/csv.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/common/csv.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/mussti.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/mussti.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "CMakeFiles/mussti.dir/src/common/string_util.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/common/string_util.cpp.o.d"
+  "/root/repo/src/core/compile_service.cpp" "CMakeFiles/mussti.dir/src/core/compile_service.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/compile_service.cpp.o.d"
+  "/root/repo/src/core/compiler.cpp" "CMakeFiles/mussti.dir/src/core/compiler.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/compiler.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "CMakeFiles/mussti.dir/src/core/config.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/config.cpp.o.d"
+  "/root/repo/src/core/lru.cpp" "CMakeFiles/mussti.dir/src/core/lru.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/lru.cpp.o.d"
+  "/root/repo/src/core/mapper.cpp" "CMakeFiles/mussti.dir/src/core/mapper.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/mapper.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/mussti.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "CMakeFiles/mussti.dir/src/core/router.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/router.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/mussti.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/swap_inserter.cpp" "CMakeFiles/mussti.dir/src/core/swap_inserter.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/swap_inserter.cpp.o.d"
+  "/root/repo/src/core/weight_table.cpp" "CMakeFiles/mussti.dir/src/core/weight_table.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/core/weight_table.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "CMakeFiles/mussti.dir/src/dag/dag.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/dag/dag.cpp.o.d"
+  "/root/repo/src/sim/analyzer.cpp" "CMakeFiles/mussti.dir/src/sim/analyzer.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/analyzer.cpp.o.d"
+  "/root/repo/src/sim/evaluation_pass.cpp" "CMakeFiles/mussti.dir/src/sim/evaluation_pass.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/evaluation_pass.cpp.o.d"
+  "/root/repo/src/sim/evaluator.cpp" "CMakeFiles/mussti.dir/src/sim/evaluator.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/evaluator.cpp.o.d"
+  "/root/repo/src/sim/op.cpp" "CMakeFiles/mussti.dir/src/sim/op.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/op.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "CMakeFiles/mussti.dir/src/sim/params.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/params.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "CMakeFiles/mussti.dir/src/sim/schedule.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/shuttle_emitter.cpp" "CMakeFiles/mussti.dir/src/sim/shuttle_emitter.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/shuttle_emitter.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "CMakeFiles/mussti.dir/src/sim/timeline.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/timeline.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/mussti.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/validator.cpp" "CMakeFiles/mussti.dir/src/sim/validator.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/sim/validator.cpp.o.d"
+  "/root/repo/src/workloads/adder.cpp" "CMakeFiles/mussti.dir/src/workloads/adder.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/adder.cpp.o.d"
+  "/root/repo/src/workloads/bv.cpp" "CMakeFiles/mussti.dir/src/workloads/bv.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/bv.cpp.o.d"
+  "/root/repo/src/workloads/extra_families.cpp" "CMakeFiles/mussti.dir/src/workloads/extra_families.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/extra_families.cpp.o.d"
+  "/root/repo/src/workloads/ghz.cpp" "CMakeFiles/mussti.dir/src/workloads/ghz.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/ghz.cpp.o.d"
+  "/root/repo/src/workloads/qaoa.cpp" "CMakeFiles/mussti.dir/src/workloads/qaoa.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/qaoa.cpp.o.d"
+  "/root/repo/src/workloads/qft.cpp" "CMakeFiles/mussti.dir/src/workloads/qft.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/qft.cpp.o.d"
+  "/root/repo/src/workloads/random_circuit.cpp" "CMakeFiles/mussti.dir/src/workloads/random_circuit.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/random_circuit.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "CMakeFiles/mussti.dir/src/workloads/registry.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/sqrt.cpp" "CMakeFiles/mussti.dir/src/workloads/sqrt.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/sqrt.cpp.o.d"
+  "/root/repo/src/workloads/supremacy.cpp" "CMakeFiles/mussti.dir/src/workloads/supremacy.cpp.o" "gcc" "CMakeFiles/mussti.dir/src/workloads/supremacy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_roundtrip.dir/examples/qasm_roundtrip.cpp.o"
+  "CMakeFiles/qasm_roundtrip.dir/examples/qasm_roundtrip.cpp.o.d"
+  "qasm_roundtrip"
+  "qasm_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_cycle.dir/examples/qec_cycle.cpp.o"
+  "CMakeFiles/qec_cycle.dir/examples/qec_cycle.cpp.o.d"
+  "qec_cycle"
+  "qec_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_small_scale.dir/bench/table2_small_scale.cpp.o"
+  "CMakeFiles/table2_small_scale.dir/bench/table2_small_scale.cpp.o.d"
+  "table2_small_scale"
+  "table2_small_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_small_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

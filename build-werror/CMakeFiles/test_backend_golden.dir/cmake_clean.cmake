@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend_golden.dir/tests/test_backend_golden.cpp.o"
+  "CMakeFiles/test_backend_golden.dir/tests/test_backend_golden.cpp.o.d"
+  "test_backend_golden"
+  "test_backend_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

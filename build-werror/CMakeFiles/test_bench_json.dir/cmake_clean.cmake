@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_json.dir/tests/test_bench_json.cpp.o"
+  "CMakeFiles/test_bench_json.dir/tests/test_bench_json.cpp.o.d"
+  "test_bench_json"
+  "test_bench_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile_service.dir/tests/test_compile_service.cpp.o"
+  "CMakeFiles/test_compile_service.dir/tests/test_compile_service.cpp.o.d"
+  "test_compile_service"
+  "test_compile_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

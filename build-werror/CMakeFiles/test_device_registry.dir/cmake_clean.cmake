@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_registry.dir/tests/test_device_registry.cpp.o"
+  "CMakeFiles/test_device_registry.dir/tests/test_device_registry.cpp.o.d"
+  "test_device_registry"
+  "test_device_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_sweep.dir/tests/test_device_sweep.cpp.o"
+  "CMakeFiles/test_device_sweep.dir/tests/test_device_sweep.cpp.o.d"
+  "test_device_sweep"
+  "test_device_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_workloads.dir/tests/test_extra_workloads.cpp.o"
+  "CMakeFiles/test_extra_workloads.dir/tests/test_extra_workloads.cpp.o.d"
+  "test_extra_workloads"
+  "test_extra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_validator.dir/tests/test_fuzz_validator.cpp.o"
+  "CMakeFiles/test_fuzz_validator.dir/tests/test_fuzz_validator.cpp.o.d"
+  "test_fuzz_validator"
+  "test_fuzz_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm.dir/tests/test_qasm.cpp.o"
+  "CMakeFiles/test_qasm.dir/tests/test_qasm.cpp.o.d"
+  "test_qasm"
+  "test_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_api.dir/tests/test_schedule_api.cpp.o"
+  "CMakeFiles/test_schedule_api.dir/tests/test_schedule_api.cpp.o.d"
+  "test_schedule_api"
+  "test_schedule_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_insertion.dir/tests/test_swap_insertion.cpp.o"
+  "CMakeFiles/test_swap_insertion.dir/tests/test_swap_insertion.cpp.o.d"
+  "test_swap_insertion"
+  "test_swap_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

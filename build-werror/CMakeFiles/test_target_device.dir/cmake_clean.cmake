@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_target_device.dir/tests/test_target_device.cpp.o"
+  "CMakeFiles/test_target_device.dir/tests/test_target_device.cpp.o.d"
+  "test_target_device"
+  "test_target_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_target_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timeline_analyzer.dir/tests/test_timeline_analyzer.cpp.o"
+  "CMakeFiles/test_timeline_analyzer.dir/tests/test_timeline_analyzer.cpp.o.d"
+  "test_timeline_analyzer"
+  "test_timeline_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timeline_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,11 @@
  *   compile_cli [options] <family|file.qasm> [qubits]
  *
  * Options:
+ *   --device SPEC        target device spec (DeviceRegistry grammar,
+ *                        e.g. eml:modules=4,cap=16,optical=2 or
+ *                        grid:8x8,cap=16); default: paper EML device
+ *   --backend B          mussti (default) | murali | dai | mqt; the
+ *                        grid baselines need a grid:... device spec
  *   --trivial            use trivial mapping (default: SABRE)
  *   --no-swap-insert     disable section-3.3 SWAP insertion
  *   --capacity N         trap capacity (default 16)
@@ -16,7 +21,8 @@
  *
  * Examples:
  *   compile_cli sqrt 117
- *   compile_cli --capacity 20 --optical 2 ran 256
+ *   compile_cli --device eml:hetero=2.1.2-2.1.1,cap=20 ran 64
+ *   compile_cli --device grid:4x3,cap=16 --backend murali qft 32
  *   compile_cli --trace 20 --validate my_circuit.qasm
  */
 #include <cstdlib>
@@ -26,7 +32,10 @@
 #include <memory>
 #include <string>
 
+#include "arch/device_registry.h"
+#include "baselines/backend_factory.h"
 #include "circuit/qasm.h"
+#include "common/string_util.h"
 #include "core/compile_service.h"
 #include "core/compiler.h"
 #include "sim/trace.h"
@@ -43,8 +52,9 @@ usage()
     std::cerr <<
         "usage: compile_cli [options] <family|file.qasm> [qubits]\n"
         "  families: adder bv ghz qaoa qft sqrt ran sc ising qv wstate\n"
-        "  options: --trivial --no-swap-insert --capacity N --optical N\n"
-        "           --lookahead K --policy P --trace [N] --validate\n";
+        "  options: --device SPEC --backend B --trivial --no-swap-insert\n"
+        "           --capacity N --optical N --lookahead K --policy P\n"
+        "           --trace [N] --validate\n";
 }
 
 } // namespace
@@ -53,6 +63,9 @@ int
 main(int argc, char **argv)
 {
     MusstiConfig config;
+    std::string backend_name = "mussti";
+    std::string device_spec;
+    bool device_flags = false;
     bool trace = false;
     int trace_ops = 40;
     bool validate = false;
@@ -61,14 +74,20 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--trivial") {
+        if (arg == "--device" && i + 1 < argc) {
+            device_spec = argv[++i];
+        } else if (arg == "--backend" && i + 1 < argc) {
+            backend_name = toLower(argv[++i]);
+        } else if (arg == "--trivial") {
             config.mapping = MappingKind::Trivial;
         } else if (arg == "--no-swap-insert") {
             config.enableSwapInsertion = false;
         } else if (arg == "--capacity" && i + 1 < argc) {
             config.device.trapCapacity = std::atoi(argv[++i]);
+            device_flags = true;
         } else if (arg == "--optical" && i + 1 < argc) {
             config.device.numOpticalZones = std::atoi(argv[++i]);
+            device_flags = true;
         } else if (arg == "--lookahead" && i + 1 < argc) {
             config.lookAhead = std::atoi(argv[++i]);
         } else if (arg == "--policy" && i + 1 < argc) {
@@ -119,21 +138,46 @@ main(int argc, char **argv)
         circuit = makeBenchmark(target, qubits > 0 ? qubits : 32);
     }
 
-    const auto compiler = std::make_shared<const MusstiCompiler>(config);
+    // Device selection is spec-driven: the registry parses the string
+    // and the backend family must match the device family. A spec
+    // defines the WHOLE device, so combining it with the legacy
+    // per-knob flags would silently drop one side — refuse instead.
+    if (!device_spec.empty() && device_flags)
+        fatal("--device replaces the whole device; fold --capacity/"
+              "--optical into the spec (e.g. " + device_spec +
+              ",cap=20) instead of mixing them");
+    DeviceSpec spec = DeviceRegistry::specOf(config.device);
+    if (!device_spec.empty())
+        spec = DeviceRegistry::parse(device_spec);
+
+    std::shared_ptr<const ICompilerBackend> backend;
+    if (backend_name == "mussti") {
+        if (spec.family != DeviceFamily::Eml)
+            fatal("backend mussti needs an eml:... device spec, got: " +
+                  spec.canonical());
+        config.device = spec.eml;
+        backend = makeMusstiBackend(config);
+    } else {
+        if (spec.family != DeviceFamily::Grid)
+            fatal("backend " + backend_name + " needs a grid:... device "
+                  "spec, got: " + spec.canonical());
+        backend = makeGridBackend(backend_name, spec.grid);
+    }
+    const std::shared_ptr<const TargetDevice> device =
+        DeviceRegistry::create(spec, circuit.numQubits());
+
     CompileServiceConfig service_config;
     service_config.numThreads = 1;   // one job; no pool needed
     service_config.cacheCapacity = 0;
     CompileService service(service_config);
-    const auto result = service.submit(compiler, circuit).get();
-    const EmlDevice device = compiler->deviceFor(circuit);
+    const auto result = service.submit(backend, circuit).get();
 
     std::cout << "circuit      : " << circuit.name() << " ("
               << circuit.numQubits() << " qubits, "
               << circuit.twoQubitCount() << " 2q gates)\n"
-              << "device       : " << device.numModules()
-              << " modules, capacity "
-              << config.device.trapCapacity << ", "
-              << config.device.numOpticalZones << " optical zone(s)\n"
+              << "backend      : " << backend->name() << "\n"
+              << "device       : " << device->describe() << "\n"
+              << "device spec  : " << device->spec() << "\n"
               << "schedule     : " << summarizeSchedule(result.schedule)
               << "\n"
               << "swap inserts : " << result.swapInsertions << "\n"
@@ -145,12 +189,11 @@ main(int argc, char **argv)
               << "compile time : " << result.compileTimeSec << " s\n";
 
     if (trace) {
-        std::cout << "\n" << formatSchedule(result.schedule,
-                                            device.zoneInfos(),
+        std::cout << "\n" << formatSchedule(result.schedule, *device,
                                             trace_ops);
     }
     if (validate) {
-        const auto report = ScheduleValidator(device.zoneInfos())
+        const auto report = ScheduleValidator(*device)
                                 .validate(result.schedule, result.lowered);
         std::cout << "validation   : "
                   << (report ? "PASS" : "FAIL: " + report.firstError)

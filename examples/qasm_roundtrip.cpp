@@ -1,15 +1,18 @@
 /**
  * @file
  * QASM workflow example: import an OpenQASM 2.0 file (or a built-in
- * demo if none is given), compile it with MUSS-TI, report metrics, and
- * export the (SWAP-lowered) circuit back to QASM on stdout.
+ * demo if none is given), compile it with MUSS-TI onto a registry-spec
+ * device, report metrics, and export the (SWAP-lowered) circuit back
+ * to QASM on stdout.
  *
- *   qasm_roundtrip [file.qasm]
+ *   qasm_roundtrip [file.qasm] [device-spec]
+ *   qasm_roundtrip my.qasm eml:cap=20,optical=2
  */
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "arch/device_registry.h"
 #include "circuit/qasm.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
@@ -34,10 +37,22 @@ main(int argc, char **argv)
         circuit = fromQasm(toQasm(qft), qft.name());
     }
 
-    const MusstiCompiler compiler;
+    // The target device arrives as a registry spec, like every other
+    // entry point (paper defaults when none is given).
+    const DeviceSpec spec = DeviceRegistry::parse(
+        argc > 2 ? argv[2] : "eml:cap=16,storage=2,op=1,optical=1");
+    if (spec.family != DeviceFamily::Eml)
+        fatal("qasm_roundtrip compiles with MUSS-TI; pass an eml:... "
+              "spec, got: " + spec.canonical());
+
+    MusstiConfig config;
+    config.device = spec.eml;
+    const MusstiCompiler compiler(config);
     const auto result = compiler.compile(circuit);
 
-    std::cerr << "parsed " << circuit.name() << ": "
+    std::cerr << "device: " << compiler.deviceFor(circuit)->describe()
+              << "\n"
+              << "parsed " << circuit.name() << ": "
               << circuit.numQubits() << " qubits, "
               << circuit.twoQubitCount() << " two-qubit gates\n"
               << "shuttles: " << result.metrics.shuttleCount

@@ -25,14 +25,14 @@ main(int argc, char **argv)
     const Circuit circuit = makeSurfaceCodeCycle(distance, rounds);
     const MusstiCompiler compiler;
     const auto result = compiler.compile(circuit);
-    const EmlDevice device = compiler.deviceFor(circuit);
+    const auto device = compiler.deviceFor(circuit);
 
     std::cout << "surface code d=" << distance << ", " << rounds
               << " syndrome rounds\n"
               << "qubits       : " << circuit.numQubits() << " ("
               << distance * distance << " data + "
               << distance * distance - 1 << " ancilla)\n"
-              << "modules      : " << device.numModules() << "\n"
+              << "modules      : " << device->numModules() << "\n"
               << "CX gates     : " << circuit.twoQubitCount() << "\n"
               << "shuttles     : " << result.metrics.shuttleCount << "\n"
               << "fiber gates  : " << result.metrics.fiberGateCount
@@ -42,8 +42,7 @@ main(int argc, char **argv)
               << "log10 F      : " << result.metrics.log10Fidelity()
               << "\n\n";
 
-    const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(),
+    const auto report = analyzeSchedule(result.schedule, *device,
                                         compiler.params());
     std::cout << "hottest zones (final n-bar):\n";
     int shown = 0;
@@ -57,7 +56,7 @@ main(int argc, char **argv)
                   << " arrivals, " << zone.gatesExecuted << " gates\n";
     }
 
-    const Timeline timeline(device.zoneInfos());
+    const Timeline timeline(*device);
     const auto t = timeline.replay(result.schedule, circuit.numQubits());
     std::cout << "\nserial time " << t.serialUs << " us vs makespan "
               << t.makespanUs << " us (" << t.parallelism()

@@ -9,6 +9,7 @@
  */
 #include <iostream>
 
+#include "arch/device_registry.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
 
@@ -21,22 +22,32 @@ main()
     //    via fromQasm()).
     const Circuit circuit = makeGhz(64);
 
-    // 2. Configure the compiler. Defaults reproduce the paper: look-
-    //    ahead k=8, SWAP threshold T=4, SABRE mapping, trap capacity
-    //    16, one optical + one operation + two storage zones per
-    //    module, a module per 32 qubits.
+    // 2. Pick the target device by spec: the paper's EML module — trap
+    //    capacity 16, one optical + one operation + two storage zones
+    //    per module, a module per 32 qubits. (The same grammar selects
+    //    any architecture: try "grid:8x8,cap=16" with a grid backend,
+    //    or "eml:hetero=2.1.2-2.1.1,cap=16" for per-module zone
+    //    counts.)
+    const DeviceSpec spec = DeviceRegistry::parse(
+        "eml:cap=16,storage=2,op=1,optical=1,maxq=32");
+
+    // 3. Configure the compiler with it. The remaining defaults
+    //    reproduce the paper: look-ahead k=8, SWAP threshold T=4,
+    //    SABRE mapping.
     MusstiConfig config;
+    config.device = spec.eml;
     const MusstiCompiler compiler(config);
 
-    // 3. Compile.
+    // 4. Compile.
     const CompileResult result = compiler.compile(circuit);
 
-    // 4. Inspect.
-    const EmlDevice device = compiler.deviceFor(circuit);
+    // 5. Inspect.
+    const auto device = compiler.deviceFor(circuit);
     std::cout << "circuit           : " << circuit.name() << "\n"
               << "qubits            : " << circuit.numQubits() << "\n"
               << "two-qubit gates   : " << circuit.twoQubitCount() << "\n"
-              << "modules           : " << device.numModules() << "\n"
+              << "device            : " << device->describe() << "\n"
+              << "modules           : " << device->numModules() << "\n"
               << "shuttle ops       : " << result.metrics.shuttleCount
               << "\n"
               << "fiber gates       : " << result.metrics.fiberGateCount

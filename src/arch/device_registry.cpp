@@ -1,0 +1,233 @@
+#include "arch/device_registry.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mussti {
+
+namespace {
+
+/** Strict int parse; diagnostics name the offending token and spec. */
+int
+specInt(const std::string &value, const std::string &key,
+        const std::string &spec)
+{
+    const auto parsed = parseIntStrict(trim(value));
+    MUSSTI_REQUIRE(parsed.has_value(),
+                   "unparsable value `" << value << "` for key `" << key
+                   << "` in device spec: " << spec);
+    return *parsed;
+}
+
+/** Strict double parse with the same convention. */
+double
+specDouble(const std::string &value, const std::string &key,
+           const std::string &spec)
+{
+    const auto parsed = parseDoubleStrict(trim(value));
+    MUSSTI_REQUIRE(parsed.has_value(),
+                   "unparsable value `" << value << "` for key `" << key
+                   << "` in device spec: " << spec);
+    return *parsed;
+}
+
+/** Split "key=value"; fatal names the token when no '=' is present. */
+std::pair<std::string, std::string>
+keyValue(const std::string &token, const std::string &spec)
+{
+    const std::size_t eq = token.find('=');
+    MUSSTI_REQUIRE(eq != std::string::npos && eq > 0,
+                   "malformed token `" << token
+                   << "` (expected key=value) in device spec: " << spec);
+    return {toLower(trim(token.substr(0, eq))),
+            trim(token.substr(eq + 1))};
+}
+
+/** Parse "<S>.<O>.<X>[-...]" into a per-module mix list. */
+std::vector<EmlModuleMix>
+parseModuleMix(const std::string &value, const std::string &spec)
+{
+    std::vector<EmlModuleMix> mixes;
+    for (const std::string &term : split(value, '-')) {
+        const std::vector<std::string> counts = split(term, '.');
+        MUSSTI_REQUIRE(counts.size() == 3,
+                       "malformed module term `" << term
+                       << "` (expected storage.operation.optical) in "
+                       "device spec: " << spec);
+        EmlModuleMix mix;
+        mix.storage = specInt(counts[0], "hetero", spec);
+        mix.operation = specInt(counts[1], "hetero", spec);
+        mix.optical = specInt(counts[2], "hetero", spec);
+        mixes.push_back(mix);
+    }
+    return mixes;
+}
+
+DeviceSpec
+parseEml(const std::vector<std::string> &tokens, const std::string &spec)
+{
+    DeviceSpec parsed;
+    parsed.family = DeviceFamily::Eml;
+    bool hetero = false;
+    bool uniform_zones = false;
+    for (const std::string &token : tokens) {
+        if (trim(token).empty())
+            continue;
+        const auto [key, value] = keyValue(token, spec);
+        if (key == "cap") {
+            parsed.eml.trapCapacity = specInt(value, key, spec);
+        } else if (key == "storage") {
+            parsed.eml.numStorageZones = specInt(value, key, spec);
+            uniform_zones = true;
+        } else if (key == "op" || key == "operation") {
+            parsed.eml.numOperationZones = specInt(value, key, spec);
+            uniform_zones = true;
+        } else if (key == "optical") {
+            parsed.eml.numOpticalZones = specInt(value, key, spec);
+            uniform_zones = true;
+        } else if (key == "maxq") {
+            parsed.eml.maxQubitsPerModule = specInt(value, key, spec);
+        } else if (key == "modules") {
+            parsed.eml.forcedNumModules = specInt(value, key, spec);
+            uniform_zones = true;
+        } else if (key == "pitch") {
+            parsed.eml.zonePitchUm = specDouble(value, key, spec);
+        } else if (key == "hetero") {
+            parsed.eml.moduleMix = parseModuleMix(value, spec);
+            hetero = true;
+        } else {
+            fatal("unknown key `" + key + "` in device spec: " + spec);
+        }
+    }
+    MUSSTI_REQUIRE(!(hetero && uniform_zones),
+                   "key `hetero` excludes the uniform zone keys "
+                   "(storage/op/optical/modules) in device spec: " << spec);
+    return parsed;
+}
+
+DeviceSpec
+parseGrid(const std::vector<std::string> &tokens, const std::string &spec)
+{
+    DeviceSpec parsed;
+    parsed.family = DeviceFamily::Grid;
+    MUSSTI_REQUIRE(!tokens.empty() && !trim(tokens.front()).empty(),
+                   "grid spec needs a leading <W>x<H> geometry token: "
+                   << spec);
+
+    const std::string geometry = trim(tokens.front());
+    const std::vector<std::string> dims = split(geometry, 'x');
+    MUSSTI_REQUIRE(dims.size() == 2,
+                   "malformed grid geometry `" << geometry
+                   << "` (expected <W>x<H>) in device spec: " << spec);
+    parsed.grid.width = specInt(dims[0], "geometry", spec);
+    parsed.grid.height = specInt(dims[1], "geometry", spec);
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (trim(tokens[i]).empty())
+            continue;
+        const auto [key, value] = keyValue(tokens[i], spec);
+        if (key == "cap") {
+            parsed.grid.trapCapacity = specInt(value, key, spec);
+        } else if (key == "pitch") {
+            parsed.grid.pitchUm = specDouble(value, key, spec);
+        } else {
+            fatal("unknown key `" + key + "` in device spec: " + spec);
+        }
+    }
+    return parsed;
+}
+
+} // namespace
+
+std::string
+DeviceSpec::canonical() const
+{
+    return family == DeviceFamily::Eml ? emlSpecString(eml)
+                                       : gridSpecString(grid);
+}
+
+std::uint64_t
+DeviceSpec::digest() const
+{
+    Fnv1a hash;
+    hash.update(canonical());
+    return hash.digest();
+}
+
+DeviceSpec
+DeviceRegistry::parse(const std::string &text)
+{
+    const std::size_t colon = text.find(':');
+    MUSSTI_REQUIRE(colon != std::string::npos,
+                   "device spec needs a `family:` prefix (eml or grid), "
+                   "got: " << text);
+    const std::string family = toLower(trim(text.substr(0, colon)));
+    const std::vector<std::string> tokens =
+        split(text.substr(colon + 1), ',');
+    if (family == "eml")
+        return parseEml(tokens, text);
+    if (family == "grid")
+        return parseGrid(tokens, text);
+    fatal("unknown device family `" + family + "` in device spec: " +
+          text);
+}
+
+DeviceSpec
+DeviceRegistry::specOf(const EmlConfig &config)
+{
+    DeviceSpec spec;
+    spec.family = DeviceFamily::Eml;
+    spec.eml = config;
+    return spec;
+}
+
+DeviceSpec
+DeviceRegistry::specOf(const GridConfig &config)
+{
+    DeviceSpec spec;
+    spec.family = DeviceFamily::Grid;
+    spec.grid = config;
+    return spec;
+}
+
+std::shared_ptr<const TargetDevice>
+DeviceRegistry::create(const DeviceSpec &spec, int num_qubits)
+{
+    if (spec.family == DeviceFamily::Eml)
+        return createEml(spec.eml, num_qubits);
+    return createGrid(spec.grid);
+}
+
+std::shared_ptr<const TargetDevice>
+DeviceRegistry::create(const std::string &text, int num_qubits)
+{
+    return create(parse(text), num_qubits);
+}
+
+std::shared_ptr<const EmlDevice>
+DeviceRegistry::createEml(const EmlConfig &config, int num_qubits)
+{
+    return std::make_shared<const EmlDevice>(config, num_qubits);
+}
+
+std::shared_ptr<const GridDevice>
+DeviceRegistry::createGrid(const GridConfig &config)
+{
+    return std::make_shared<const GridDevice>(config);
+}
+
+std::string
+DeviceRegistry::heteroSpec(const std::vector<EmlModuleMix> &mixes,
+                           int trap_capacity)
+{
+    EmlConfig config;
+    config.moduleMix = mixes;
+    config.trapCapacity = trap_capacity;
+    return emlSpecString(config);
+}
+
+} // namespace mussti

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Spec-driven device construction: the one place that turns a compact
+ * string into a TargetDevice, so entry points (CLI, benches, services)
+ * select architectures by configuration rather than by compile-time
+ * type.
+ *
+ * Grammar (see arch/README.md for the full reference):
+ *
+ *   grid:<W>x<H>[,cap=<int>][,pitch=<um>]
+ *   eml:[cap=<int>][,storage=<int>][,op=<int>][,optical=<int>]
+ *       [,maxq=<int>][,modules=<int>][,pitch=<um>]
+ *   eml:hetero=<S>.<O>.<X>[-<S>.<O>.<X>...][,cap=...][,maxq=...]
+ *
+ * e.g. `eml:modules=4,cap=16,optical=2`, `grid:8x8,cap=16`, or the
+ * heterogeneous `eml:hetero=2.1.1-4.1.2,cap=16`. Malformed specs
+ * fatal() with a diagnostic naming the offending token. DeviceSpec is
+ * the parsed, canonicalisable form; its digest feeds backend
+ * configDigest()s so the CompileService cache keys on the device.
+ */
+#ifndef MUSSTI_ARCH_DEVICE_REGISTRY_H
+#define MUSSTI_ARCH_DEVICE_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/eml_device.h"
+#include "arch/grid_device.h"
+#include "arch/target_device.h"
+
+namespace mussti {
+
+/** A parsed device spec: family tag plus the family's config. */
+struct DeviceSpec
+{
+    DeviceFamily family = DeviceFamily::Eml;
+    EmlConfig eml;      ///< Meaningful when family == Eml.
+    GridConfig grid;    ///< Meaningful when family == Grid.
+
+    /**
+     * The canonical spec string: fixed key order, defaults elided the
+     * same way every time, so equal topologies render equal strings
+     * (parse(canonical()) is a fixed point).
+     */
+    std::string canonical() const;
+
+    /** FNV-1a digest of the canonical string (cache-key component). */
+    std::uint64_t digest() const;
+};
+
+/**
+ * Static registry mapping spec strings to TargetDevice instances. All
+ * device creation in compiler passes, examples, and benches goes
+ * through here; only arch/ constructs EmlDevice/GridDevice directly.
+ */
+class DeviceRegistry
+{
+  public:
+    /** Parse a spec string; fatal() names the offending token. */
+    static DeviceSpec parse(const std::string &text);
+
+    /** The spec a given family config renders to. */
+    static DeviceSpec specOf(const EmlConfig &config);
+    static DeviceSpec specOf(const GridConfig &config);
+
+    /**
+     * Instantiate the spec's device. `num_qubits` sizes EML devices
+     * (module count unless pinned); grids ignore it.
+     */
+    static std::shared_ptr<const TargetDevice>
+    create(const DeviceSpec &spec, int num_qubits);
+
+    /** Parse-and-create shorthand. */
+    static std::shared_ptr<const TargetDevice>
+    create(const std::string &text, int num_qubits);
+
+    /** Typed creation for the family-specific call sites. */
+    static std::shared_ptr<const EmlDevice>
+    createEml(const EmlConfig &config, int num_qubits);
+
+    static std::shared_ptr<const GridDevice>
+    createGrid(const GridConfig &config);
+
+    /**
+     * Render an `eml:hetero=...` spec for a per-module mix list (the
+     * single producer sweep drivers use, so the grammar never gets
+     * hand-assembled at call sites). Module count = mixes.size().
+     */
+    static std::string heteroSpec(const std::vector<EmlModuleMix> &mixes,
+                                  int trap_capacity);
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_ARCH_DEVICE_REGISTRY_H

@@ -2,54 +2,93 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace mussti {
 
+namespace {
+
+/** The zone mix of module `m` under the config (uniform or per-module). */
+EmlModuleMix
+mixOfModule(const EmlConfig &config, int m)
+{
+    if (!config.moduleMix.empty())
+        return config.moduleMix[m];
+    return {config.numStorageZones, config.numOperationZones,
+            config.numOpticalZones};
+}
+
+} // namespace
+
 EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
-    : config_(config), numQubits_(num_qubits)
+    : TargetDevice(DeviceFamily::Eml), config_(config),
+      numQubits_(num_qubits)
 {
     MUSSTI_REQUIRE(num_qubits > 0, "device needs a positive qubit count");
     MUSSTI_REQUIRE(config.trapCapacity >= 2,
                    "trap capacity must be >= 2 (two-qubit gates need "
                    "co-located ions)");
-    MUSSTI_REQUIRE(config.numOperationZones >= 1,
-                   "each module needs an operation zone");
-    MUSSTI_REQUIRE(config.numOpticalZones >= 1,
-                   "each module needs an optical zone");
 
-    numModules_ = config.forcedNumModules >= 1
-        ? config.forcedNumModules
-        : (num_qubits + config.maxQubitsPerModule - 1) /
-              config.maxQubitsPerModule;
+    int num_modules;
+    if (!config.moduleMix.empty()) {
+        num_modules = static_cast<int>(config.moduleMix.size());
+        MUSSTI_REQUIRE(config.forcedNumModules < 1 ||
+                       config.forcedNumModules == num_modules,
+                       "forcedNumModules (" << config.forcedNumModules
+                       << ") disagrees with the heterogeneous module mix ("
+                       << num_modules << " modules)");
+    } else {
+        num_modules = config.forcedNumModules >= 1
+            ? config.forcedNumModules
+            : (num_qubits + config.maxQubitsPerModule - 1) /
+                  config.maxQubitsPerModule;
+    }
+    for (int m = 0; m < num_modules; ++m) {
+        const EmlModuleMix mix = mixOfModule(config, m);
+        MUSSTI_REQUIRE(mix.operation >= 1,
+                       "module " << m << " needs an operation zone");
+        MUSSTI_REQUIRE(mix.optical >= 1,
+                       "module " << m << " needs an optical zone");
+        MUSSTI_REQUIRE(mix.storage >= 0,
+                       "module " << m << " has a negative storage count");
+    }
 
-    const int zones_per_module = config.numStorageZones +
-        config.numOperationZones + config.numOpticalZones;
-    const int slots_per_module = zones_per_module * config.trapCapacity;
+    std::vector<ZoneInfo> zones;
+    std::vector<std::pair<int, int>> edges;
+    moduleZones_.resize(num_modules);
+    for (int m = 0; m < num_modules; ++m) {
+        const EmlModuleMix mix = mixOfModule(config, m);
 
-    // Capacity sanity: the per-module qubit share must fit with at least
-    // one free slot per gate zone so routing can always make progress.
-    const int max_assigned = std::min(config.maxQubitsPerModule,
-                                      num_qubits);
-    MUSSTI_REQUIRE(slots_per_module >= max_assigned + 2,
-                   "module slots (" << slots_per_module
-                   << ") cannot hold per-module qubits (" << max_assigned
-                   << ") plus routing headroom; enlarge capacity or add "
-                   "zones");
+        // Capacity sanity: the module's qubit share must fit with at
+        // least one free slot per gate zone so routing can always make
+        // progress.
+        const int zones_per_module = mix.storage + mix.operation +
+            mix.optical;
+        const int slots_per_module = zones_per_module *
+            config.trapCapacity;
+        const int lo = m * config.maxQubitsPerModule;
+        const int hi = std::min(num_qubits,
+                                lo + config.maxQubitsPerModule);
+        const int assigned = std::max(0, hi - lo);
+        MUSSTI_REQUIRE(assigned == 0 || slots_per_module >= assigned + 2,
+                       "module " << m << " slots (" << slots_per_module
+                       << ") cannot hold its qubit share (" << assigned
+                       << ") plus routing headroom; enlarge capacity or "
+                       "add zones");
 
-    moduleZones_.resize(numModules_);
-    for (int m = 0; m < numModules_; ++m) {
         // Spatial order: storage half, operation, optical, storage half.
         std::vector<ZoneKind> order;
-        const int lead_storage = config.numStorageZones / 2;
+        const int lead_storage = mix.storage / 2;
         for (int i = 0; i < lead_storage; ++i)
             order.push_back(ZoneKind::Storage);
-        for (int i = 0; i < config.numOperationZones; ++i)
+        for (int i = 0; i < mix.operation; ++i)
             order.push_back(ZoneKind::Operation);
-        for (int i = 0; i < config.numOpticalZones; ++i)
+        for (int i = 0; i < mix.optical; ++i)
             order.push_back(ZoneKind::Optical);
-        for (int i = lead_storage; i < config.numStorageZones; ++i)
+        for (int i = lead_storage; i < mix.storage; ++i)
             order.push_back(ZoneKind::Storage);
 
         for (std::size_t slot = 0; slot < order.size(); ++slot) {
@@ -58,21 +97,31 @@ EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
             info.module = m;
             info.capacity = config.trapCapacity;
             info.positionUm = static_cast<double>(slot) * config.zonePitchUm;
-            moduleZones_[m].push_back(static_cast<int>(zones_.size()));
-            zones_.push_back(info);
+            const int zone_id = static_cast<int>(zones.size());
+            if (slot > 0)
+                edges.emplace_back(zone_id - 1, zone_id);
+            moduleZones_[m].push_back(zone_id);
+            zones.push_back(info);
         }
     }
+    MUSSTI_REQUIRE(static_cast<long long>(num_modules) *
+                       config.maxQubitsPerModule >= num_qubits,
+                   "device of " << num_modules << " modules cannot hold "
+                   << num_qubits << " qubits at " <<
+                   config.maxQubitsPerModule << " per module");
+
+    finalizeTopology(std::move(zones), edges);
 
     // Zone-distance lookup: distanceUm sits inside the router's
     // plan-costing loops, so resolve the geometry once here. Cross-
     // module pairs stay -1 (ions never shuttle between modules).
     const int nz = numZones();
     zoneDistanceUm_.assign(static_cast<std::size_t>(nz) * nz, -1.0);
-    for (int m = 0; m < numModules_; ++m) {
+    for (int m = 0; m < num_modules; ++m) {
         for (int a : moduleZones_[m]) {
             for (int b : moduleZones_[m]) {
                 zoneDistanceUm_[static_cast<std::size_t>(a) * nz + b] =
-                    std::fabs(zones_[a].positionUm - zones_[b].positionUm);
+                    std::fabs(zone(a).positionUm - zone(b).positionUm);
             }
         }
     }
@@ -81,7 +130,7 @@ EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
 const std::vector<int> &
 EmlDevice::zonesOfModule(int module) const
 {
-    MUSSTI_ASSERT(module >= 0 && module < numModules_,
+    MUSSTI_ASSERT(module >= 0 && module < numModules(),
                   "module " << module << " out of range");
     return moduleZones_[module];
 }
@@ -91,7 +140,7 @@ EmlDevice::zonesOfKind(int module, ZoneKind kind) const
 {
     std::vector<int> out;
     for (int z : zonesOfModule(module)) {
-        if (zones_[z].kind == kind)
+        if (zone(z).kind == kind)
             out.push_back(z);
     }
     return out;
@@ -102,7 +151,7 @@ EmlDevice::gateZonesOfModule(int module) const
 {
     std::vector<int> out;
     for (int z : zonesOfModule(module)) {
-        if (zones_[z].gateCapable())
+        if (zone(z).gateCapable())
             out.push_back(z);
     }
     return out;
@@ -120,8 +169,8 @@ EmlDevice::distanceUm(int zone_a, int zone_b) const
                         zone_b];
     MUSSTI_ASSERT(distance >= 0.0,
                   "distanceUm across modules "
-                  << zones_[zone_a].module << " and "
-                  << zones_[zone_b].module
+                  << zone(zone_a).module << " and "
+                  << zone(zone_b).module
                   << "; ions cannot shuttle between modules");
     return distance;
 }
@@ -140,7 +189,7 @@ EmlDevice::moduleSlotCount(int module) const
 {
     int slots = 0;
     for (int z : zonesOfModule(module))
-        slots += zones_[z].capacity;
+        slots += zone(z).capacity;
     return slots;
 }
 
@@ -151,6 +200,52 @@ EmlDevice::moduleQubitRange(int module) const
     const int lo = module * per;
     const int hi = std::min(numQubits_, lo + per);
     return {lo, std::max(lo, hi)};
+}
+
+std::string
+emlSpecString(const EmlConfig &config)
+{
+    std::ostringstream out;
+    out << "eml:";
+    if (!config.moduleMix.empty()) {
+        out << "hetero=";
+        for (std::size_t m = 0; m < config.moduleMix.size(); ++m) {
+            const EmlModuleMix &mix = config.moduleMix[m];
+            if (m > 0)
+                out << "-";
+            out << mix.storage << "." << mix.operation << "."
+                << mix.optical;
+        }
+        out << ",cap=" << config.trapCapacity;
+    } else {
+        out << "cap=" << config.trapCapacity
+            << ",storage=" << config.numStorageZones
+            << ",op=" << config.numOperationZones
+            << ",optical=" << config.numOpticalZones;
+        if (config.forcedNumModules >= 1)
+            out << ",modules=" << config.forcedNumModules;
+    }
+    out << ",maxq=" << config.maxQubitsPerModule;
+    if (config.zonePitchUm != 200.0)
+        out << ",pitch=" << formatCompact(config.zonePitchUm);
+    return out.str();
+}
+
+std::string
+EmlDevice::spec() const
+{
+    return emlSpecString(config_);
+}
+
+std::string
+EmlDevice::describe() const
+{
+    std::ostringstream out;
+    out << "EML-QCCD" << (config_.moduleMix.empty() ? "" : " (heterogeneous)")
+        << ": " << numModules() << " module(s), " << numZones()
+        << " zones, trap capacity " << config_.trapCapacity << ", "
+        << slotCount() << " slots";
+    return out.str();
 }
 
 } // namespace mussti

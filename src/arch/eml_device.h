@@ -8,6 +8,11 @@
  * remote entangling gate may execute between any pair of optical zones in
  * different modules. Ions physically shuttle only inside a module; they
  * cross modules only logically via inserted SWAP gates.
+ *
+ * Modules are homogeneous by default (the paper's configuration); a
+ * non-empty EmlConfig::moduleMix builds a heterogeneous device with
+ * per-module zone counts — the co-design axis the registry spec
+ * `eml:hetero=...` exposes (see arch/README.md for the grammar).
  */
 #ifndef MUSSTI_ARCH_EML_DEVICE_H
 #define MUSSTI_ARCH_EML_DEVICE_H
@@ -15,10 +20,19 @@
 #include <utility>
 #include <vector>
 
+#include "arch/target_device.h"
 #include "arch/zone.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+/** Zone counts of one module of a heterogeneous EML device. */
+struct EmlModuleMix
+{
+    int storage = 2;
+    int operation = 1;
+    int optical = 1;
+};
 
 /** Construction parameters for an EML-QCCD device (paper section 4). */
 struct EmlConfig
@@ -31,38 +45,38 @@ struct EmlConfig
     int maxQubitsPerModule = 32;  ///< A new module per 32 qubits.
     double zonePitchUm = 200.0;   ///< Distance between adjacent traps.
     int forcedNumModules = -1;    ///< >=1 overrides the derived count.
+
+    /**
+     * Non-empty: heterogeneous device with one entry per module (the
+     * module count is the mix length; forcedNumModules must be unset
+     * or agree). The num*Zones fields above are ignored.
+     */
+    std::vector<EmlModuleMix> moduleMix;
 };
+
+/**
+ * Canonical DeviceRegistry spec string of an EML config (the single
+ * producer behind EmlDevice::spec() and DeviceSpec::canonical()).
+ */
+std::string emlSpecString(const EmlConfig &config);
 
 /**
  * Immutable device topology: zones, module membership, geometry.
  * All runtime state (ion placement, heat) lives elsewhere.
  */
-class EmlDevice
+class EmlDevice : public TargetDevice
 {
   public:
     /**
      * Build a device sized for `num_qubits` program qubits: the module
-     * count is ceil(n / maxQubitsPerModule) unless forcedNumModules
-     * overrides it. fatal() if the device cannot hold the program.
+     * count is ceil(n / maxQubitsPerModule) unless forcedNumModules or
+     * a moduleMix overrides it. fatal() if the device cannot hold the
+     * program.
      */
     EmlDevice(const EmlConfig &config, int num_qubits);
 
     const EmlConfig &config() const { return config_; }
-    int numModules() const { return numModules_; }
-    int numZones() const { return static_cast<int>(zones_.size()); }
     int numQubits() const { return numQubits_; }
-
-    /** Static zone descriptor by global zone id (hot path, inline). */
-    const ZoneInfo &
-    zone(int zone_id) const
-    {
-        MUSSTI_ASSERT(zone_id >= 0 && zone_id < numZones(),
-                      "zone id " << zone_id << " out of range");
-        return zones_[zone_id];
-    }
-
-    /** All zone descriptors (evaluator/validator input). */
-    const std::vector<ZoneInfo> &zoneInfos() const { return zones_; }
 
     /** Global zone ids belonging to one module, in spatial order. */
     const std::vector<int> &zonesOfModule(int module) const;
@@ -89,11 +103,12 @@ class EmlDevice
     /** Qubits assigned to a module by the ceil(n/32) split: [lo, hi). */
     std::pair<int, int> moduleQubitRange(int module) const;
 
+    std::string spec() const override;
+    std::string describe() const override;
+
   private:
     EmlConfig config_;
     int numQubits_;
-    int numModules_;
-    std::vector<ZoneInfo> zones_;
     std::vector<std::vector<int>> moduleZones_;
     std::vector<double> zoneDistanceUm_; ///< numZones x numZones lookup;
                                          ///< -1 marks cross-module pairs.

@@ -4,12 +4,20 @@
  * compilers [55], [13], [70] run on. W x H traps connected through an
  * X-junction lattice; every trap is gate-capable; ions shuttle hop by hop
  * between 4-neighbours.
+ *
+ * Adjacency and hop distances come from the TargetDevice base:
+ * neighbors() is an index view into the shared CSR lists and
+ * hopDistance() is an O(1) table lookup (BFS over the lattice equals
+ * the Manhattan metric), so the baselines' relocation inner loops never
+ * recompute row/column arithmetic.
  */
 #ifndef MUSSTI_ARCH_GRID_DEVICE_H
 #define MUSSTI_ARCH_GRID_DEVICE_H
 
+#include <string>
 #include <vector>
 
+#include "arch/target_device.h"
 #include "arch/zone.h"
 
 namespace mussti {
@@ -23,8 +31,14 @@ struct GridConfig
     double pitchUm = 200.0;   ///< Trap center spacing.
 };
 
+/**
+ * Canonical DeviceRegistry spec string of a grid config (the single
+ * producer behind GridDevice::spec() and DeviceSpec::canonical()).
+ */
+std::string gridSpecString(const GridConfig &config);
+
 /** Immutable grid topology; traps are zones with ZoneKind::Operation. */
-class GridDevice
+class GridDevice : public TargetDevice
 {
   public:
     explicit GridDevice(const GridConfig &config);
@@ -34,19 +48,16 @@ class GridDevice
     int width() const { return config_.width; }
     int height() const { return config_.height; }
 
-    /** Zone descriptors; all traps are gate-capable, module 0. */
-    const std::vector<ZoneInfo> &zoneInfos() const { return zones_; }
-
     /** Row/column of a trap. */
     int rowOf(int trap) const { return trap / config_.width; }
     int colOf(int trap) const { return trap % config_.width; }
     int trapAt(int row, int col) const { return row * config_.width + col; }
 
-    /** 4-neighbourhood of a trap. */
-    std::vector<int> neighbors(int trap) const;
-
-    /** Manhattan hop distance between two traps. */
-    int hopDistance(int trap_a, int trap_b) const;
+    /** The central trap (the MQT-style dedicated processing zone). */
+    int centerTrap() const
+    {
+        return trapAt(config_.height / 2, config_.width / 2);
+    }
 
     /**
      * A shortest hop path from `from` to `to`, excluding `from` and
@@ -54,12 +65,11 @@ class GridDevice
      */
     std::vector<int> path(int from, int to) const;
 
-    /** Total ion slots on the device. */
-    int slotCount() const { return numTraps() * config_.trapCapacity; }
+    std::string spec() const override;
+    std::string describe() const override;
 
   private:
     GridConfig config_;
-    std::vector<ZoneInfo> zones_;
 };
 
 } // namespace mussti

@@ -8,18 +8,20 @@
 namespace mussti {
 
 double
-DaiCompiler::futureCost(const Pass &pass, int qubit, int trap) const
+DaiCompiler::futureCost(const Pass &pass,
+                        const std::vector<std::vector<DagNodeId>> &layers,
+                        int qubit, int trap) const
 {
     double cost = 0.0;
     double discount = 1.0;
-    for (const auto &layer : pass.dag.frontLayers(lookAhead_)) {
+    for (const auto &layer : layers) {
         for (DagNodeId id : layer) {
             const Gate &g = pass.dag.node(id).gate;
             if (!g.touches(qubit))
                 continue;
             const int partner_trap =
                 pass.placement.zoneOf(g.partnerOf(qubit));
-            cost += discount * device_.hopDistance(trap, partner_trap);
+            cost += discount * device().hopDistance(trap, partner_trap);
         }
         discount *= 0.7;
     }
@@ -41,32 +43,37 @@ DaiCompiler::scheduleStep(Pass &pass) const
     const int trap_b = pass.placement.zoneOf(gate.q1);
     MUSSTI_ASSERT(trap_a != trap_b, "scheduleStep on executable gate");
 
+    // One look-ahead peel per step, shared by every candidate plan
+    // (frontLayers is O(window gates); the per-plan re-peel used to
+    // dominate this strategy's compile time).
+    const auto layers = pass.dag.frontLayers(lookAhead_);
+
     // Candidate plans: move q0 to trap_b, move q1 to trap_a, or meet in
     // an intermediate trap on the path between them.
     struct Plan { int moveA; int moveB; int target; double cost; };
     std::vector<Plan> plans;
 
     auto congestion = [&](int trap, int arrivals) {
-        const int free = device_.config().trapCapacity -
+        const int free = device().config().trapCapacity -
             pass.placement.sizeOf(trap);
         return arrivals > free ? 2.0 * (arrivals - free) : 0.0;
     };
 
     plans.push_back({1, 0, trap_b,
-        device_.hopDistance(trap_a, trap_b) +
-        futureCost(pass, gate.q0, trap_b) + congestion(trap_b, 1)});
+        device().hopDistance(trap_a, trap_b) +
+        futureCost(pass, layers, gate.q0, trap_b) + congestion(trap_b, 1)});
     plans.push_back({0, 1, trap_a,
-        device_.hopDistance(trap_a, trap_b) +
-        futureCost(pass, gate.q1, trap_a) + congestion(trap_a, 1)});
+        device().hopDistance(trap_a, trap_b) +
+        futureCost(pass, layers, gate.q1, trap_a) + congestion(trap_a, 1)});
 
-    for (int mid : device_.path(trap_a, trap_b)) {
+    for (int mid : device().path(trap_a, trap_b)) {
         if (mid == trap_b)
             continue;
         plans.push_back({1, 1, mid,
-            device_.hopDistance(trap_a, mid) +
-            device_.hopDistance(trap_b, mid) +
-            futureCost(pass, gate.q0, mid) +
-            futureCost(pass, gate.q1, mid) + congestion(mid, 2)});
+            device().hopDistance(trap_a, mid) +
+            device().hopDistance(trap_b, mid) +
+            futureCost(pass, layers, gate.q0, mid) +
+            futureCost(pass, layers, gate.q1, mid) + congestion(mid, 2)});
     }
 
     const Plan *best = &plans.front();

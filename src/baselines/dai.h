@@ -34,8 +34,13 @@ class DaiCompiler : public GridCompilerBase
   private:
     int lookAhead_;
 
-    /** Discounted future-partner distance if `qubit` were in `trap`. */
-    double futureCost(const Pass &pass, int qubit, int trap) const;
+    /**
+     * Discounted future-partner distance if `qubit` were in `trap`,
+     * over a frontLayers() peel the caller hoists once per step.
+     */
+    double futureCost(const Pass &pass,
+                      const std::vector<std::vector<DagNodeId>> &layers,
+                      int qubit, int trap) const;
 };
 
 } // namespace mussti

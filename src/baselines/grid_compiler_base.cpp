@@ -5,11 +5,18 @@
 #include <memory>
 #include <utility>
 
+#include "arch/device_registry.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "sim/evaluation_pass.h"
 
 namespace mussti {
+
+GridCompilerBase::GridCompilerBase(std::string name, const GridConfig &grid,
+                                   const PhysicalParams &params)
+    : name_(std::move(name)), device_(DeviceRegistry::createGrid(grid)),
+      params_(params)
+{}
 
 GridCompilerBase::Pass::Pass(const GridDevice &device,
                              const PhysicalParams &params,
@@ -24,22 +31,24 @@ GridCompilerBase::Pass::Pass(const GridDevice &device,
     schedule.initialChains = Schedule::snapshotChains(initial);
 }
 
-/** Copy the backend's grid device into the context. */
+/** Share the backend's immutable grid device with the context. */
 class GridTargetPass : public CompilerPass
 {
   public:
-    explicit GridTargetPass(const GridDevice &device) : device_(device) {}
+    explicit GridTargetPass(std::shared_ptr<const GridDevice> device)
+        : device_(std::move(device))
+    {}
 
     const char *name() const override { return "grid-target"; }
 
     void
     run(CompileContext &ctx) const override
     {
-        ctx.gridDevice.emplace(device_);
+        ctx.device = device_;
     }
 
   private:
-    GridDevice device_;
+    std::shared_ptr<const GridDevice> device_;
 };
 
 /** Row-major initial fill over the context's grid device. */
@@ -111,13 +120,13 @@ class GridCompilerBase::SchedulePass : public CompilerPass
 Placement
 GridCompilerBase::initialPlacement(int num_qubits) const
 {
-    MUSSTI_REQUIRE(num_qubits <= device_.slotCount(),
+    MUSSTI_REQUIRE(num_qubits <= device_->slotCount(),
                    "circuit does not fit on the grid: " << num_qubits
-                   << " qubits vs " << device_.slotCount() << " slots");
-    Placement placement(num_qubits, device_.numTraps());
+                   << " qubits vs " << device_->slotCount() << " slots");
+    Placement placement(num_qubits, device_->numTraps());
     int next = 0;
-    for (int t = 0; t < device_.numTraps() && next < num_qubits; ++t) {
-        for (int slot = 0; slot < device_.config().trapCapacity &&
+    for (int t = 0; t < device_->numTraps() && next < num_qubits; ++t) {
+        for (int slot = 0; slot < device_->config().trapCapacity &&
              next < num_qubits; ++slot) {
             placement.insert(next, t, ChainEnd::Back);
             ++next;
@@ -140,12 +149,12 @@ GridCompilerBase::nearestTrapWithSpace(const Pass &pass, int from,
 {
     int best = -1;
     int best_dist = std::numeric_limits<int>::max();
-    for (int t = 0; t < device_.numTraps(); ++t) {
+    for (int t = 0; t < device_->numTraps(); ++t) {
         if (t == exclude)
             continue;
-        if (pass.placement.sizeOf(t) >= device_.config().trapCapacity)
+        if (pass.placement.sizeOf(t) >= device_->config().trapCapacity)
             continue;
-        const int dist = device_.hopDistance(from, t);
+        const int dist = device_->hopDistance(from, t);
         if (dist < best_dist) {
             best_dist = dist;
             best = t;
@@ -167,7 +176,7 @@ GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
     std::vector<int> guarded = protect;
     guarded.push_back(qubit);
     while (pass.placement.sizeOf(target_trap) >=
-           device_.config().trapCapacity) {
+           device_->config().trapCapacity) {
         const int victim = pass.lru.victim(pass.placement.chain(target_trap),
                                            guarded);
         // victim() returns -1 when every resident is protected — a
@@ -184,15 +193,15 @@ GridCompilerBase::relocate(Pass &pass, int qubit, int target_trap,
         const int spill_to = nearestTrapWithSpace(pass, target_trap,
                                                   target_trap);
         MUSSTI_ASSERT(spill_to >= 0, "grid completely full");
-        const int hops = device_.hopDistance(target_trap, spill_to);
+        const int hops = device_->hopDistance(target_trap, spill_to);
         pass.emitter.relocate(victim, spill_to,
-                              hops * device_.config().pitchUm);
+                              hops * device_->config().pitchUm);
         pass.schedule.addExtraShuttles(hops - 1);
     }
 
-    const int hops = device_.hopDistance(from, target_trap);
+    const int hops = device_->hopDistance(from, target_trap);
     pass.emitter.relocate(qubit, target_trap,
-                          hops * device_.config().pitchUm);
+                          hops * device_->config().pitchUm);
     pass.schedule.addExtraShuttles(hops - 1);
 }
 
@@ -282,10 +291,9 @@ GridCompilerBase::configDigest() const
 {
     Fnv1a hash;
     hash.update(name_);
-    hash.update(device_.config().width);
-    hash.update(device_.config().height);
-    hash.update(device_.config().trapCapacity);
-    hash.update(device_.config().pitchUm);
+    // The device folds in through its canonical registry spec (one
+    // digest convention across every backend family).
+    hash.update(DeviceRegistry::specOf(device_->config()).digest());
     hash.update(paramsDigest(params_));
     hashConfigExtra(hash);
     return hash.digest();

@@ -16,6 +16,7 @@
 #ifndef MUSSTI_BASELINES_GRID_COMPILER_BASE_H
 #define MUSSTI_BASELINES_GRID_COMPILER_BASE_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,7 @@ class GridCompilerBase : public ICompilerBackend
 {
   public:
     GridCompilerBase(std::string name, const GridConfig &grid,
-                     const PhysicalParams &params)
-        : name_(std::move(name)), device_(grid), params_(params)
-    {}
+                     const PhysicalParams &params);
 
     /** Compile a circuit and evaluate it on the grid device. */
     CompileResult compile(Circuit circuit) const override;
@@ -57,11 +56,12 @@ class GridCompilerBase : public ICompilerBackend
      */
     PassPipeline makePipeline() const;
 
-    const GridDevice &device() const { return device_; }
+    const GridDevice &device() const { return *device_; }
 
   protected:
     std::string name_;
-    GridDevice device_;
+    /** Registry-created, immutable; shared with every job's context. */
+    std::shared_ptr<const GridDevice> device_;
     PhysicalParams params_;
 
     /** Per-run working state visible to strategies. */

@@ -23,7 +23,7 @@ class MqtLikeCompiler : public GridCompilerBase
   public:
     MqtLikeCompiler(const GridConfig &grid, const PhysicalParams &params)
         : GridCompilerBase("mqt", grid, params),
-          processingTrap_(grid.width / 2 + (grid.height / 2) * grid.width)
+          processingTrap_(device().centerTrap())
     {}
 
     /** The trap all gates execute in. */

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "arch/device_registry.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "core/mapper.h"
@@ -43,7 +44,8 @@ class EmlTargetPass : public CompilerPass
     void
     run(CompileContext &ctx) const override
     {
-        ctx.emlDevice.emplace(device_, ctx.input.numQubits());
+        ctx.device = DeviceRegistry::createEml(device_,
+                                               ctx.input.numQubits());
     }
 
   private:
@@ -156,10 +158,10 @@ class SabreTwoFoldPass : public CompilerPass
 
 } // namespace
 
-EmlDevice
+std::shared_ptr<const EmlDevice>
 MusstiCompiler::deviceFor(const Circuit &circuit) const
 {
-    return EmlDevice(config_.device, circuit.numQubits());
+    return DeviceRegistry::createEml(config_.device, circuit.numQubits());
 }
 
 PassPipeline
@@ -207,13 +209,10 @@ MusstiCompiler::configDigest() const
     hash.update(static_cast<int>(config_.mapping));
     hash.update(static_cast<int>(config_.replacement));
     hash.update(config_.seed);
-    hash.update(config_.device.trapCapacity);
-    hash.update(config_.device.numStorageZones);
-    hash.update(config_.device.numOperationZones);
-    hash.update(config_.device.numOpticalZones);
-    hash.update(config_.device.maxQubitsPerModule);
-    hash.update(config_.device.zonePitchUm);
-    hash.update(config_.device.forcedNumModules);
+    // The device folds in through its canonical registry spec, so
+    // every topology knob — including heterogeneous module mixes —
+    // keys the CompileService cache.
+    hash.update(DeviceRegistry::specOf(config_.device).digest());
     hash.update(paramsDigest(params_));
     return hash.digest();
 }

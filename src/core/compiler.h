@@ -15,6 +15,8 @@
 #ifndef MUSSTI_CORE_COMPILER_H
 #define MUSSTI_CORE_COMPILER_H
 
+#include <memory>
+
 #include "arch/eml_device.h"
 #include "circuit/circuit.h"
 #include "core/backend.h"
@@ -46,8 +48,11 @@ class MusstiCompiler : public ICompilerBackend
     const MusstiConfig &config() const { return config_; }
     const PhysicalParams &params() const { return params_; }
 
-    /** The device a given circuit compiles onto (ceil(n/32) modules). */
-    EmlDevice deviceFor(const Circuit &circuit) const;
+    /**
+     * The device a given circuit compiles onto (ceil(n/32) modules),
+     * created through the DeviceRegistry like the target pass's.
+     */
+    std::shared_ptr<const EmlDevice> deviceFor(const Circuit &circuit) const;
 
     /** Compile and evaluate. */
     CompileResult compile(Circuit circuit) const override;

@@ -2,16 +2,24 @@
 
 #include <chrono>
 
+#include "arch/eml_device.h"
+#include "arch/grid_device.h"
 #include "common/logging.h"
 
 namespace mussti {
 
+const TargetDevice &
+CompileContext::requireDevice() const
+{
+    MUSSTI_ASSERT(device != nullptr,
+                  "pass needs a target device but no target pass ran");
+    return *device;
+}
+
 const std::vector<ZoneInfo> &
 CompileContext::zoneInfos() const
 {
-    MUSSTI_ASSERT(emlDevice || gridDevice,
-                  "pass needs a target device but no target pass ran");
-    return emlDevice ? emlDevice->zoneInfos() : gridDevice->zoneInfos();
+    return requireDevice().zoneInfos();
 }
 
 const Circuit &
@@ -33,17 +41,21 @@ CompileContext::requirePlacement() const
 const EmlDevice &
 CompileContext::requireEmlDevice() const
 {
-    MUSSTI_ASSERT(emlDevice.has_value(),
-                  "pass needs an EML device but no EML target pass ran");
-    return *emlDevice;
+    const TargetDevice &target = requireDevice();
+    MUSSTI_ASSERT(target.family() == DeviceFamily::Eml,
+                  "EML-only pass ran against a `" << target.familyName()
+                  << "` target device");
+    return static_cast<const EmlDevice &>(target);
 }
 
 const GridDevice &
 CompileContext::requireGridDevice() const
 {
-    MUSSTI_ASSERT(gridDevice.has_value(),
-                  "pass needs a grid device but no grid target pass ran");
-    return *gridDevice;
+    const TargetDevice &target = requireDevice();
+    MUSSTI_ASSERT(target.family() == DeviceFamily::Grid,
+                  "grid-only pass ran against a `" << target.familyName()
+                  << "` target device");
+    return static_cast<const GridDevice &>(target);
 }
 
 PassPipeline &

@@ -23,9 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "arch/eml_device.h"
-#include "arch/grid_device.h"
 #include "arch/placement.h"
+#include "arch/target_device.h"
 #include "circuit/circuit.h"
 #include "sim/evaluator.h"
 #include "sim/params.h"
@@ -33,6 +32,8 @@
 
 namespace mussti {
 
+class EmlDevice;           // arch/eml_device.h
+class GridDevice;          // arch/grid_device.h
 struct SchedulerWorkspace; // core/scheduler.h
 
 /** Wall-clock record of one executed pass. */
@@ -79,8 +80,12 @@ struct CompileContext
     Circuit lowered;          ///< Valid once loweredReady (LowerSwapsPass).
     bool loweredReady = false;
 
-    std::optional<EmlDevice> emlDevice;   ///< EML target (MUSS-TI path).
-    std::optional<GridDevice> gridDevice; ///< Grid target (baseline path).
+    /**
+     * THE target device — every compilation has exactly one, set by the
+     * backend's target pass (created through the DeviceRegistry) and
+     * shared immutably, so concurrent jobs may alias one device.
+     */
+    std::shared_ptr<const TargetDevice> device;
 
     std::optional<Placement> placement;      ///< Initial/working mapping.
     std::optional<Placement> finalPlacement; ///< End-of-run mapping.
@@ -102,7 +107,10 @@ struct CompileContext
     std::vector<PassTiming> trace; ///< Filled by PassPipeline.
 
     // ---- invariant helpers (passes call these on entry) --------------
-    /** Zone descriptors of whichever target device is set. */
+    /** The target device; panics if no target pass ran yet. */
+    const TargetDevice &requireDevice() const;
+
+    /** Zone descriptors of the target device. */
     const std::vector<ZoneInfo> &zoneInfos() const;
 
     /** The lowered circuit; panics if no lowering pass ran yet. */
@@ -111,10 +119,13 @@ struct CompileContext
     /** The working placement; panics if no mapping pass ran yet. */
     const Placement &requirePlacement() const;
 
-    /** The EML device; panics if no EML target pass ran yet. */
+    /**
+     * Typed downcast for EML-only passes; panics if the target is
+     * missing or not an EML device.
+     */
     const EmlDevice &requireEmlDevice() const;
 
-    /** The grid device; panics if no grid target pass ran yet. */
+    /** Typed downcast for grid-only passes. */
     const GridDevice &requireGridDevice() const;
 };
 

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <numeric>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+ScheduleReport
+analyzeSchedule(const Schedule &schedule, const TargetDevice &device,
+                const PhysicalParams &params)
+{
+    return analyzeSchedule(schedule, device.zoneInfos(), params);
+}
 
 std::vector<int>
 ScheduleReport::hottestZones() const

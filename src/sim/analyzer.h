@@ -42,9 +42,16 @@ struct ScheduleReport
     std::vector<int> hottestZones() const;
 };
 
+class TargetDevice; // arch/target_device.h
+
 /** Replays a schedule and aggregates per-zone statistics. */
 ScheduleReport analyzeSchedule(const Schedule &schedule,
                                const std::vector<ZoneInfo> &zones,
+                               const PhysicalParams &params);
+
+/** Same, over any TargetDevice's zones. */
+ScheduleReport analyzeSchedule(const Schedule &schedule,
+                               const TargetDevice &device,
                                const PhysicalParams &params);
 
 } // namespace mussti

@@ -2,9 +2,17 @@
 
 #include <cmath>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+Metrics
+Evaluator::evaluate(const Schedule &schedule,
+                    const TargetDevice &device) const
+{
+    return evaluate(schedule, device.zoneInfos());
+}
 
 double
 Metrics::fidelity() const

@@ -25,6 +25,8 @@
 
 namespace mussti {
 
+class TargetDevice; // arch/target_device.h
+
 /** Evaluation result for one compiled schedule. */
 struct Metrics
 {
@@ -61,6 +63,10 @@ class Evaluator
      */
     Metrics evaluate(const Schedule &schedule,
                      const std::vector<ZoneInfo> &zone_infos) const;
+
+    /** Same, over any TargetDevice's zones. */
+    Metrics evaluate(const Schedule &schedule,
+                     const TargetDevice &device) const;
 
   private:
     PhysicalParams params_;

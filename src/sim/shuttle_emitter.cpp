@@ -2,9 +2,16 @@
 
 #include <cmath>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+ShuttleEmitter::ShuttleEmitter(const TargetDevice &device,
+                               const PhysicalParams &params,
+                               Placement &placement, Schedule &schedule)
+    : ShuttleEmitter(device.zoneInfos(), params, placement, schedule)
+{}
 
 namespace {
 

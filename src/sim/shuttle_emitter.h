@@ -17,6 +17,8 @@
 
 namespace mussti {
 
+class TargetDevice; // arch/target_device.h
+
 /**
  * Stateless helper bound to one (zones, params, placement, schedule)
  * tuple. One relocate() call = IonSwap* Split Move Merge.
@@ -30,6 +32,10 @@ class ShuttleEmitter
         : zones_(zones), params_(params), placement_(placement),
           schedule_(schedule)
     {}
+
+    /** Bind to any TargetDevice's zones (device must outlive this). */
+    ShuttleEmitter(const TargetDevice &device, const PhysicalParams &params,
+                   Placement &placement, Schedule &schedule);
 
     /**
      * Relocate a qubit to `to_zone`. `distance_um` < 0 derives the

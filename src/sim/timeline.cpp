@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+Timeline::Timeline(const TargetDevice &device)
+    : zones_(device.zoneInfos())
+{}
 
 TimelineResult
 Timeline::replay(const Schedule &schedule, int num_qubits) const

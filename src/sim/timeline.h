@@ -19,6 +19,8 @@
 
 namespace mussti {
 
+class TargetDevice; // arch/target_device.h
+
 /** Timing results of a replay. */
 struct TimelineResult
 {
@@ -41,6 +43,9 @@ class Timeline
     explicit Timeline(const std::vector<ZoneInfo> &zones)
         : zones_(zones)
     {}
+
+    /** Bind to any TargetDevice's zones (device must outlive this). */
+    explicit Timeline(const TargetDevice &device);
 
     /** Compute the makespan of a schedule over `num_qubits` qubits. */
     TimelineResult replay(const Schedule &schedule, int num_qubits) const;

@@ -2,9 +2,17 @@
 
 #include <sstream>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 
 namespace mussti {
+
+std::string
+formatSchedule(const Schedule &schedule, const TargetDevice &device,
+               int max_ops)
+{
+    return formatSchedule(schedule, device.zoneInfos(), max_ops);
+}
 
 std::string
 formatSchedule(const Schedule &schedule,

@@ -16,6 +16,8 @@
 
 namespace mussti {
 
+class TargetDevice; // arch/target_device.h
+
 /**
  * Render up to `max_ops` ops, one per line, with zone kind/module
  * annotations ("gate2q q3,q7 z1[operation m0] (40us)"). max_ops < 0
@@ -24,6 +26,10 @@ namespace mussti {
 std::string formatSchedule(const Schedule &schedule,
                            const std::vector<ZoneInfo> &zones,
                            int max_ops = 40);
+
+/** Same, over any TargetDevice's zones. */
+std::string formatSchedule(const Schedule &schedule,
+                           const TargetDevice &device, int max_ops = 40);
 
 /** Count of ops per kind ("split" -> 12, ...). */
 std::map<std::string, int> opHistogram(const Schedule &schedule);

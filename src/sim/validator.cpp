@@ -5,10 +5,15 @@
 #include <map>
 #include <sstream>
 
+#include "arch/target_device.h"
 #include "common/logging.h"
 #include "dag/dag.h"
 
 namespace mussti {
+
+ScheduleValidator::ScheduleValidator(const TargetDevice &device)
+    : zones_(device.zoneInfos())
+{}
 
 namespace {
 

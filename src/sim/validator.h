@@ -31,6 +31,8 @@
 
 namespace mussti {
 
+class TargetDevice; // arch/target_device.h
+
 /** Result of validation: ok() or the first violated invariant. */
 struct ValidationReport
 {
@@ -47,6 +49,9 @@ class ScheduleValidator
     explicit ScheduleValidator(const std::vector<ZoneInfo> &zones)
         : zones_(zones)
     {}
+
+    /** Bind to any TargetDevice's zones (device must outlive this). */
+    explicit ScheduleValidator(const TargetDevice &device);
 
     /** Run all invariants; stops at the first violation. */
     ValidationReport validate(const Schedule &schedule,

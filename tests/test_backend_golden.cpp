@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Golden FNV fingerprints across ALL stock backends — mussti + the
+ * murali/dai/mqt grid baselines — captured from the tree immediately
+ * before the TargetDevice refactor (dual CompileContext device slots,
+ * per-call GridDevice::hopDistance). The polymorphic device layer, the
+ * shared adjacency/hop tables, and the DeviceRegistry must be pure
+ * restructurings: every backend's schedules, placements, counters, and
+ * metrics stay bit-identical. If an INTENTIONAL behaviour change ever
+ * lands, refresh these constants in the same commit and say so in its
+ * message.
+ *
+ * (tests/test_scheduler.cpp pins the mussti-only trajectory back to
+ * PR 1; this suite pins the device layer across every backend family.)
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/backend_factory.h"
+#include "common/hash.h"
+#include "core/compiler.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+/** FNV-1a over everything a compilation produces (the same digest as
+ * tests/test_scheduler.cpp, duplicated to keep both suites
+ * self-contained). */
+std::uint64_t
+scheduleFingerprint(const CompileResult &r)
+{
+    Fnv1a h;
+    h.update(static_cast<std::uint64_t>(r.schedule.ops.size()));
+    for (const ScheduledOp &op : r.schedule.ops) {
+        h.update(static_cast<int>(op.kind));
+        h.update(op.q0);
+        h.update(op.q1);
+        h.update(op.zoneFrom);
+        h.update(op.zoneTo);
+        h.update(op.durationUs);
+        h.update(op.nbar);
+        h.update(op.circuitGate);
+        h.update(op.inserted);
+        h.update(op.enterFront);
+    }
+    for (const auto &chain : r.schedule.initialChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    for (const auto &chain : r.finalChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    h.update(r.schedule.shuttleCount);
+    h.update(r.schedule.ionSwapCount);
+    h.update(r.schedule.insertedSwapGates);
+    h.update(r.swapInsertions);
+    h.update(r.evictions);
+    h.update(r.metrics.shuttleCount);
+    h.update(r.metrics.executionTimeUs);
+    h.update(r.metrics.lnFidelity);
+    return h.digest();
+}
+
+TEST(BackendGolden, MusstiBitIdenticalAcrossDeviceRefactor)
+{
+    struct Case
+    {
+        const char *family;
+        int qubits;
+        std::uint64_t fingerprint;
+    };
+    const Case cases[] = {
+        {"adder", 48, 0x7f671609132e03adull},
+        {"qaoa", 48, 0xc0f43afa63592fb0ull},
+        {"ghz", 64, 0xde02e8451cc0bd8aull},
+        {"qft", 32, 0x0fe7e02abaeb3ec6ull},
+    };
+    for (const Case &c : cases) {
+        const auto result =
+            MusstiCompiler().compile(makeBenchmark(c.family, c.qubits));
+        EXPECT_EQ(scheduleFingerprint(result), c.fingerprint)
+            << "mussti " << c.family << "_n" << c.qubits
+            << " diverged across the TargetDevice refactor";
+    }
+}
+
+TEST(BackendGolden, GridBaselinesBitIdenticalAcrossDeviceRefactor)
+{
+    struct Case
+    {
+        const char *backend;
+        const char *family;
+        int qubits;
+        GridConfig grid;
+        std::uint64_t fingerprint;
+    };
+    const Case cases[] = {
+        {"murali", "adder", 48, {4, 3, 16}, 0xc4ec41457a324f77ull},
+        {"murali", "qft", 32, {2, 2, 16}, 0x50e73ecb48d166e5ull},
+        {"murali", "bv", 32, {3, 2, 8}, 0xe9c1bfafdb69b810ull},
+        {"dai", "adder", 48, {4, 3, 16}, 0x8b23b5261dd8d955ull},
+        {"dai", "qft", 32, {2, 2, 16}, 0xc271b99a0b955140ull},
+        {"dai", "bv", 32, {3, 2, 8}, 0x318c315989406178ull},
+        {"mqt", "adder", 48, {4, 3, 16}, 0x37289e63309698d3ull},
+        {"mqt", "qft", 32, {2, 2, 16}, 0xf058c42d78d034f1ull},
+        {"mqt", "bv", 32, {3, 2, 8}, 0xbf17ca89a7a6682full},
+    };
+    for (const Case &c : cases) {
+        const auto backend = makeGridBackend(c.backend, c.grid);
+        const Circuit qc = makeBenchmark(c.family, c.qubits);
+        const auto result = backend->compile(qc);
+        EXPECT_EQ(scheduleFingerprint(result), c.fingerprint)
+            << c.backend << " " << c.family << "_n" << c.qubits
+            << " on " << c.grid.width << "x" << c.grid.height
+            << " diverged across the TargetDevice refactor";
+        // The fingerprint freezes behaviour; the validator proves the
+        // frozen behaviour is legal too.
+        const GridDevice device(c.grid);
+        EXPECT_TRUE(ScheduleValidator(device).validate(result.schedule,
+                                                       result.lowered));
+    }
+}
+
+} // namespace
+} // namespace mussti

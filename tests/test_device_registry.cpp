@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the DeviceRegistry spec grammar: parse round-trips,
+ * canonicalisation fixed points, malformed-spec diagnostics that name
+ * the offending token (the qasm.cpp convention), digest stability for
+ * cache keying, and end-to-end compilation of registry-built devices —
+ * including the heterogeneous EML specs the registry unlocks.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/device_registry.h"
+#include "core/compiler.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+/** Expect parse() to throw and the diagnostic to name `token`. */
+void
+expectParseErrorNaming(const std::string &spec, const std::string &token)
+{
+    try {
+        DeviceRegistry::parse(spec);
+        FAIL() << "spec `" << spec << "` parsed but should have failed";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find(token), std::string::npos)
+            << "diagnostic for `" << spec
+            << "` does not name the offending token `" << token
+            << "`: " << err.what();
+    }
+}
+
+TEST(DeviceRegistry, ParsesGridSpecs)
+{
+    const DeviceSpec spec = DeviceRegistry::parse("grid:8x8,cap=16");
+    ASSERT_EQ(spec.family, DeviceFamily::Grid);
+    EXPECT_EQ(spec.grid.width, 8);
+    EXPECT_EQ(spec.grid.height, 8);
+    EXPECT_EQ(spec.grid.trapCapacity, 16);
+    EXPECT_EQ(spec.grid.pitchUm, 200.0);
+
+    const DeviceSpec pitched =
+        DeviceRegistry::parse("grid:4x3,cap=8,pitch=150.5");
+    EXPECT_EQ(pitched.grid.pitchUm, 150.5);
+}
+
+TEST(DeviceRegistry, ParsesEmlSpecs)
+{
+    const DeviceSpec spec =
+        DeviceRegistry::parse("eml:modules=4,cap=16,optical=2");
+    ASSERT_EQ(spec.family, DeviceFamily::Eml);
+    EXPECT_EQ(spec.eml.forcedNumModules, 4);
+    EXPECT_EQ(spec.eml.trapCapacity, 16);
+    EXPECT_EQ(spec.eml.numOpticalZones, 2);
+    // Unmentioned knobs keep paper defaults.
+    EXPECT_EQ(spec.eml.numStorageZones, 2);
+    EXPECT_EQ(spec.eml.maxQubitsPerModule, 32);
+
+    // `op` and `operation` are synonyms; keys are case-insensitive.
+    EXPECT_EQ(DeviceRegistry::parse("eml:op=3").eml.numOperationZones, 3);
+    EXPECT_EQ(DeviceRegistry::parse("eml:OPERATION=3")
+                  .eml.numOperationZones, 3);
+}
+
+TEST(DeviceRegistry, ParsesHeterogeneousMixes)
+{
+    const DeviceSpec spec =
+        DeviceRegistry::parse("eml:hetero=2.1.2-3.2.1,cap=20");
+    ASSERT_EQ(spec.eml.moduleMix.size(), 2u);
+    EXPECT_EQ(spec.eml.moduleMix[0].storage, 2);
+    EXPECT_EQ(spec.eml.moduleMix[0].operation, 1);
+    EXPECT_EQ(spec.eml.moduleMix[0].optical, 2);
+    EXPECT_EQ(spec.eml.moduleMix[1].storage, 3);
+    EXPECT_EQ(spec.eml.moduleMix[1].operation, 2);
+    EXPECT_EQ(spec.eml.moduleMix[1].optical, 1);
+    EXPECT_EQ(spec.eml.trapCapacity, 20);
+}
+
+TEST(DeviceRegistry, CanonicalFormIsAFixedPoint)
+{
+    const std::vector<std::string> specs = {
+        "grid:8x8,cap=16",
+        "grid:4x3,cap=8,pitch=150",
+        "eml:cap=16,storage=2,op=1,optical=1,maxq=32",
+        "eml:modules=4,cap=16,optical=2",
+        "eml:hetero=2.1.2-3.2.1,cap=20",
+        "eml:cap=12", // sparse input canonicalises to the full form
+    };
+    for (const std::string &text : specs) {
+        const std::string canonical =
+            DeviceRegistry::parse(text).canonical();
+        EXPECT_EQ(DeviceRegistry::parse(canonical).canonical(),
+                  canonical)
+            << "canonical form of `" << text << "` is not stable";
+    }
+}
+
+TEST(DeviceRegistry, CreatedDeviceSpecMatchesCanonical)
+{
+    for (const std::string &text :
+         {std::string("grid:5x4,cap=16"),
+          std::string("eml:hetero=2.1.1-2.1.2,cap=16")}) {
+        const DeviceSpec spec = DeviceRegistry::parse(text);
+        const auto device = DeviceRegistry::create(spec, 48);
+        EXPECT_EQ(device->spec(), spec.canonical());
+    }
+}
+
+TEST(DeviceRegistry, MalformedSpecsNameTheOffendingToken)
+{
+    expectParseErrorNaming("eml", "family");
+    expectParseErrorNaming("ring:cap=16", "ring");
+    expectParseErrorNaming("eml:caps=16", "caps");
+    expectParseErrorNaming("eml:cap", "cap");
+    expectParseErrorNaming("eml:cap=banana", "banana");
+    expectParseErrorNaming("eml:hetero=2.1", "2.1");
+    expectParseErrorNaming("eml:hetero=2.1.x", "x");
+    expectParseErrorNaming("eml:hetero=2.1.1,storage=3", "hetero");
+    expectParseErrorNaming("grid:cap=16", "cap=16");
+    expectParseErrorNaming("grid:8y8", "8y8");
+    expectParseErrorNaming("grid:8x8,depth=2", "depth");
+}
+
+TEST(DeviceRegistry, DigestIsStableAndDiscriminates)
+{
+    // Pinned digests: the cache key of every past CompileService run.
+    // If these move, cached results silently stop matching across
+    // versions — change them only with a changelog entry.
+    EXPECT_EQ(DeviceRegistry::parse("grid:8x8,cap=16").digest(),
+              0x1cd566c83d5431d8ull);
+    EXPECT_EQ(DeviceRegistry::parse(
+                  "eml:cap=16,storage=2,op=1,optical=1,maxq=32")
+                  .digest(),
+              0xa6d5cea7098ef762ull);
+
+    // Same topology, different writing -> same digest.
+    EXPECT_EQ(DeviceRegistry::parse("eml:cap=16").digest(),
+              DeviceRegistry::parse(
+                  "eml:optical=1,storage=2,cap=16,op=1,maxq=32")
+                  .digest());
+    // Different topology -> different digest.
+    EXPECT_NE(DeviceRegistry::parse("eml:cap=16").digest(),
+              DeviceRegistry::parse("eml:cap=18").digest());
+    EXPECT_NE(DeviceRegistry::parse("eml:hetero=2.1.1-2.1.1").digest(),
+              DeviceRegistry::parse("eml:hetero=2.1.1-2.1.2").digest());
+    EXPECT_NE(DeviceRegistry::parse("grid:8x8").digest(),
+              DeviceRegistry::parse("grid:8x9").digest());
+}
+
+TEST(DeviceRegistry, HeteroSpecHelperRendersCanonicalForm)
+{
+    const std::string spec =
+        DeviceRegistry::heteroSpec({{2, 1, 1}, {2, 1, 2}}, 20);
+    // The helper is the canonical producer: re-parsing is a fixed
+    // point and the mix survives the round trip.
+    EXPECT_EQ(DeviceRegistry::parse(spec).canonical(), spec);
+    const DeviceSpec parsed = DeviceRegistry::parse(spec);
+    ASSERT_EQ(parsed.eml.moduleMix.size(), 2u);
+    EXPECT_EQ(parsed.eml.moduleMix[1].optical, 2);
+    EXPECT_EQ(parsed.eml.trapCapacity, 20);
+}
+
+TEST(DeviceRegistry, DeviceSpecFoldsIntoBackendConfigDigest)
+{
+    MusstiConfig uniform;
+    MusstiConfig hetero;
+    hetero.device.moduleMix = {{2, 1, 1}, {2, 1, 2}};
+    // Heterogeneous mixes must key the CompileService cache.
+    EXPECT_NE(MusstiCompiler(uniform).configDigest(),
+              MusstiCompiler(hetero).configDigest());
+}
+
+TEST(DeviceRegistry, HeterogeneousSpecCompilesEndToEnd)
+{
+    const DeviceSpec spec =
+        DeviceRegistry::parse("eml:hetero=2.1.2-3.1.1,cap=16");
+    MusstiConfig config;
+    config.device = spec.eml;
+    const Circuit qc = makeBenchmark("ghz", 48);
+    const auto result = MusstiCompiler(config).compile(qc);
+    const auto device = DeviceRegistry::create(spec, qc.numQubits());
+    const auto report =
+        ScheduleValidator(*device).validate(result.schedule,
+                                            result.lowered);
+    EXPECT_TRUE(report) << report.firstError;
+    EXPECT_GT(result.metrics.gate2qCount + result.metrics.fiberGateCount,
+              0);
+}
+
+} // namespace
+} // namespace mussti

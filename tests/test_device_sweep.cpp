@@ -74,7 +74,7 @@ TEST(DeviceSweep, ModuleCountFollowsMaxPerModule)
     config.device.maxQubitsPerModule = 16;
     const Circuit qc = makeGhz(48);
     const MusstiCompiler compiler(config);
-    EXPECT_EQ(compiler.deviceFor(qc).numModules(), 3);
+    EXPECT_EQ(compiler.deviceFor(qc)->numModules(), 3);
     const auto result = compiler.compile(qc);
     // Two module boundaries -> at least two fiber gates.
     EXPECT_GE(result.metrics.fiberGateCount, 2);

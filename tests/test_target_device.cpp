@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the polymorphic TargetDevice topology layer: the shared
+ * adjacency-index view, the precomputed hop-distance table, the base-
+ * class zone/module/slot vocabulary, and the describe()/spec() round
+ * trip — over both concrete families, including heterogeneous EML
+ * devices.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "arch/device_registry.h"
+#include "arch/eml_device.h"
+#include "arch/grid_device.h"
+#include "arch/target_device.h"
+
+namespace mussti {
+namespace {
+
+std::set<int>
+neighborSet(const TargetDevice &device, int zone)
+{
+    const NeighborView view = device.neighbors(zone);
+    return {view.begin(), view.end()};
+}
+
+TEST(TargetDevice, GridNeighborViewMatchesLattice)
+{
+    const GridDevice grid(GridConfig{3, 3, 4});
+    // Center of the 3x3 touches all four sides.
+    EXPECT_EQ(neighborSet(grid, 4), (std::set<int>{1, 3, 5, 7}));
+    // Corner touches two.
+    EXPECT_EQ(neighborSet(grid, 0), (std::set<int>{1, 3}));
+    // Edge midpoint touches three.
+    EXPECT_EQ(neighborSet(grid, 1), (std::set<int>{0, 2, 4}));
+}
+
+TEST(TargetDevice, NeighborViewIsIndexBased)
+{
+    const GridDevice grid(GridConfig{4, 4, 4});
+    const NeighborView view = grid.neighbors(5);
+    ASSERT_EQ(view.size(), 4);
+    // Operator[] and iteration agree; the view is a window into the
+    // device's storage, not a copy.
+    int i = 0;
+    for (int z : view)
+        EXPECT_EQ(view[i++], z);
+    EXPECT_THROW(view[4], std::logic_error);
+}
+
+TEST(TargetDevice, GridHopTableIsManhattanEverywhere)
+{
+    const GridDevice grid(GridConfig{5, 4, 4});
+    for (int a = 0; a < grid.numZones(); ++a) {
+        for (int b = 0; b < grid.numZones(); ++b) {
+            const int manhattan =
+                std::abs(grid.rowOf(a) - grid.rowOf(b)) +
+                std::abs(grid.colOf(a) - grid.colOf(b));
+            EXPECT_EQ(grid.hopDistance(a, b), manhattan)
+                << "traps " << a << " -> " << b;
+        }
+    }
+}
+
+TEST(TargetDevice, EmlModulesAreLinearChains)
+{
+    const EmlDevice device(EmlConfig{}, 64); // 2 modules, 4 zones each
+    for (int m = 0; m < device.numModules(); ++m) {
+        const auto &zones = device.zonesOfModule(m);
+        for (std::size_t i = 0; i < zones.size(); ++i) {
+            const auto expected_degree =
+                (i == 0 || i + 1 == zones.size()) ? 1 : 2;
+            EXPECT_EQ(device.neighbors(zones[i]).size(), expected_degree);
+        }
+        // Hop distance inside a module is the slot-index distance.
+        EXPECT_EQ(device.hopDistance(zones.front(), zones.back()),
+                  static_cast<int>(zones.size()) - 1);
+    }
+}
+
+TEST(TargetDevice, EmlCrossModulePairsAreUnreachable)
+{
+    const EmlDevice device(EmlConfig{}, 64);
+    const int zone_m0 = device.zonesOfModule(0).front();
+    const int zone_m1 = device.zonesOfModule(1).front();
+    EXPECT_EQ(device.hopDistance(zone_m0, zone_m1), -1);
+    EXPECT_EQ(device.hopDistance(zone_m0, zone_m0), 0);
+}
+
+TEST(TargetDevice, BaseVocabularyCoversBothFamilies)
+{
+    const EmlDevice eml(EmlConfig{}, 96);
+    const GridDevice grid(GridConfig{2, 3, 8});
+    const TargetDevice &eml_base = eml;
+    const TargetDevice &grid_base = grid;
+
+    EXPECT_EQ(eml_base.family(), DeviceFamily::Eml);
+    EXPECT_STREQ(eml_base.familyName(), "eml");
+    EXPECT_EQ(eml_base.numModules(), 3);
+    EXPECT_EQ(eml_base.slotCount(), 3 * 4 * 16);
+    EXPECT_FALSE(eml_base.gateCapable(0)); // leading storage zone
+    EXPECT_EQ(eml_base.moduleOf(5), 1);
+
+    EXPECT_EQ(grid_base.family(), DeviceFamily::Grid);
+    EXPECT_STREQ(grid_base.familyName(), "grid");
+    EXPECT_EQ(grid_base.numModules(), 1);
+    EXPECT_EQ(grid_base.slotCount(), 48);
+    EXPECT_TRUE(grid_base.gateCapable(0));
+    EXPECT_EQ(grid_base.kindOf(3), ZoneKind::Operation);
+}
+
+TEST(TargetDevice, CenterTrapMatchesMqtFormula)
+{
+    const GridDevice grid(GridConfig{5, 4, 8});
+    EXPECT_EQ(grid.centerTrap(), 5 / 2 + (4 / 2) * 5);
+}
+
+TEST(TargetDevice, HeterogeneousEmlHonoursPerModuleMixes)
+{
+    EmlConfig config;
+    config.moduleMix = {{2, 1, 2}, {3, 2, 1}, {2, 1, 1}};
+    const EmlDevice device(config, 96);
+
+    EXPECT_EQ(device.numModules(), 3);
+    EXPECT_EQ(device.zonesOfModule(0).size(), 5u);
+    EXPECT_EQ(device.zonesOfModule(1).size(), 6u);
+    EXPECT_EQ(device.zonesOfModule(2).size(), 4u);
+    EXPECT_EQ(device.zonesOfKind(0, ZoneKind::Optical).size(), 2u);
+    EXPECT_EQ(device.zonesOfKind(1, ZoneKind::Operation).size(), 2u);
+    EXPECT_EQ(device.zonesOfKind(2, ZoneKind::Storage).size(), 2u);
+    EXPECT_EQ(device.slotCount(), (5 + 6 + 4) * 16);
+
+    // Chains stay linear per module, unreachable across modules.
+    const auto &m1 = device.zonesOfModule(1);
+    EXPECT_EQ(device.hopDistance(m1.front(), m1.back()), 5);
+    EXPECT_EQ(device.hopDistance(device.zonesOfModule(0)[0], m1[0]), -1);
+}
+
+TEST(TargetDevice, HeterogeneousMixDisagreeingWithForcedCountFatals)
+{
+    EmlConfig config;
+    config.moduleMix = {{2, 1, 1}, {2, 1, 1}};
+    config.forcedNumModules = 3;
+    EXPECT_THROW(EmlDevice(config, 32), std::runtime_error);
+}
+
+TEST(TargetDevice, ModuleWithoutGateZonesFatals)
+{
+    EmlConfig config;
+    config.moduleMix = {{2, 1, 1}, {4, 0, 1}};
+    EXPECT_THROW(EmlDevice(config, 33), std::runtime_error);
+    config.moduleMix = {{2, 1, 1}, {4, 1, 0}};
+    EXPECT_THROW(EmlDevice(config, 33), std::runtime_error);
+}
+
+TEST(TargetDevice, OversizedTopologyFatalsInsteadOfAllocatingTables)
+{
+    // Specs are user input; a grid:64x64 typo must not allocate an
+    // O(zones^2) hop table.
+    EXPECT_THROW(GridDevice(GridConfig{64, 64, 4}), std::runtime_error);
+    EXPECT_NO_THROW(GridDevice(GridConfig{32, 32, 4}));
+}
+
+TEST(TargetDevice, TooFewModulesForQubitsFatals)
+{
+    EmlConfig config;
+    config.moduleMix = {{2, 1, 1}}; // one module, 32-qubit ceiling
+    EXPECT_THROW(EmlDevice(config, 40), std::runtime_error);
+}
+
+TEST(TargetDevice, SpecRoundTripsThroughRegistry)
+{
+    EmlConfig hetero;
+    hetero.moduleMix = {{2, 1, 2}, {2, 1, 1}};
+    hetero.trapCapacity = 20;
+    const EmlDevice eml(hetero, 64);
+    const GridDevice grid(GridConfig{8, 8, 16});
+
+    for (const TargetDevice *device :
+         {static_cast<const TargetDevice *>(&eml),
+          static_cast<const TargetDevice *>(&grid)}) {
+        const auto rebuilt =
+            DeviceRegistry::create(device->spec(), 64);
+        EXPECT_EQ(rebuilt->spec(), device->spec());
+        EXPECT_EQ(rebuilt->numZones(), device->numZones());
+        EXPECT_EQ(rebuilt->slotCount(), device->slotCount());
+        EXPECT_EQ(rebuilt->family(), device->family());
+        EXPECT_FALSE(device->describe().empty());
+    }
+}
+
+} // namespace
+} // namespace mussti

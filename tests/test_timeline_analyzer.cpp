@@ -25,8 +25,8 @@ TEST(Timeline, MakespanNeverExceedsSerial)
         const Circuit qc = makeBenchmark(family, 32);
         const auto result = compileCircuit(qc);
         const MusstiCompiler compiler;
-        const EmlDevice device = compiler.deviceFor(qc);
-        const Timeline timeline(device.zoneInfos());
+        const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
+        const Timeline timeline(device->zoneInfos());
         const auto t = timeline.replay(result.schedule, qc.numQubits());
         EXPECT_LE(t.makespanUs, t.serialUs + 1e-9) << family;
         EXPECT_GE(t.parallelism(), 1.0) << family;
@@ -38,8 +38,8 @@ TEST(Timeline, SerialMatchesScheduleSum)
     const Circuit qc = makeGhz(32);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
-    const auto t = Timeline(device.zoneInfos())
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
+    const auto t = Timeline(device->zoneInfos())
                        .replay(result.schedule, qc.numQubits());
     EXPECT_NEAR(t.serialUs, result.schedule.serialDurationUs(), 1e-9);
 }
@@ -53,8 +53,8 @@ TEST(Timeline, ParallelWorkloadsOverlap)
     qc.cx(32, 33); // module 1
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
-    const auto t = Timeline(device.zoneInfos())
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
+    const auto t = Timeline(device->zoneInfos())
                        .replay(result.schedule, qc.numQubits());
     EXPECT_LT(t.makespanUs, t.serialUs);
 }
@@ -68,8 +68,8 @@ TEST(Timeline, SequentialChainHasNoOverlap)
     qc.cx(2, 3);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
-    const auto t = Timeline(device.zoneInfos())
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
+    const auto t = Timeline(device->zoneInfos())
                        .replay(result.schedule, qc.numQubits());
     EXPECT_NEAR(t.makespanUs, t.serialUs, 1e-9);
 }
@@ -79,10 +79,10 @@ TEST(Analyzer, GateAndShuttleCountsMatchMetrics)
     const Circuit qc = makeSqrt(47);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const PhysicalParams params;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     EXPECT_EQ(report.totalShuttles, result.metrics.shuttleCount);
     EXPECT_EQ(report.localGates, result.metrics.gate2qCount);
     EXPECT_EQ(report.fiberGates, result.metrics.fiberGateCount);
@@ -95,10 +95,10 @@ TEST(Analyzer, ArrivalsBalanceDepartures)
     const Circuit qc = makeQft(32);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const PhysicalParams params;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     int arrivals = 0, departures = 0;
     for (const auto &zone : report.zones) {
         arrivals += zone.arrivals;
@@ -112,10 +112,10 @@ TEST(Analyzer, StorageZonesExecuteNoTwoQubitGates)
     const Circuit qc = makeSqrt(63);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const PhysicalParams params;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     // Storage zones may only host the costed-in-place 1q gates, never
     // the entangling traffic; gate-zone heat must dominate.
     double storage_heat = 0.0, gate_zone_heat = 0.0;
@@ -133,13 +133,13 @@ TEST(Analyzer, PeakOccupancyWithinCapacity)
     const Circuit qc = makeRandomCircuit(64, 300, 7);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const PhysicalParams params;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     for (std::size_t z = 0; z < report.zones.size(); ++z) {
         EXPECT_LE(report.zones[z].peakOccupancy,
-                  device.zone(static_cast<int>(z)).capacity);
+                  device->zone(static_cast<int>(z)).capacity);
     }
 }
 
@@ -148,10 +148,10 @@ TEST(Analyzer, HottestZonesSorted)
     const Circuit qc = makeQft(32);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const PhysicalParams params;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     const auto order = report.hottestZones();
     for (std::size_t i = 0; i + 1 < order.size(); ++i) {
         EXPECT_GE(report.zones[order[i]].finalHeat,
@@ -164,11 +164,11 @@ TEST(Analyzer, PerfectShuttleAccumulatesNoHeat)
     const Circuit qc = makeQft(32);
     const auto result = compileCircuit(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     PhysicalParams params;
     params.perfectShuttle = true;
     const auto report = analyzeSchedule(result.schedule,
-                                        device.zoneInfos(), params);
+                                        device->zoneInfos(), params);
     for (const auto &zone : report.zones)
         EXPECT_DOUBLE_EQ(zone.finalHeat, 0.0);
 }

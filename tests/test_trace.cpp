@@ -22,9 +22,9 @@ TEST(Trace, FormatsEveryOpKindAnnotation)
     const Circuit qc = makeQft(48); // shuttles + fiber + ion swaps
     const auto result = compiled(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const std::string text = formatSchedule(result.schedule,
-                                            device.zoneInfos(), -1);
+                                            device->zoneInfos(), -1);
     EXPECT_NE(text.find("gate2q"), std::string::npos);
     EXPECT_NE(text.find("split"), std::string::npos);
     EXPECT_NE(text.find("merge"), std::string::npos);
@@ -38,9 +38,9 @@ TEST(Trace, TruncationMarksRemainder)
     const Circuit qc = makeQft(32);
     const auto result = compiled(qc);
     const MusstiCompiler compiler;
-    const EmlDevice device = compiler.deviceFor(qc);
+    const std::shared_ptr<const EmlDevice> device = compiler.deviceFor(qc);
     const std::string text = formatSchedule(result.schedule,
-                                            device.zoneInfos(), 5);
+                                            device->zoneInfos(), 5);
     EXPECT_NE(text.find("more ops"), std::string::npos);
     // 5 op lines + truncation line.
     EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
@@ -82,8 +82,7 @@ TEST(Trace, InsertedSwapsAreMarked)
     const auto result = MusstiCompiler(config).compile(qc);
     ASSERT_GE(result.swapInsertions, 1);
     const EmlDevice device(config.device, 16);
-    const std::string text = formatSchedule(result.schedule,
-                                            device.zoneInfos(), -1);
+    const std::string text = formatSchedule(result.schedule, device, -1);
     EXPECT_NE(text.find("[inserted-swap]"), std::string::npos);
 }
 
