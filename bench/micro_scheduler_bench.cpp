@@ -4,16 +4,29 @@
  * BENCH_*.json trajectory.
  *
  * Times full MUSS-TI compilations (SABRE mapping, paper defaults)
- * across three workload tiers — small (64q), medium (160q), large
- * (288q) — for the Fig-10 families, taking the best of N repeats, and
- * emits machine-readable results (common/bench_json.h) including the
- * per-pass trace of the best run.
+ * across four workload tiers — small (64q), medium (160q), large
+ * (288q), huge (576q) — taking the best of N repeats, and emits
+ * machine-readable results (common/bench_json.h) including the
+ * per-pass trace of the best run. The huge tier runs the heavy
+ * families (adder/qaoa) plus a 12-module heterogeneous EML device
+ * built through the registry, so both the homogeneous ceil(n/32)
+ * topology and the hetero `maxq` path stay covered at scale.
  *
- * A fourth suite, grid_router, times the grid baseline compilers
+ * A grid_router suite times the grid baseline compilers
  * (murali/dai/mqt) on a registry-spec'd 8x8 grid whose relocation inner
  * loops lean on TargetDevice::hopDistance() — the table-lookup path —
  * so regressions in the shared device layer show up here even when the
  * MUSS-TI tiers are unaffected.
+ *
+ * ## Allocation accounting
+ *
+ * This binary overrides the global operator new to count heap
+ * allocations into common/alloc_counter.h; the scheduler reports the
+ * delta observed inside its main loop. MUSS-TI repeats share one
+ * SchedulerWorkspace, so the LAST repeat runs with a warm arena — its
+ * count is the steady state, recorded per record as steady_allocs /
+ * allocs_per_step and asserted zero by --assert-zero-allocs (the CI
+ * gate for the allocation-free hot path).
  *
  * Compilations go straight through the backends, NOT the shared
  * CompileService, so the result cache cannot fake the timings.
@@ -23,28 +36,108 @@
  *                         [--out bench_results.json]
  *                         [--baseline old_results.json]
  *                         [--require-speedup X]
+ *                         [--assert-zero-allocs]
  *
  * With --baseline, each record gains speedup_vs_baseline against the
  * matching (suite, name, qubits) entry of the old file, and the summary
- * reports the large tier's aggregate speedup (summed wall time, so the
- * heavy workloads dominate and sub-millisecond ones don't add noise).
- * --require-speedup X exits non-zero unless that aggregate reaches X
- * and every large-tier workload has a baseline entry (the CI perf
- * gate; it refuses to pass vacuously).
+ * reports the large and huge tiers' aggregate speedups (summed wall
+ * time, so the heavy workloads dominate and sub-millisecond ones don't
+ * add noise). --require-speedup X exits non-zero unless BOTH gated
+ * tiers reach X and every workload of those tiers has a baseline entry
+ * (the CI perf gate; it refuses to pass vacuously).
  */
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "arch/device_registry.h"
 #include "baselines/backend_factory.h"
+#include "common/alloc_counter.h"
 #include "common/bench_json.h"
 #include "core/compiler.h"
+#include "core/scheduler_workspace.h"
 #include "workloads/workloads.h"
+
+// ---- instrumented global allocator ---------------------------------------
+// Counts every allocation into the library's thread-local AllocCounter so
+// the scheduler can report the allocations inside its hot loop. Deliberate
+// pass-through otherwise: malloc/free semantics, no headers, no padding.
+//
+// Disabled under ASan/UBSan: the sanitizer runtime interposes its own
+// allocator and flags the mix of interceptor-new and pass-through-free as
+// an alloc-dealloc mismatch. The sanitize job checks memory safety; the
+// zero-alloc gate runs on the plain build.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MUSSTI_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MUSSTI_BENCH_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef MUSSTI_BENCH_COUNT_ALLOCS
+#define MUSSTI_BENCH_COUNT_ALLOCS 1
+#endif
+
+#if MUSSTI_BENCH_COUNT_ALLOCS
+
+namespace {
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++mussti::AllocCounter::allocations;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *operator new(std::size_t size) { return countedAlloc(size); }
+void *operator new[](std::size_t size) { return countedAlloc(size); }
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    ++mussti::AllocCounter::allocations;
+    // aligned_alloc requires size to be a multiple of the alignment
+    // (glibc tolerates violations, conforming libcs return NULL).
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = size ? (size + a - 1) / a * a : a;
+    if (void *p = std::aligned_alloc(a, rounded))
+        return p;
+    throw std::bad_alloc();
+}
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return operator new(size, align);
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // MUSSTI_BENCH_COUNT_ALLOCS
 
 using namespace mussti;
 
@@ -59,6 +152,21 @@ struct Tier
 constexpr Tier kTiers[] = {{"small", 64}, {"medium", 160}, {"large", 288}};
 constexpr const char *kFamilies[] = {"adder", "bv", "ghz", "qaoa"};
 
+// The huge tier: 576 qubits (18 homogeneous modules), heavy families
+// only, plus the same circuit on a 12-module heterogeneous device
+// (fat-middle mixes, 48 qubits per module) through the registry spec
+// grammar.
+constexpr int kHugeQubits = 576;
+constexpr const char *kHugeFamilies[] = {"adder", "qaoa"};
+constexpr const char *kHugeHeteroName = "qaoa-hetero12";
+constexpr const char *kHugeHeteroSpec =
+    "eml:hetero=3.1.2-2.1.1-3.1.2-2.1.1-3.1.2-2.1.1-3.1.2-2.1.1-"
+    "3.1.2-2.1.1-3.1.2-2.1.1,cap=16,maxq=48";
+
+// The tiers the --require-speedup gate aggregates over.
+constexpr const char *kGatedTiers[] = {"micro_scheduler/large",
+                                       "micro_scheduler/huge"};
+
 // The grid-router suite: a capacity-starved grid so the baselines'
 // relocation/spill loops (hopDistance + nearestTrapWithSpace) dominate.
 constexpr const char *kGridSpec = "grid:8x8,cap=4";
@@ -72,23 +180,29 @@ toMs(std::chrono::steady_clock::duration d)
     return 1e3 * std::chrono::duration<double>(d).count();
 }
 
+/**
+ * Time `repeats` compilations of one MUSS-TI workload through a shared
+ * workspace: wall time is best-of-repeats; the allocation count is
+ * taken from the LAST repeat, when the arena is warm (steady state).
+ */
 BenchRecord
-measure(const std::string &tier, const std::string &family, int qubits,
-        int repeats)
+measureMussti(const MusstiCompiler &compiler, const std::string &suite,
+              const std::string &name, int qubits, int repeats)
 {
-    const MusstiCompiler compiler; // paper defaults, SABRE mapping
-    const Circuit qc = makeBenchmark(family, qubits);
+    const Circuit qc = makeBenchmark(
+        name.rfind("qaoa", 0) == 0 ? "qaoa" : name, qubits);
+    const auto workspace = std::make_shared<SchedulerWorkspace>();
 
     BenchRecord record;
-    record.suite = "micro_scheduler/" + tier;
-    record.name = family;
+    record.suite = suite;
+    record.name = name;
     record.qubits = qubits;
     record.repeats = repeats;
     record.wallMs = -1.0;
 
     for (int rep = 0; rep < repeats; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
-        const CompileResult result = compiler.compile(qc);
+        const CompileResult result = compiler.compile(qc, workspace);
         const auto t1 = std::chrono::steady_clock::now();
         const double wall_ms = toMs(t1 - t0);
         if (record.wallMs < 0.0 || wall_ms < record.wallMs) {
@@ -98,6 +212,9 @@ measure(const std::string &tier, const std::string &family, int qubits,
                 record.passTrace.push_back(
                     {timing.pass, 1e3 * timing.seconds});
         }
+        record.routingSteps = result.routingSteps;
+        record.steadyAllocs =
+            static_cast<long long>(result.schedulerHeapAllocs);
     }
     return record;
 }
@@ -144,6 +261,30 @@ findBaseline(const std::vector<BenchRecord> &baseline,
     return nullptr;
 }
 
+bool
+isGatedTier(const std::string &suite)
+{
+    for (const char *tier : kGatedTiers) {
+        if (suite == tier)
+            return true;
+    }
+    return false;
+}
+
+void
+printRecord(const char *tier, const BenchRecord &record,
+            const std::string &speedup_cell)
+{
+    char allocs_cell[32] = "-";
+    if (record.routingSteps > 0) {
+        std::snprintf(allocs_cell, sizeof(allocs_cell), "%lld",
+                      record.steadyAllocs);
+    }
+    std::printf("%-8s %-14s %7d %12.3f %10s %12s\n", tier,
+                record.name.c_str(), record.qubits, record.wallMs,
+                speedup_cell.c_str(), allocs_cell);
+}
+
 } // namespace
 
 int
@@ -153,6 +294,7 @@ main(int argc, char **argv)
     std::string out_path = "bench_results.json";
     std::string baseline_path;
     double require_speedup = 0.0;
+    bool assert_zero_allocs = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -171,6 +313,8 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--baseline") {
             baseline_path = next();
+        } else if (arg == "--assert-zero-allocs") {
+            assert_zero_allocs = true;
         } else if (arg == "--require-speedup") {
             // Strict parse: atof would turn a typo into 0.0 and
             // silently disable the CI gate.
@@ -196,57 +340,24 @@ main(int argc, char **argv)
     if (!baseline_path.empty())
         baseline = readBenchResults(baseline_path);
 
+    // Allocation accounting only works when the steady state is
+    // actually reached: the second repeat reuses the first's warm
+    // arena. --quick already guarantees 2.
+    if (assert_zero_allocs && repeats < 2)
+        fatal("--assert-zero-allocs needs --repeats >= 2 (the first "
+              "repeat warms the workspace)");
+
     std::cout << "micro_scheduler_bench: full-compile wall time, best of "
               << repeats << " repeats\n";
-    std::printf("%-8s %-6s %7s %12s %10s\n", "tier", "family", "qubits",
-                "wall-ms", "speedup");
+    std::printf("%-8s %-14s %7s %12s %10s %12s\n", "tier", "family",
+                "qubits", "wall-ms", "speedup", "allocs");
 
     std::vector<BenchRecord> records;
     bool gate_ok = true;
-    double large_wall_ms = 0.0;
-    double large_baseline_ms = 0.0;
-    for (const Tier &tier : kTiers) {
-        for (const char *family : kFamilies) {
-            BenchRecord record = measure(tier.label, family, tier.qubits,
-                                         repeats);
-            std::string speedup_cell = "-";
-            const BenchRecord *base = findBaseline(baseline, record);
-            if (base != nullptr) {
-                record.speedupVsBaseline = base->wallMs / record.wallMs;
-                char buf[32];
-                std::snprintf(buf, sizeof(buf), "%.2fx",
-                              record.speedupVsBaseline);
-                speedup_cell = buf;
-            }
-            if (std::strcmp(tier.label, "large") == 0) {
-                if (base != nullptr) {
-                    // Aggregate over MATCHED records only, so a partial
-                    // baseline compares like against like instead of
-                    // dividing mismatched workload sets.
-                    large_wall_ms += record.wallMs;
-                    large_baseline_ms += base->wallMs;
-                } else if (!baseline.empty()) {
-                    // A large-tier workload with no baseline entry can
-                    // never prove its speedup — warn always, and fail
-                    // the gate instead of passing vacuously (e.g. a
-                    // stale or mismatched baseline file).
-                    std::printf("no baseline entry for %s/%s n=%d\n",
-                                tier.label, family, record.qubits);
-                    if (require_speedup > 0.0)
-                        gate_ok = false;
-                }
-            }
-            std::printf("%-8s %-6s %7d %12.3f %10s\n", tier.label, family,
-                        record.qubits, record.wallMs,
-                        speedup_cell.c_str());
-            records.push_back(std::move(record));
-        }
-    }
+    bool allocs_ok = true;
+    std::map<std::string, std::pair<double, double>> gated; // wall, base
 
-    // Grid-router suite (informational; the --require-speedup gate
-    // stays on the large MUSS-TI tier).
-    for (const char *which : {"murali", "dai", "mqt"}) {
-        BenchRecord record = measureGrid(which, repeats);
+    const auto submit = [&](const char *tier, BenchRecord record) {
         std::string speedup_cell = "-";
         const BenchRecord *base = findBaseline(baseline, record);
         if (base != nullptr) {
@@ -256,16 +367,71 @@ main(int argc, char **argv)
                           record.speedupVsBaseline);
             speedup_cell = buf;
         }
-        std::printf("%-8s %-6s %7d %12.3f %10s\n", "grid", which,
-                    record.qubits, record.wallMs, speedup_cell.c_str());
+        if (isGatedTier(record.suite)) {
+            if (base != nullptr) {
+                // Aggregate over MATCHED records only, so a partial
+                // baseline compares like against like instead of
+                // dividing mismatched workload sets.
+                auto &[wall, base_wall] = gated[record.suite];
+                wall += record.wallMs;
+                base_wall += base->wallMs;
+            } else if (!baseline.empty()) {
+                // A gated workload with no baseline entry can never
+                // prove its speedup — warn always, and fail the gate
+                // instead of passing vacuously (e.g. a stale or
+                // mismatched baseline file).
+                std::printf("no baseline entry for %s/%s n=%d\n",
+                            record.suite.c_str(), record.name.c_str(),
+                            record.qubits);
+                if (require_speedup > 0.0)
+                    gate_ok = false;
+            }
+        }
+        if (assert_zero_allocs &&
+            record.suite.rfind("micro_scheduler/", 0) == 0 &&
+            record.steadyAllocs != 0) {
+            std::printf("FAIL: %s/%s performs %lld steady-state heap "
+                        "allocations in the scheduling loop (want 0)\n",
+                        record.suite.c_str(), record.name.c_str(),
+                        record.steadyAllocs);
+            allocs_ok = false;
+        }
+        printRecord(tier, record, speedup_cell);
         records.push_back(std::move(record));
+    };
+
+    const MusstiCompiler compiler; // paper defaults, SABRE mapping
+    for (const Tier &tier : kTiers) {
+        for (const char *family : kFamilies) {
+            submit(tier.label,
+                   measureMussti(compiler,
+                                 std::string("micro_scheduler/") +
+                                     tier.label,
+                                 family, tier.qubits, repeats));
+        }
     }
 
-    const double large_tier_speedup = large_baseline_ms > 0.0
-        ? large_baseline_ms / large_wall_ms
-        : 0.0;
-    if (require_speedup > 0.0 && large_tier_speedup < require_speedup)
-        gate_ok = false;
+    // Huge tier: homogeneous 18-module device for the heavy families...
+    for (const char *family : kHugeFamilies) {
+        submit("huge", measureMussti(compiler, "micro_scheduler/huge",
+                                     family, kHugeQubits, repeats));
+    }
+    // ...and the registry-built 12-module heterogeneous EML fabric.
+    {
+        const DeviceSpec spec = DeviceRegistry::parse(kHugeHeteroSpec);
+        MusstiConfig hetero_config;
+        hetero_config.device = spec.eml;
+        const MusstiCompiler hetero_compiler(hetero_config);
+        submit("huge", measureMussti(hetero_compiler,
+                                     "micro_scheduler/huge",
+                                     kHugeHeteroName, kHugeQubits,
+                                     repeats));
+    }
+
+    // Grid-router suite (informational; the --require-speedup gate
+    // stays on the MUSS-TI tiers).
+    for (const char *which : {"murali", "dai", "mqt"})
+        submit("grid", measureGrid(which, repeats));
 
     std::string context = "micro_scheduler_bench --repeats " +
         std::to_string(repeats);
@@ -274,15 +440,25 @@ main(int argc, char **argv)
     writeBenchResults(out_path, records, context);
     std::cout << "wrote " << out_path << "\n";
 
-    if (large_tier_speedup > 0.0) {
-        std::printf("large-tier aggregate speedup vs baseline: %.2fx "
-                    "(%.2f ms -> %.2f ms)\n", large_tier_speedup,
-                    large_baseline_ms, large_wall_ms);
+    for (const char *tier : kGatedTiers) {
+        const auto it = gated.find(tier);
+        if (it == gated.end())
+            continue;
+        const auto [wall, base_wall] = it->second;
+        const double speedup = wall > 0.0 ? base_wall / wall : 0.0;
+        std::printf("%s aggregate speedup vs baseline: %.2fx "
+                    "(%.2f ms -> %.2f ms)\n", tier, speedup, base_wall,
+                    wall);
+        if (require_speedup > 0.0 && speedup < require_speedup) {
+            std::printf("FAIL: %s aggregate speedup below the required "
+                        "%.2fx\n", tier, require_speedup);
+            gate_ok = false;
+        }
     }
-    if (!gate_ok) {
-        std::printf("FAIL: large-tier aggregate speedup below the "
-                    "required %.2fx\n", require_speedup);
-        return 1;
+    if (require_speedup > 0.0 && gated.empty()) {
+        std::printf("FAIL: baseline matches no gated-tier record\n");
+        gate_ok = false;
     }
-    return 0;
+
+    return gate_ok && allocs_ok ? 0 : 1;
 }

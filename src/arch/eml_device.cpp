@@ -112,6 +112,19 @@ EmlDevice::EmlDevice(const EmlConfig &config, int num_qubits)
 
     finalizeTopology(std::move(zones), edges);
 
+    // Per-module kind and gate-capability indices: the router queries
+    // these inside its plan-costing loops, so resolve them once.
+    for (auto &by_kind : moduleZonesByKind_)
+        by_kind.resize(num_modules);
+    moduleGateZones_.resize(num_modules);
+    for (int m = 0; m < num_modules; ++m) {
+        for (int z : moduleZones_[m]) {
+            moduleZonesByKind_[zoneLevel(zone(z).kind)][m].push_back(z);
+            if (zone(z).gateCapable())
+                moduleGateZones_[m].push_back(z);
+        }
+    }
+
     // Zone-distance lookup: distanceUm sits inside the router's
     // plan-costing loops, so resolve the geometry once here. Cross-
     // module pairs stay -1 (ions never shuttle between modules).
@@ -135,26 +148,20 @@ EmlDevice::zonesOfModule(int module) const
     return moduleZones_[module];
 }
 
-std::vector<int>
+const std::vector<int> &
 EmlDevice::zonesOfKind(int module, ZoneKind kind) const
 {
-    std::vector<int> out;
-    for (int z : zonesOfModule(module)) {
-        if (zone(z).kind == kind)
-            out.push_back(z);
-    }
-    return out;
+    MUSSTI_ASSERT(module >= 0 && module < numModules(),
+                  "module " << module << " out of range");
+    return moduleZonesByKind_[zoneLevel(kind)][module];
 }
 
-std::vector<int>
+const std::vector<int> &
 EmlDevice::gateZonesOfModule(int module) const
 {
-    std::vector<int> out;
-    for (int z : zonesOfModule(module)) {
-        if (zone(z).gateCapable())
-            out.push_back(z);
-    }
-    return out;
+    MUSSTI_ASSERT(module >= 0 && module < numModules(),
+                  "module " << module << " out of range");
+    return moduleGateZones_[module];
 }
 
 double

@@ -81,11 +81,15 @@ class EmlDevice : public TargetDevice
     /** Global zone ids belonging to one module, in spatial order. */
     const std::vector<int> &zonesOfModule(int module) const;
 
-    /** Zone ids of one kind within a module. */
-    std::vector<int> zonesOfKind(int module, ZoneKind kind) const;
+    /**
+     * Zone ids of one kind within a module. Precomputed at
+     * construction: this sits inside the router's optical-zone and
+     * plan-enumeration loops, which must not allocate per call.
+     */
+    const std::vector<int> &zonesOfKind(int module, ZoneKind kind) const;
 
     /** Gate-capable zone ids (operation + optical) within a module. */
-    std::vector<int> gateZonesOfModule(int module) const;
+    const std::vector<int> &gateZonesOfModule(int module) const;
 
     /**
      * Intra-module center-to-center distance in micrometers. Served
@@ -110,6 +114,9 @@ class EmlDevice : public TargetDevice
     EmlConfig config_;
     int numQubits_;
     std::vector<std::vector<int>> moduleZones_;
+    std::vector<std::vector<int>> moduleZonesByKind_[3];
+                                         ///< [kind][module] zone ids.
+    std::vector<std::vector<int>> moduleGateZones_;
     std::vector<double> zoneDistanceUm_; ///< numZones x numZones lookup;
                                          ///< -1 marks cross-module pairs.
 };

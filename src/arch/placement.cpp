@@ -19,11 +19,10 @@ Placement::chainIndex(int qubit) const
     checkQubit(qubit);
     const int zone = qubitZone_[qubit];
     MUSSTI_ASSERT(zone >= 0, "chainIndex of unplaced qubit " << qubit);
-    const auto &ch = chains_[zone];
-    const auto it = std::find(ch.begin(), ch.end(), qubit);
-    MUSSTI_ASSERT(it != ch.end(), "qubit " << qubit << " missing from its "
+    const int idx = chains_[zone].indexOf(qubit);
+    MUSSTI_ASSERT(idx >= 0, "qubit " << qubit << " missing from its "
                   "zone chain (placement corrupted)");
-    return static_cast<int>(it - ch.begin());
+    return idx;
 }
 
 int
@@ -51,10 +50,11 @@ Placement::insert(int qubit, int zone, ChainEnd end)
     checkZone(zone);
     MUSSTI_ASSERT(qubitZone_[qubit] < 0,
                   "insert of already-placed qubit " << qubit);
+    auto &ions = chains_[zone].ions_;
     if (end == ChainEnd::Front)
-        chains_[zone].push_front(qubit);
+        ions.insert(ions.begin(), qubit);
     else
-        chains_[zone].push_back(qubit);
+        ions.push_back(qubit);
     qubitZone_[qubit] = zone;
 }
 
@@ -63,11 +63,11 @@ Placement::removeAtEdge(int qubit)
 {
     const int zone = zoneOf(qubit);
     MUSSTI_ASSERT(zone >= 0, "remove of unplaced qubit " << qubit);
-    auto &ch = chains_[zone];
-    if (!ch.empty() && ch.front() == qubit) {
-        ch.pop_front();
-    } else if (!ch.empty() && ch.back() == qubit) {
-        ch.pop_back();
+    auto &ions = chains_[zone].ions_;
+    if (!ions.empty() && ions.front() == qubit) {
+        ions.erase(ions.begin());
+    } else if (!ions.empty() && ions.back() == qubit) {
+        ions.pop_back();
     } else {
         panic("removeAtEdge: qubit not at a chain edge");
     }
@@ -79,10 +79,10 @@ Placement::removeAnywhere(int qubit)
 {
     const int zone = zoneOf(qubit);
     MUSSTI_ASSERT(zone >= 0, "remove of unplaced qubit " << qubit);
-    auto &ch = chains_[zone];
-    const auto it = std::find(ch.begin(), ch.end(), qubit);
-    MUSSTI_ASSERT(it != ch.end(), "placement corrupted");
-    ch.erase(it);
+    auto &ions = chains_[zone].ions_;
+    const int idx = chains_[zone].indexOf(qubit);
+    MUSSTI_ASSERT(idx >= 0, "placement corrupted");
+    ions.erase(ions.begin() + idx);
     qubitZone_[qubit] = -1;
 }
 
@@ -91,16 +91,30 @@ Placement::swapToward(int qubit, ChainEnd end)
 {
     const int zone = zoneOf(qubit);
     MUSSTI_ASSERT(zone >= 0, "swapToward of unplaced qubit");
-    auto &ch = chains_[zone];
+    auto &ions = chains_[zone].ions_;
     const int idx = chainIndex(qubit);
     if (end == ChainEnd::Front) {
         MUSSTI_ASSERT(idx > 0, "swapToward front at front already");
-        std::swap(ch[idx], ch[idx - 1]);
+        std::swap(ions[idx], ions[idx - 1]);
     } else {
         MUSSTI_ASSERT(idx + 1 < sizeOf(zone),
                       "swapToward back at back already");
-        std::swap(ch[idx], ch[idx + 1]);
+        std::swap(ions[idx], ions[idx + 1]);
     }
+}
+
+void
+Placement::swapAt(int zone, int idx_a, int idx_b)
+{
+    checkZone(zone);
+    auto &ions = chains_[zone].ions_;
+    const int size = chains_[zone].size();
+    MUSSTI_ASSERT(idx_a >= 0 && idx_a < size && idx_b >= 0 &&
+                  idx_b < size && (idx_a - idx_b == 1 ||
+                                   idx_b - idx_a == 1),
+                  "swapAt wants adjacent in-range slots, got " << idx_a
+                  << ", " << idx_b << " in a chain of " << size);
+    std::swap(ions[idx_a], ions[idx_b]);
 }
 
 void
@@ -112,13 +126,12 @@ Placement::exchange(int qubit_a, int qubit_b)
     const int zone_b = qubitZone_[qubit_b];
     MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0,
                   "exchange of unplaced qubits");
-    auto &chain_a = chains_[zone_a];
-    auto &chain_b = chains_[zone_b];
-    const auto it_a = std::find(chain_a.begin(), chain_a.end(), qubit_a);
-    const auto it_b = std::find(chain_b.begin(), chain_b.end(), qubit_b);
-    MUSSTI_ASSERT(it_a != chain_a.end() && it_b != chain_b.end(),
+    const int idx_a = chains_[zone_a].indexOf(qubit_a);
+    const int idx_b = chains_[zone_b].indexOf(qubit_b);
+    MUSSTI_ASSERT(idx_a >= 0 && idx_b >= 0,
                   "placement corrupted in exchange");
-    std::iter_swap(it_a, it_b);
+    chains_[zone_a].ions_[idx_a] = qubit_b;
+    chains_[zone_b].ions_[idx_b] = qubit_a;
     std::swap(qubitZone_[qubit_a], qubitZone_[qubit_b]);
 }
 
@@ -127,6 +140,15 @@ Placement::allPlaced() const
 {
     return std::all_of(qubitZone_.begin(), qubitZone_.end(),
                        [](int z) { return z >= 0; });
+}
+
+void
+Placement::reserveChains(const std::vector<ZoneInfo> &zones)
+{
+    const int count = std::min(numZones(),
+                               static_cast<int>(zones.size()));
+    for (int z = 0; z < count; ++z)
+        chains_[z].reserveTo(zones[z].capacity);
 }
 
 } // namespace mussti

@@ -8,15 +8,74 @@
 #ifndef MUSSTI_ARCH_PLACEMENT_H
 #define MUSSTI_ARCH_PLACEMENT_H
 
-#include <deque>
+#include <initializer_list>
 #include <vector>
 
+#include "arch/zone.h"
 #include "common/logging.h"
 
 namespace mussti {
 
 /** Which chain edge an ion enters or leaves through. */
 enum class ChainEnd { Front, Back };
+
+/**
+ * The ion order of one trap chain, front to back. Contiguous on
+ * purpose: the router's victim scans and the SWAP-inserter's partner
+ * scans walk every resident of a zone, and chains are short (bounded by
+ * the trap capacity), so a flat array beats a deque's block chasing and
+ * — with reserveTo() — performs no allocation per push/pop in steady
+ * state. Front insertion shifts the chain, which is O(capacity) and
+ * rare next to the scans.
+ */
+class ZoneChain
+{
+  public:
+    ZoneChain() = default;
+    ZoneChain(std::initializer_list<int> ions) : ions_(ions) {}
+
+    int size() const { return static_cast<int>(ions_.size()); }
+    bool empty() const { return ions_.empty(); }
+
+    const int *begin() const { return ions_.data(); }
+    const int *end() const { return ions_.data() + ions_.size(); }
+
+    int front() const { return ions_.front(); }
+    int back() const { return ions_.back(); }
+
+    int
+    operator[](int index) const
+    {
+        MUSSTI_ASSERT(index >= 0 && index < size(),
+                      "chain index " << index << " outside size "
+                      << size());
+        return ions_[index];
+    }
+
+    /** Position of the qubit in the chain, or -1 if absent. */
+    int
+    indexOf(int qubit) const
+    {
+        for (int i = 0; i < size(); ++i) {
+            if (ions_[i] == qubit)
+                return i;
+        }
+        return -1;
+    }
+
+    /** Grow capacity (never the size) to at least `capacity` slots. */
+    void
+    reserveTo(int capacity)
+    {
+        if (capacity > 0)
+            ions_.reserve(static_cast<std::size_t>(capacity));
+    }
+
+  private:
+    friend class Placement;
+
+    std::vector<int> ions_;
+};
 
 /**
  * Mutable placement of `numQubits` logical qubits across `numZones`
@@ -43,7 +102,7 @@ class Placement
     }
 
     /** Chain order (front..back) of a zone. */
-    const std::deque<int> &
+    const ZoneChain &
     chain(int zone) const
     {
         checkZone(zone);
@@ -55,7 +114,7 @@ class Placement
     sizeOf(int zone) const
     {
         checkZone(zone);
-        return static_cast<int>(chains_[zone].size());
+        return chains_[zone].size();
     }
 
     /** Position of the qubit in its chain (0 = front). */
@@ -83,6 +142,13 @@ class Placement
     void swapToward(int qubit, ChainEnd end);
 
     /**
+     * Swap two adjacent chain slots of a zone by index — the shuttle
+     * emitter's extraction walk already knows the ion's position, so it
+     * skips the chain re-scan swapToward would perform.
+     */
+    void swapAt(int zone, int idx_a, int idx_b);
+
+    /**
      * Exchange the placements of two qubits (logical SWAP insertion):
      * each takes the other's zone and chain slot.
      */
@@ -91,9 +157,17 @@ class Placement
     /** True if every qubit is placed. */
     bool allPlaced() const;
 
+    /**
+     * Pre-size every chain to its zone's trap capacity. Chains never
+     * outgrow the capacity (routing evicts before it inserts), so after
+     * this call push/pop traffic performs no heap allocation — call it
+     * once per scheduling run, before the hot loop.
+     */
+    void reserveChains(const std::vector<ZoneInfo> &zones);
+
   private:
     std::vector<int> qubitZone_;
-    std::vector<std::deque<int>> chains_;
+    std::vector<ZoneChain> chains_;
 
     void
     checkQubit(int qubit) const

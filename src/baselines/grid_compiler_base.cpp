@@ -213,7 +213,7 @@ GridCompilerBase::executeNode(Pass &pass, DagNodeId id) const
     MUSSTI_ASSERT(executable(pass, gate),
                   "executeNode on split operands");
 
-    for (const Gate &g1 : node.leading1q) {
+    for (const Gate &g1 : pass.dag.leading1q(id)) {
         if (!isSingleQubit(g1.kind))
             continue;
         ScheduledOp op;

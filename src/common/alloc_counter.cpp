@@ -1,0 +1,7 @@
+#include "common/alloc_counter.h"
+
+namespace mussti {
+
+thread_local std::uint64_t AllocCounter::allocations = 0;
+
+} // namespace mussti

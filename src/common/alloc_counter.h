@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Thread-local heap-allocation counter for the scheduler perf harness.
+ *
+ * The library itself never increments this counter. A binary that wants
+ * allocation accounting (micro_scheduler_bench) overrides the global
+ * operator new to bump it; the scheduler then reads the counter around
+ * its main loop and reports the delta per run. In ordinary builds the
+ * counter stays at zero and the bookkeeping is two thread-local loads
+ * per scheduler run — effectively free.
+ *
+ * Thread-local on purpose: concurrent CompileService jobs each observe
+ * only their own allocations, so per-job deltas stay exact.
+ */
+#ifndef MUSSTI_COMMON_ALLOC_COUNTER_H
+#define MUSSTI_COMMON_ALLOC_COUNTER_H
+
+#include <cstdint>
+
+namespace mussti {
+
+/** Monotonic per-thread count of instrumented heap allocations. */
+struct AllocCounter
+{
+    /** Incremented by an instrumented operator new (bench binaries). */
+    static thread_local std::uint64_t allocations;
+
+    /** Current value; diff two reads to count a window. */
+    static std::uint64_t now() { return allocations; }
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_ALLOC_COUNTER_H

@@ -254,6 +254,10 @@ parseRecord(JsonParser &p)
             record.wallMs = p.parseNumber();
         } else if (key == "speedup_vs_baseline") {
             record.speedupVsBaseline = p.parseNumber();
+        } else if (key == "routing_steps") {
+            record.routingSteps = static_cast<long long>(p.parseNumber());
+        } else if (key == "steady_allocs") {
+            record.steadyAllocs = static_cast<long long>(p.parseNumber());
         } else if (key == "pass_trace") {
             p.expect('[');
             if (!p.consumeIf(']')) {
@@ -291,6 +295,15 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
         if (r.speedupVsBaseline > 0.0) {
             out << ", \"speedup_vs_baseline\": "
                 << number(r.speedupVsBaseline);
+        }
+        if (r.routingSteps >= 0) {
+            out << ", \"routing_steps\": " << r.routingSteps
+                << ", \"steady_allocs\": " << r.steadyAllocs
+                << ", \"allocs_per_step\": "
+                << number(r.routingSteps > 0
+                              ? static_cast<double>(r.steadyAllocs) /
+                                    static_cast<double>(r.routingSteps)
+                              : 0.0);
         }
         if (!r.passTrace.empty()) {
             out << ", \"pass_trace\": [";

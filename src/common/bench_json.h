@@ -55,6 +55,18 @@ struct BenchRecord
     double wallMs = 0.0;             ///< Best-of-repeats wall clock.
     double speedupVsBaseline = 0.0;  ///< baseline/current; 0 = unknown.
     std::vector<BenchPassTiming> passTrace;
+
+    /**
+     * Scheduler-loop accounting (mussti suites only; absent = -1).
+     * `routingSteps` counts phase-2 routed gates across the whole
+     * compile; `steadyAllocs` is the heap-allocation count inside the
+     * scheduling loops of the LAST repeat — the steady state, with the
+     * workspace warm — as seen by the harness's instrumented operator
+     * new. `allocs_per_step` in the JSON is their ratio; the CI perf
+     * smoke asserts it stays 0.
+     */
+    long long routingSteps = -1;
+    long long steadyAllocs = -1;
 };
 
 /** Render records as a mussti-bench-v1 JSON document. */

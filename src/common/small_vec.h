@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Inline-capacity vector for the scheduler/router hot path.
+ *
+ * A SmallVec<T, N> stores up to N elements inside the object itself and
+ * only touches the heap when a call site genuinely exceeds the inline
+ * capacity. The routing inner loops (candidate plans, protect sets,
+ * eviction scratch) have small, statically known working sets, so with
+ * an adequate N their steady state performs zero heap allocations —
+ * the property the bench's allocation counter enforces.
+ *
+ * Deliberately minimal: the subset of std::vector the hot path uses,
+ * value types only (elements are copied on growth, no move-only types),
+ * no iterator invalidation guarantees beyond vector's.
+ */
+#ifndef MUSSTI_COMMON_SMALL_VEC_H
+#define MUSSTI_COMMON_SMALL_VEC_H
+
+#include <cstddef>
+#include <initializer_list>
+
+#include "common/logging.h"
+
+namespace mussti {
+
+template <typename T, int N>
+class SmallVec
+{
+    static_assert(N > 0, "SmallVec needs a positive inline capacity");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init)
+    {
+        for (const T &value : init)
+            push_back(value);
+    }
+
+    SmallVec(const SmallVec &other) { append(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            clear();
+            append(other);
+        }
+        return *this;
+    }
+
+    ~SmallVec() { delete[] heap_; }
+
+    int size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+
+    const T &
+    operator[](int i) const
+    {
+        MUSSTI_ASSERT(i >= 0 && i < size_, "SmallVec index " << i
+                      << " outside size " << size_);
+        return data()[i];
+    }
+
+    T &
+    operator[](int i)
+    {
+        MUSSTI_ASSERT(i >= 0 && i < size_, "SmallVec index " << i
+                      << " outside size " << size_);
+        return data()[i];
+    }
+
+    const T &front() const { return (*this)[0]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == cap_) {
+            // `value` may alias an element of this vector; grow() frees
+            // the old buffer, so copy it out first (vector parity).
+            const T copy = value;
+            grow();
+            data()[size_++] = copy;
+            return;
+        }
+        data()[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    /** Linear membership scan (protect sets hold <= a handful of ids). */
+    bool
+    contains(const T &value) const
+    {
+        for (const T &have : *this) {
+            if (have == value)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    T *data() { return heap_ ? heap_ : inline_; }
+    const T *data() const { return heap_ ? heap_ : inline_; }
+
+    void
+    append(const SmallVec &other)
+    {
+        for (const T &value : other)
+            push_back(value);
+    }
+
+    void
+    grow()
+    {
+        const int next_cap = cap_ * 2;
+        T *next = new T[next_cap];
+        const T *src = data();
+        for (int i = 0; i < size_; ++i)
+            next[i] = src[i];
+        delete[] heap_;
+        heap_ = next;
+        cap_ = next_cap;
+    }
+
+    int size_ = 0;
+    int cap_ = N;
+    T *heap_ = nullptr;
+    T inline_[N] = {};
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_COMMON_SMALL_VEC_H

@@ -13,11 +13,14 @@
 #define MUSSTI_CORE_BACKEND_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/pipeline.h"
 
 namespace mussti {
+
+struct SchedulerWorkspace; // core/scheduler_workspace.h
 
 /** A configured compiler behind a uniform interface. */
 class ICompilerBackend
@@ -32,6 +35,19 @@ class ICompilerBackend
     virtual CompileResult compile(Circuit circuit) const = 0;
 
     /**
+     * compile() against a donated scheduler arena (see the seeded
+     * overload below for the reuse contract). Backends without a
+     * scheduler hot path ignore the arena.
+     */
+    virtual CompileResult
+    compile(Circuit circuit,
+            const std::shared_ptr<SchedulerWorkspace> &workspace) const
+    {
+        (void)workspace;
+        return compile(std::move(circuit));
+    }
+
+    /**
      * Compile with an explicit RNG seed for stochastic passes (the
      * CompileService's per-job seeding hook). Deterministic backends
      * ignore the seed and must return the same result as compile().
@@ -41,6 +57,23 @@ class ICompilerBackend
     {
         (void)seed;
         return compile(std::move(circuit));
+    }
+
+    /**
+     * compileSeeded with a donated scheduler arena. The CompileService
+     * keeps one workspace per worker thread and passes it here, so
+     * consecutive jobs on a worker reuse warm buffers instead of
+     * re-growing them per compilation. Purely an allocation cache: the
+     * result must be bit-identical to compileSeeded(circuit, seed), and
+     * backends without a scheduler hot path simply ignore the arena
+     * (this default).
+     */
+    virtual CompileResult
+    compileSeeded(Circuit circuit, std::uint64_t seed,
+                  const std::shared_ptr<SchedulerWorkspace> &workspace) const
+    {
+        (void)workspace;
+        return compileSeeded(std::move(circuit), seed);
     }
 
     /**

@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/scheduler_workspace.h"
 
 namespace mussti {
 
@@ -153,12 +154,21 @@ CompileService::execute(Job job)
             }
         }
 
+        // One scheduler arena per worker thread: consecutive jobs on a
+        // worker reuse warm buffers (a pure allocation cache — results
+        // are bit-identical, pinned by test_compile_service/
+        // test_scheduler_workspace). Thread-local rather than per-
+        // service so the arena survives as long as the worker does.
+        thread_local auto workspace =
+            std::make_shared<SchedulerWorkspace>();
+
         const CompileResult result =
             job.request.seed
                 ? job.request.backend->compileSeeded(
-                      std::move(job.request.circuit), *job.request.seed)
+                      std::move(job.request.circuit), *job.request.seed,
+                      workspace)
                 : job.request.backend->compile(
-                      std::move(job.request.circuit));
+                      std::move(job.request.circuit), workspace);
         jobsExecuted_.fetch_add(1);
 
         if (config_.cacheCapacity > 0)

@@ -93,6 +93,8 @@ class MusstiSchedulePass : public CompilerPass
         ctx.finalPlacement = std::move(output.finalPlacement);
         ctx.swapInsertions = output.swapInsertions;
         ctx.evictions = output.evictions;
+        ctx.routingSteps += output.routingSteps;
+        ctx.schedulerHeapAllocs += output.loopHeapAllocs;
     }
 
   private:
@@ -143,6 +145,12 @@ class SabreTwoFoldPass : public CompilerPass
         const Metrics refined_metrics = evaluator.evaluate(
             refined.schedule, device.zoneInfos());
 
+        // Perf counters cover the whole compile — both extra legs —
+        // regardless of which candidate wins below.
+        ctx.routingSteps += backward.routingSteps + refined.routingSteps;
+        ctx.schedulerHeapAllocs +=
+            backward.loopHeapAllocs + refined.loopHeapAllocs;
+
         if (refined_metrics.lnFidelity > ctx.metrics.lnFidelity) {
             ctx.schedule = std::move(refined.schedule);
             ctx.finalPlacement = std::move(refined.finalPlacement);
@@ -185,9 +193,27 @@ MusstiCompiler::compile(Circuit circuit) const
 }
 
 CompileResult
+MusstiCompiler::compile(
+    Circuit circuit,
+    const std::shared_ptr<SchedulerWorkspace> &workspace) const
+{
+    return makePipeline().compile(std::move(circuit), params_,
+                                  config_.seed, workspace);
+}
+
+CompileResult
 MusstiCompiler::compileSeeded(Circuit circuit, std::uint64_t seed) const
 {
     return makePipeline().compile(std::move(circuit), params_, seed);
+}
+
+CompileResult
+MusstiCompiler::compileSeeded(
+    Circuit circuit, std::uint64_t seed,
+    const std::shared_ptr<SchedulerWorkspace> &workspace) const
+{
+    return makePipeline().compile(std::move(circuit), params_, seed,
+                                  workspace);
 }
 
 const std::string &

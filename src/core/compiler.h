@@ -57,9 +57,26 @@ class MusstiCompiler : public ICompilerBackend
     /** Compile and evaluate. */
     CompileResult compile(Circuit circuit) const override;
 
+    /** Compile and evaluate against a donated scheduler arena. */
+    CompileResult
+    compile(Circuit circuit,
+            const std::shared_ptr<SchedulerWorkspace> &workspace)
+        const override;
+
     /** Compile with the configured seed replaced (per-job seeding). */
     CompileResult compileSeeded(Circuit circuit,
                                 std::uint64_t seed) const override;
+
+    /**
+     * compileSeeded against a donated scheduler arena (see
+     * ICompilerBackend): the three SABRE legs and later compilations
+     * through the same workspace reuse warm buffers. Bit-identical to
+     * the workspace-less overload.
+     */
+    CompileResult compileSeeded(
+        Circuit circuit, std::uint64_t seed,
+        const std::shared_ptr<SchedulerWorkspace> &workspace)
+        const override;
 
     const std::string &name() const override;
 

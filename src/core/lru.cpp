@@ -30,7 +30,7 @@ LruTracker::stampOf(int qubit) const
 }
 
 int
-LruTracker::victim(const std::deque<int> &candidates,
+LruTracker::victim(const ZoneChain &candidates,
                    const std::vector<int> &exclude) const
 {
     int best = -1;

@@ -9,8 +9,9 @@
 #define MUSSTI_CORE_LRU_H
 
 #include <cstdint>
-#include <deque>
 #include <vector>
+
+#include "arch/placement.h"
 
 namespace mussti {
 
@@ -32,7 +33,7 @@ class LruTracker
      * never-used qubits) break toward the earlier candidate, which for
      * chain containers means ions nearer the front edge.
      */
-    int victim(const std::deque<int> &candidates,
+    int victim(const ZoneChain &candidates,
                const std::vector<int> &exclude) const;
 
     /** Current clock value (tests). */

@@ -78,10 +78,12 @@ PassPipeline::passNames() const
 
 CompileResult
 PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
-                      std::uint64_t seed) const
+                      std::uint64_t seed,
+                      std::shared_ptr<SchedulerWorkspace> workspace) const
 {
     const auto t0 = std::chrono::steady_clock::now();
     CompileContext ctx(std::move(circuit), params, seed);
+    ctx.schedulerWorkspace = std::move(workspace);
 
     for (const auto &pass : passes_) {
         const auto p0 = std::chrono::steady_clock::now();
@@ -104,6 +106,8 @@ PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
     result.metrics = ctx.metrics;
     result.swapInsertions = ctx.swapInsertions;
     result.evictions = ctx.evictions;
+    result.routingSteps = ctx.routingSteps;
+    result.schedulerHeapAllocs = ctx.schedulerHeapAllocs;
     if (ctx.finalPlacement)
         result.finalChains = Schedule::snapshotChains(*ctx.finalPlacement);
     result.compileTimeSec =

@@ -34,7 +34,7 @@ namespace mussti {
 
 class EmlDevice;           // arch/eml_device.h
 class GridDevice;          // arch/grid_device.h
-struct SchedulerWorkspace; // core/scheduler.h
+struct SchedulerWorkspace; // core/scheduler_workspace.h
 
 /** Wall-clock record of one executed pass. */
 struct PassTiming
@@ -55,6 +55,17 @@ struct CompileResult
     int evictions = 0;        ///< Conflict-handling relocations.
     std::vector<std::vector<int>> finalChains; ///< End-of-run placement.
     std::vector<PassTiming> passTrace; ///< Per-pass wall-clock breakdown.
+
+    /**
+     * Scheduler-loop perf counters, summed over every scheduler run of
+     * the compilation (all three SABRE legs, whichever candidate won):
+     * phase-2 routing steps, and heap allocations observed inside the
+     * scheduling loops by common/alloc_counter.h (always zero unless
+     * the binary instruments operator new — micro_scheduler_bench does,
+     * and gates on allocations/step staying zero once warm).
+     */
+    int routingSteps = 0;
+    std::uint64_t schedulerHeapAllocs = 0;
 
     explicit CompileResult(Circuit c) : lowered(std::move(c)) {}
 };
@@ -93,6 +104,8 @@ struct CompileContext
     Schedule schedule;
     int swapInsertions = 0;
     int evictions = 0;
+    int routingSteps = 0;      ///< Accumulated by the scheduling passes.
+    std::uint64_t schedulerHeapAllocs = 0; ///< Ditto (see CompileResult).
 
     Metrics metrics;
     bool metricsValid = false; ///< Set by whichever pass evaluated last.
@@ -166,9 +179,14 @@ class PassPipeline
     /**
      * Run every pass over a fresh context and assemble the result.
      * Panics unless a lowering pass and an evaluation pass both ran.
+     * `workspace`, when given, seeds the context's scheduler arena so
+     * repeated compilations reuse warm buffers (results are identical
+     * either way; see core/scheduler_workspace.h for the contract).
      */
-    CompileResult compile(Circuit circuit, const PhysicalParams &params,
-                          std::uint64_t seed) const;
+    CompileResult
+    compile(Circuit circuit, const PhysicalParams &params,
+            std::uint64_t seed,
+            std::shared_ptr<SchedulerWorkspace> workspace = nullptr) const;
 
   private:
     std::vector<std::unique_ptr<CompilerPass>> passes_;

@@ -18,6 +18,15 @@ Router::Router(const EmlDevice &device, const PhysicalParams &params,
 {
 }
 
+void
+Router::relocate(int qubit, int zone)
+{
+    emitter_.relocate(qubit, zone);
+    arrival_[qubit] = ++arrivalClock_;
+    if (moveListener_ != nullptr)
+        moveListener_->onQubitMoved(qubit);
+}
+
 int
 Router::freeSlots(int zone) const
 {
@@ -25,16 +34,16 @@ Router::freeSlots(int zone) const
 }
 
 double
-Router::planCost(const std::vector<int> &movers, int zone) const
+Router::planCost(const int *movers, int count, int zone) const
 {
     // Primary term: one shuttle per mover plus evictions forced by the
     // capacity deficit (each eviction is itself a shuttle). Secondary
     // terms: chain extraction swaps and move distance, scaled far below
     // one shuttle so they only break ties.
-    const int deficit = std::max(0,
-        static_cast<int>(movers.size()) - freeSlots(zone));
-    double cost = static_cast<double>(movers.size() + 2 * deficit);
-    for (int q : movers) {
+    const int deficit = std::max(0, count - freeSlots(zone));
+    double cost = static_cast<double>(count + 2 * deficit);
+    for (int i = 0; i < count; ++i) {
+        const int q = movers[i];
         const int from = placement_.zoneOf(q);
         cost += 0.05 * placement_.extractionSwaps(q);
         cost += 1e-4 * device_.distanceUm(from, zone);
@@ -48,7 +57,7 @@ Router::chooseOpticalZone(int module, int qubit) const
     int best_zone = -1;
     double best_cost = std::numeric_limits<double>::infinity();
     for (int z : device_.zonesOfKind(module, ZoneKind::Optical)) {
-        const double cost = planCost({qubit}, z);
+        const double cost = planCost(&qubit, 1, z);
         if (cost < best_cost) {
             best_cost = cost;
             best_zone = z;
@@ -60,33 +69,54 @@ Router::chooseOpticalZone(int module, int qubit) const
 }
 
 int
-Router::pickVictim(int zone, const std::vector<int> &protect)
+Router::pickVictim(int zone, const ProtectSet &protect)
 {
-    std::vector<int> candidates;
-    for (int q : placement_.chain(zone)) {
-        if (std::find(protect.begin(), protect.end(), q) == protect.end())
-            candidates.push_back(q);
-    }
-    if (candidates.empty())
-        return -1;
+    // One pass over the contiguous chain per policy, skipping protected
+    // ions with an inline scan (<= 4 entries). Candidate order is chain
+    // order (front to back), matching the historical materialised
+    // candidate list, so first-wins tie-breaks are unchanged.
+    const ZoneChain &chain = placement_.chain(zone);
 
     switch (policy_) {
-      case ReplacementPolicy::Random:
-        return candidates[rng_.uniform(candidates.size())];
+      case ReplacementPolicy::Random: {
+        // The RNG draw spans the candidate count, so count first and
+        // then index — two passes, identical to drawing over the old
+        // materialised list.
+        int count = 0;
+        for (int q : chain) {
+            if (!protect.contains(q))
+                ++count;
+        }
+        if (count == 0)
+            return -1;
+        int pick = static_cast<int>(
+            rng_.uniform(static_cast<std::size_t>(count)));
+        for (int q : chain) {
+            if (protect.contains(q))
+                continue;
+            if (pick-- == 0)
+                return q;
+        }
+        panic("random victim index outside candidate set");
+      }
 
       case ReplacementPolicy::Fifo: {
-        int victim = candidates.front();
-        for (int q : candidates) {
-            if (arrival_[q] < arrival_[victim])
+        int victim = -1;
+        for (int q : chain) {
+            if (protect.contains(q))
+                continue;
+            if (victim < 0 || arrival_[q] < arrival_[victim])
                 victim = q;
         }
         return victim;
       }
 
       case ReplacementPolicy::Lru: {
-        int victim = candidates.front();
-        for (int q : candidates) {
-            if (lru_.stampOf(q) < lru_.stampOf(victim))
+        int victim = -1;
+        for (int q : chain) {
+            if (protect.contains(q))
+                continue;
+            if (victim < 0 || lru_.stampOf(q) < lru_.stampOf(victim))
                 victim = q;
         }
         return victim;
@@ -100,7 +130,9 @@ Router::pickVictim(int zone, const std::vector<int> &protect)
         // heat); LRU age breaks remaining ties.
         int victim = -1;
         std::tuple<int, int, std::int64_t> victim_key;
-        for (int q : candidates) {
+        for (int q : chain) {
+            if (protect.contains(q))
+                continue;
             const int next_use = nextUse_ ? (*nextUse_)[q] : 0;
             const auto key = std::make_tuple(
                 -next_use, placement_.extractionSwaps(q), lru_.stampOf(q));
@@ -116,7 +148,7 @@ Router::pickVictim(int zone, const std::vector<int> &protect)
 }
 
 void
-Router::evictOne(int zone, const std::vector<int> &protect)
+Router::evictOne(int zone, const ProtectSet &protect)
 {
     const int victim = pickVictim(zone, protect);
     MUSSTI_ASSERT(victim >= 0, "no evictable ion in zone " << zone
@@ -163,22 +195,20 @@ Router::evictOne(int zone, const std::vector<int> &protect)
     MUSSTI_ASSERT(target >= 0, "module " << module
                   << " has no free slot anywhere; device mis-sized");
 
-    emitter_.relocate(victim, target);
-    arrival_[victim] = ++arrivalClock_;
+    relocate(victim, target);
     ++evictions_;
 }
 
 void
-Router::moveIn(int qubit, int zone, const std::vector<int> &protect)
+Router::moveIn(int qubit, int zone, const ProtectSet &protect)
 {
     if (placement_.zoneOf(qubit) == zone)
         return;
-    std::vector<int> guarded = protect;
+    ProtectSet guarded = protect;
     guarded.push_back(qubit);
     while (freeSlots(zone) <= 0)
         evictOne(zone, guarded);
-    emitter_.relocate(qubit, zone);
-    arrival_[qubit] = ++arrivalClock_;
+    relocate(qubit, zone);
 }
 
 void
@@ -189,25 +219,32 @@ Router::routeForGate(int qubit_a, int qubit_b)
     MUSSTI_ASSERT(zone_a >= 0 && zone_b >= 0, "routing unplaced qubits");
     const int module_a = device_.zone(zone_a).module;
     const int module_b = device_.zone(zone_b).module;
-    const std::vector<int> protect = {qubit_a, qubit_b};
+    const ProtectSet protect = {qubit_a, qubit_b};
 
     if (module_a == module_b) {
         // Candidate plans: move a to b's zone, move b to a's zone, or
-        // move both into a third gate-capable zone. chooseGateZone costs
-        // every gate-capable zone with the applicable mover set.
-        struct Plan { std::vector<int> movers; int zone; double cost; };
-        std::vector<Plan> plans;
+        // move both into a third gate-capable zone; every gate-capable
+        // zone of the module is costed with the applicable mover set.
+        struct Plan
+        {
+            int movers[2] = {-1, -1};
+            int moverCount = 0;
+            int zone = -1;
+            double cost = 0.0;
+        };
+        SmallVec<Plan, 8> plans;
         if (device_.zone(zone_b).gateCapable())
-            plans.push_back({{qubit_a}, zone_b,
-                             planCost({qubit_a}, zone_b)});
+            plans.push_back({{qubit_a, -1}, 1, zone_b,
+                             planCost(&qubit_a, 1, zone_b)});
         if (device_.zone(zone_a).gateCapable())
-            plans.push_back({{qubit_b}, zone_a,
-                             planCost({qubit_b}, zone_a)});
+            plans.push_back({{qubit_b, -1}, 1, zone_a,
+                             planCost(&qubit_b, 1, zone_a)});
+        const int both[2] = {qubit_a, qubit_b};
         for (int z : device_.gateZonesOfModule(module_a)) {
             if (z == zone_a || z == zone_b)
                 continue;
-            plans.push_back({{qubit_a, qubit_b}, z,
-                             planCost({qubit_a, qubit_b}, z)});
+            plans.push_back({{qubit_a, qubit_b}, 2, z,
+                             planCost(both, 2, z)});
         }
         MUSSTI_ASSERT(!plans.empty(), "no routing plan for local gate");
         // Near-tie bias: keep local gates out of the optical zone so
@@ -222,8 +259,8 @@ Router::routeForGate(int qubit_a, int qubit_b)
                     ? 0.0 : 1e-6 * device_.zone(y.zone).level();
                 return x.cost + bias_x < y.cost + bias_y;
             });
-        for (int q : best.movers)
-            moveIn(q, best.zone, protect);
+        for (int i = 0; i < best.moverCount; ++i)
+            moveIn(best.movers[i], best.zone, protect);
         return;
     }
 
@@ -239,19 +276,18 @@ Router::routeForGate(int qubit_a, int qubit_b)
 }
 
 void
-Router::routeToOptical(int qubit, const std::vector<int> &protect)
+Router::routeToOptical(int qubit, const ProtectSet &protect)
 {
     const int zone = placement_.zoneOf(qubit);
     MUSSTI_ASSERT(zone >= 0, "routeToOptical of unplaced qubit");
     if (device_.zone(zone).kind == ZoneKind::Optical)
         return;
     const int target = chooseOpticalZone(device_.zone(zone).module, qubit);
-    std::vector<int> guarded = protect;
+    ProtectSet guarded = protect;
     guarded.push_back(qubit);
     while (freeSlots(target) <= 0)
         evictOne(target, guarded);
-    emitter_.relocate(qubit, target);
-    arrival_[qubit] = ++arrivalClock_;
+    relocate(qubit, target);
 }
 
 } // namespace mussti

@@ -8,6 +8,13 @@
  * plan is executed. When a target zone lacks space, the LRU resident is
  * evicted to the nearest lower-level zone with a free slot — the
  * page-fault analogy of the paper.
+ *
+ * The router is allocation-free in steady state: candidate plans, mover
+ * sets, and protect sets live in inline-capacity SmallVecs, victim
+ * scans walk the contiguous zone chains directly, and the only heap
+ * traffic left is the per-construction arrival table (outside the
+ * scheduling loop). micro_scheduler_bench's allocation counter pins
+ * this property.
  */
 #ifndef MUSSTI_CORE_ROUTER_H
 #define MUSSTI_CORE_ROUTER_H
@@ -17,6 +24,7 @@
 #include "arch/eml_device.h"
 #include "arch/placement.h"
 #include "common/rng.h"
+#include "common/small_vec.h"
 #include "core/config.h"
 #include "core/lru.h"
 #include "sim/params.h"
@@ -24,6 +32,29 @@
 #include "sim/shuttle_emitter.h"
 
 namespace mussti {
+
+/**
+ * Qubits that must not be evicted during the current routing action:
+ * the gate operands plus at most one in-flight mover. Inline capacity
+ * covers the worst case, so building one never allocates.
+ */
+using ProtectSet = SmallVec<int, 4>;
+
+/**
+ * Observer of qubit relocations. The scheduler's frontier worklist
+ * registers one so that every placement change (shuttle or logical
+ * SWAP) re-queues the affected frontier gate for an executability
+ * check — the hook that lets the drain loop skip re-scanning
+ * untouched gates.
+ */
+class QubitMoveListener
+{
+  public:
+    virtual ~QubitMoveListener() = default;
+
+    /** The qubit's zone just changed. */
+    virtual void onQubitMoved(int qubit) = 0;
+};
 
 /** Routing engine bound to one in-progress compilation. */
 class Router
@@ -45,7 +76,7 @@ class Router
      * Bring one qubit into an optical zone of its module (used by SWAP
      * insertion before emitting fiber gates).
      */
-    void routeToOptical(int qubit, const std::vector<int> &protect);
+    void routeToOptical(int qubit, const ProtectSet &protect);
 
     /**
      * Anticipated-usage hint (the paper's LRU "considers both historical
@@ -61,6 +92,15 @@ class Router
         nextUse_ = next_use;
     }
 
+    /** Register the relocation observer (may be null). */
+    void setMoveListener(QubitMoveListener *listener)
+    {
+        moveListener_ = listener;
+    }
+
+    /** The registered relocation observer, or null. */
+    QubitMoveListener *moveListener() const { return moveListener_; }
+
     /** Total evictions performed so far (conflict-handling count). */
     int evictionCount() const { return evictions_; }
 
@@ -71,6 +111,7 @@ class Router
     ShuttleEmitter emitter_;
     LruTracker &lru_;
     const std::vector<int> *nextUse_ = nullptr;
+    QubitMoveListener *moveListener_ = nullptr;
     ReplacementPolicy policy_;
     Rng rng_;
     std::vector<std::int64_t> arrival_; ///< Per-qubit arrival stamps
@@ -78,27 +119,30 @@ class Router
     std::int64_t arrivalClock_ = 0;
     int evictions_ = 0;
 
+    /** Relocate via the emitter and notify the move listener. */
+    void relocate(int qubit, int zone);
+
     /** Pick the eviction victim of a zone under the active policy. */
-    int pickVictim(int zone, const std::vector<int> &protect);
+    int pickVictim(int zone, const ProtectSet &protect);
 
     /** Free slots of a zone. */
     int freeSlots(int zone) const;
 
     /**
-     * Estimated cost of moving `qubit` into `zone` (shuttle + extraction
-     * swaps + distance tie-breaker + eviction deficit).
+     * Estimated cost of moving the `count` movers into `zone` (shuttle
+     * + extraction swaps + distance tie-breaker + eviction deficit).
      */
-    double planCost(const std::vector<int> &movers, int zone) const;
+    double planCost(const int *movers, int count, int zone) const;
 
     /**
      * Evict the LRU resident of `zone` (excluding `protect`) to the
      * nearest lower-level zone with space; falls back level by level and
      * finally to any same-module zone with space.
      */
-    void evictOne(int zone, const std::vector<int> &protect);
+    void evictOne(int zone, const ProtectSet &protect);
 
     /** Move a qubit into `zone`, evicting until a slot is free. */
-    void moveIn(int qubit, int zone, const std::vector<int> &protect);
+    void moveIn(int qubit, int zone, const ProtectSet &protect);
 
     /** Pick the best optical zone of a module for one mover. */
     int chooseOpticalZone(int module, int qubit) const;

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/alloc_counter.h"
 #include "common/logging.h"
 #include "core/lru.h"
 #include "core/router.h"
@@ -13,6 +14,135 @@
 namespace mussti {
 
 namespace {
+
+/**
+ * The incrementally maintained executable-ready worklist behind the
+ * phase-1 drain.
+ *
+ * The historical drain re-snapshotted the whole frontier and re-scanned
+ * it until fixpoint — O(frontier²) work per routing step, almost all of
+ * it re-checking gates whose operands had not moved. The worklist keeps
+ * exactly the gates whose executability may have changed:
+ *
+ *  - every gate that just became ready (its last predecessor retired);
+ *  - every ready gate with a relocated operand (the router and the
+ *    SWAP-inserter report placement changes through QubitMoveListener;
+ *    the only frontier gate a move of qubit q can affect is q's chain
+ *    head, an O(1) lookup).
+ *
+ * Order is pinned to the historical drain: a round visits its
+ * candidates in ascending node-id (= FCFS) order, exactly the order the
+ * full re-scan visited them. A gate dirtied mid-round re-enters the
+ * CURRENT round when its id is still ahead of the cursor (the re-scan
+ * would reach it this pass, after the move) and the NEXT round
+ * otherwise (the re-scan would catch it on the following pass). Gates
+ * that merely became ready mid-round always wait for the next round —
+ * they were absent from the re-scan's snapshot. Skipped gates are
+ * exactly those whose operands sat still since their last check, for
+ * which the re-scan's answer could not have changed; the executed gate
+ * sequence is therefore bit-identical (pinned by the golden
+ * fingerprints and the cross-check in tests/test_scheduler.cpp).
+ *
+ * Buffers are borrowed from the SchedulerWorkspace, so steady-state
+ * rounds allocate nothing.
+ */
+class FrontierWorklist : public QubitMoveListener
+{
+  public:
+    FrontierWorklist(const DependencyDag &dag, SchedulerWorkspace &ws)
+        : dag_(dag), ws_(ws), cur_(std::move(ws.worklistCur)),
+          next_(std::move(ws.worklistNext)),
+          queued_(std::move(ws.worklistState))
+    {
+        cur_.clear();
+        next_.clear();
+        queued_.assign(static_cast<std::size_t>(dag.size()), 0);
+        for (DagNodeId id : dag.frontier())
+            noteReady(id);
+    }
+
+    ~FrontierWorklist() override
+    {
+        // Hand the buffers back so the next run starts warm.
+        ws_.worklistCur = std::move(cur_);
+        ws_.worklistNext = std::move(next_);
+        ws_.worklistState = std::move(queued_);
+    }
+
+    /**
+     * Start the next drain round: the queued candidates become the
+     * round's visit list (ascending id). False when nothing is queued —
+     * every ready gate is known non-executable and the drain is done.
+     */
+    bool
+    beginRound()
+    {
+        if (next_.empty())
+            return false;
+        cur_.swap(next_);
+        next_.clear();
+        std::sort(cur_.begin(), cur_.end());
+        cursor_ = 0;
+        cursorId_ = -1;
+        inRound_ = true;
+        return true;
+    }
+
+    /** Next candidate of the round, or -1 when the round is exhausted. */
+    DagNodeId
+    take()
+    {
+        if (cursor_ >= cur_.size()) {
+            inRound_ = false;
+            return -1;
+        }
+        const DagNodeId id = cur_[cursor_++];
+        queued_[id] = 0;
+        cursorId_ = id;
+        return id;
+    }
+
+    /** A node's last predecessor retired; queue its first check. */
+    void
+    noteReady(DagNodeId id)
+    {
+        if (queued_[id])
+            return;
+        queued_[id] = 1;
+        next_.push_back(id);
+    }
+
+    void
+    onQubitMoved(int qubit) override
+    {
+        // The only frontier gate a move of `qubit` can affect is the
+        // head of its dependency chain; anything later depends on it.
+        const DagNodeId head = dag_.qubitChainHeadNode(qubit);
+        if (head < 0 || !dag_.isReady(head) || queued_[head])
+            return;
+        queued_[head] = 1;
+        if (inRound_ && head > cursorId_) {
+            // Ahead of the cursor: the historical re-scan would check
+            // this gate later in the current pass — keep that order.
+            const auto it = std::lower_bound(
+                cur_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                cur_.end(), head);
+            cur_.insert(it, head);
+        } else {
+            next_.push_back(head);
+        }
+    }
+
+  private:
+    const DependencyDag &dag_;
+    SchedulerWorkspace &ws_;
+    std::vector<DagNodeId> cur_;  ///< Current round, ascending ids.
+    std::vector<DagNodeId> next_; ///< Accumulating next round.
+    std::vector<std::uint8_t> queued_; ///< Node is in cur_ or next_.
+    std::size_t cursor_ = 0;
+    DagNodeId cursorId_ = -1;
+    bool inRound_ = false;
+};
 
 /** Shared mutable state of one scheduling pass. */
 struct PassState
@@ -25,8 +155,10 @@ struct PassState
     Router router;
     SwapInserter inserter;
     DependencyDag dag;
+    FrontierWorklist worklist;
 
     std::vector<int> nextUse;
+    bool nextUseSynced = false; ///< First snapshot copies the table.
 
     PassState(const EmlDevice &dev, const PhysicalParams &par,
               const MusstiConfig &cfg, const Circuit &circuit,
@@ -36,13 +168,20 @@ struct PassState
           router(dev, par, placement, schedule, lru, cfg.replacement,
                  cfg.seed),
           inserter(dev, par, cfg, placement, schedule, router, lru),
-          dag(circuit, cfg.nextUseHorizon),
+          dag(circuit, cfg.nextUseHorizon, &ws.dag),
+          worklist(dag, ws),
           nextUse(std::move(ws.nextUseScratch))
     {
         nextUse.assign(circuit.numQubits(), 0);
         schedule.initialChains = Schedule::snapshotChains(initial);
         schedule.ops.reserve(ws.opReserveHint);
         router.setNextUse(&nextUse);
+        dag.enableNextUseLog();
+        if (cfg.incrementalFrontier)
+            router.setMoveListener(&worklist);
+        // Chains never outgrow their trap capacity, so one reserve here
+        // makes every later push/pop allocation-free.
+        placement.reserveChains(dev.zoneInfos());
     }
 
     /**
@@ -51,13 +190,16 @@ struct PassState
      * or the horizon sentinel when q is idle throughout the window.
      * This is the "anticipated qubit usage" the paper's replacement
      * scheduler combines with LRU history. Taken once per routing step
-     * (an O(qubits) copy) so eviction decisions between snapshots see a
-     * stable table, exactly as the full recomputation did.
+     * so eviction decisions between snapshots see a stable table,
+     * exactly as the full recomputation did — but synced by the DAG's
+     * change log, so a step pays for the chain heads that moved, not
+     * for an O(qubits) copy.
      */
     void
     snapshotNextUse()
     {
-        nextUse = dag.nextUse();
+        dag.syncNextUse(nextUse, !nextUseSynced);
+        nextUseSynced = true;
     }
 };
 
@@ -101,7 +243,7 @@ executeGate(PassState &st, const MusstiConfig &config, DagNodeId id,
     MUSSTI_ASSERT(executable(st, gate),
                   "executeGate on non-executable node " << id);
 
-    for (const Gate &g1 : node.leading1q)
+    for (const Gate &g1 : st.dag.leading1q(id))
         emit1q(st, g1);
 
     const int zone_a = st.placement.zoneOf(gate.q0);
@@ -128,10 +270,57 @@ executeGate(PassState &st, const MusstiConfig &config, DagNodeId id,
     st.lru.touch(gate.q0);
     st.lru.touch(gate.q1);
     st.dag.complete(id);
+    if (config.incrementalFrontier) {
+        for (DagNodeId succ : node.succs) {
+            if (st.dag.isReady(succ))
+                st.worklist.noteReady(succ);
+        }
+    }
 
     if (fiber && config.enableSwapInsertion)
         swap_insertions += st.inserter.maybeInsert(st.dag, gate.q0,
                                                    gate.q1);
+}
+
+/**
+ * Phase-1 drain, worklist form: visit exactly the candidates whose
+ * executability may have changed, in the historical re-scan order.
+ */
+void
+drainIncremental(PassState &st, const MusstiConfig &config,
+                 int &swap_insertions)
+{
+    while (st.worklist.beginRound()) {
+        DagNodeId id;
+        while ((id = st.worklist.take()) >= 0) {
+            if (st.dag.isReady(id) &&
+                executable(st, st.dag.node(id).gate))
+                executeGate(st, config, id, swap_insertions);
+        }
+    }
+}
+
+/**
+ * Phase-1 drain, reference form: re-snapshot the whole frontier and
+ * re-scan until fixpoint. Kept verbatim as the cross-check oracle for
+ * the worklist (config.incrementalFrontier == false).
+ */
+void
+drainFullRescan(PassState &st, const MusstiConfig &config,
+                int &swap_insertions)
+{
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        const std::vector<DagNodeId> snapshot = st.dag.frontier();
+        for (DagNodeId id : snapshot) {
+            if (st.dag.isReady(id) &&
+                executable(st, st.dag.node(id).gate)) {
+                executeGate(st, config, id, swap_insertions);
+                progressed = true;
+            }
+        }
+    }
 }
 
 } // namespace
@@ -147,22 +336,20 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
     SchedulerWorkspace &ws = workspace ? *workspace : local;
     PassState st(device_, params_, config_, lowered, initial, ws);
     int swap_insertions = 0;
+    int routing_steps = 0;
+
+    // Everything beyond this point is the steady-state hot path; the
+    // delta of the (bench-instrumented) allocation counter proves it
+    // performs no heap allocation once the workspace is warm.
+    const std::uint64_t allocs_at_start = AllocCounter::now();
 
     while (!st.dag.empty()) {
         // Gate selection, phase 1: drain every immediately executable
         // frontier gate ("prioritize executable gates").
-        bool progressed = true;
-        while (progressed) {
-            progressed = false;
-            const std::vector<DagNodeId> snapshot = st.dag.frontier();
-            for (DagNodeId id : snapshot) {
-                if (st.dag.isReady(id) &&
-                    executable(st, st.dag.node(id).gate)) {
-                    executeGate(st, config_, id, swap_insertions);
-                    progressed = true;
-                }
-            }
-        }
+        if (config_.incrementalFrontier)
+            drainIncremental(st, config_, swap_insertions);
+        else
+            drainFullRescan(st, config_, swap_insertions);
         if (st.dag.empty())
             break;
 
@@ -174,10 +361,13 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
         st.snapshotNextUse();
         st.router.routeForGate(gate.q0, gate.q1);
         executeGate(st, config_, chosen, swap_insertions);
+        ++routing_steps;
     }
 
     for (const Gate &g1 : st.dag.trailing1q())
         emit1q(st, g1);
+
+    const std::uint64_t loop_allocs = AllocCounter::now() - allocs_at_start;
 
     // Hand the reusable buffers back so the next run (the SABRE
     // reverse/refine legs) starts pre-sized.
@@ -188,6 +378,8 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
     out.schedule = std::move(st.schedule);
     out.swapInsertions = swap_insertions;
     out.evictions = st.router.evictionCount();
+    out.routingSteps = routing_steps;
+    out.loopHeapAllocs = loop_allocs;
     return out;
 }
 

@@ -9,34 +9,18 @@
 #define MUSSTI_CORE_SCHEDULER_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "arch/eml_device.h"
 #include "arch/placement.h"
 #include "circuit/circuit.h"
 #include "core/config.h"
+#include "core/scheduler_workspace.h"
 #include "sim/params.h"
 #include "sim/schedule.h"
 
 namespace mussti {
-
-/**
- * Reusable buffers for MusstiScheduler::run. A SABRE compile runs the
- * scheduler three times (forward, reverse, refined forward); sharing one
- * workspace across those runs recycles the anticipated-usage snapshot
- * buffer and pre-sizes the op stream from the previous run instead of
- * re-growing it from empty. Purely an allocation cache: results are
- * bit-identical with or without one, and a default-constructed instance
- * is always valid.
- */
-struct SchedulerWorkspace
-{
-    /** Recycled storage for the per-pass nextUse snapshot. */
-    std::vector<int> nextUseScratch;
-
-    /** Op count of the largest run so far; seeds Schedule::ops reserve. */
-    std::size_t opReserveHint = 0;
-};
 
 /** One full scheduling pass over a circuit. */
 class MusstiScheduler
@@ -49,6 +33,22 @@ class MusstiScheduler
         Placement finalPlacement;
         int swapInsertions = 0;
         int evictions = 0;
+
+        /** Phase-2 iterations (routed gates) of this run. */
+        int routingSteps = 0;
+
+        /**
+         * Heap allocations observed inside the scheduling loop — after
+         * the pass state (DAG build, placement copy, scratch adoption)
+         * is fully constructed, up to the last emitted op — as counted
+         * by AllocCounter. Per-run setup allocations are deliberately
+         * OUTSIDE the window: the gate proves the per-step hot path is
+         * allocation-free, not the run prologue. Zero in every binary
+         * that does not instrument operator new; in
+         * micro_scheduler_bench it proves the hot path's steady state
+         * allocates nothing.
+         */
+        std::uint64_t loopHeapAllocs = 0;
 
         RunOutput(Placement placement)
             : finalPlacement(std::move(placement)) {}

@@ -16,11 +16,14 @@ SwapInserter::SwapInserter(const EmlDevice &device,
     MUSSTI_REQUIRE(config.swapThreshold >= 3,
                    "SWAP threshold T must be >= 3 (a SWAP costs 3 MS "
                    "gates)");
+    // Pre-size the lazy weight row so the first query inside the
+    // scheduling loop performs no allocation.
+    weights_.reserve(device.numModules());
 }
 
 int
 SwapInserter::choosePartner(const WeightTable &weights, int target_module,
-                            const std::vector<int> &exclude) const
+                            int exclude_a, int exclude_b) const
 {
     // Candidates: qubits resident on the target module that have no
     // near-future work there (W(qc, cj) == 0). Prefer ions already in an
@@ -31,10 +34,7 @@ SwapInserter::choosePartner(const WeightTable &weights, int target_module,
     for (int z : device_.zonesOfModule(target_module)) {
         const bool optical = device_.zone(z).kind == ZoneKind::Optical;
         for (int q : placement_.chain(z)) {
-            bool excluded = false;
-            for (int e : exclude)
-                excluded = excluded || e == q;
-            if (excluded)
+            if (q == exclude_a || q == exclude_b)
                 continue;
             if (weights.weight(q, target_module) != 0)
                 continue;
@@ -83,6 +83,12 @@ SwapInserter::performSwap(int qubit, int partner)
     lru_.touch(qubit);
     lru_.touch(partner);
     ++inserted_;
+    // A logical SWAP relocates both ions; the frontier worklist needs
+    // to re-examine their pending gates just like after a shuttle.
+    if (QubitMoveListener *listener = router_.moveListener()) {
+        listener->onQubitMoved(qubit);
+        listener->onQubitMoved(partner);
+    }
 }
 
 int
@@ -102,7 +108,7 @@ SwapInserter::maybeInsert(const DependencyDag &dag, int qubit_a,
         if (target < 0 || weight <= config_.swapThreshold)
             continue;
         const int partner = choosePartner(weights_, target,
-                                          {qubit_a, qubit_b});
+                                          qubit_a, qubit_b);
         if (partner < 0)
             continue;
         performSwap(q, partner);

@@ -55,9 +55,14 @@ class SwapInserter
     WeightTable weights_; ///< Lazy weight view re-bound per maybeInsert;
                           ///< row storage reused across the whole pass.
 
-    /** Pick the exchange partner on the target module, or -1. */
+    /**
+     * Pick the exchange partner on the target module, or -1. The
+     * excluded qubits are exactly the two operands of the triggering
+     * fiber gate, so they arrive as plain ids — no exclusion list to
+     * build or scan per chain resident.
+     */
     int choosePartner(const WeightTable &weights, int target_module,
-                      const std::vector<int> &exclude) const;
+                      int exclude_a, int exclude_b) const;
 
     /** Emit the 3-fiber-gate SWAP and exchange the placements. */
     void performSwap(int qubit, int partner);

@@ -20,9 +20,8 @@ WeightTable::row(int qubit) const
         // eager frontLayers(lookAhead_) build exactly — that build
         // increments this row once per window gate touching the qubit,
         // which is precisely this prefix.
-        const auto &chain = dag_->qubitChain(qubit);
-        for (int i = dag_->qubitChainHead(qubit);
-             i < static_cast<int>(chain.size()); ++i) {
+        const QubitChainView chain = dag_->qubitChain(qubit);
+        for (int i = dag_->qubitChainHead(qubit); i < chain.size(); ++i) {
             const DagNodeId id = chain[i];
             if (dag_->windowDepth(id) >= lookAhead_)
                 break;

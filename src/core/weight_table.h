@@ -21,6 +21,7 @@
 #ifndef MUSSTI_CORE_WEIGHT_TABLE_H
 #define MUSSTI_CORE_WEIGHT_TABLE_H
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -67,6 +68,16 @@ class WeightTable
     invalidateCache()
     {
         rowQubit_ = -1;
+    }
+
+    /**
+     * Pre-size the row storage for a device's module count, so the
+     * first query inside the scheduling loop performs no allocation.
+     */
+    void
+    reserve(int num_modules)
+    {
+        row_.reserve(static_cast<std::size_t>(num_modules));
     }
 
     /** W(q, module). */

@@ -6,19 +6,104 @@
 
 namespace mussti {
 
-DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
-    : horizon_(window_horizon)
+void
+DependencyDag::adoptScratch()
+{
+    if (donor_ == nullptr)
+        return;
+    DagScratch &s = *donor_;
+    nodes_ = std::move(s.nodes);
+    lead1qGates_ = std::move(s.lead1qGates);
+    trailing1q_ = std::move(s.trailing1q);
+    nodes_.clear();
+    lead1qGates_.clear();
+    trailing1q_.clear();
+    depth_ = std::move(s.depth);
+    nextUse_ = std::move(s.nextUse);
+    nextUseLog_ = std::move(s.nextUseLog);
+    nextUseLog_.clear();
+    chainOffsets_ = std::move(s.chainOffsets);
+    chainNodes_ = std::move(s.chainNodes);
+    chainHead_ = std::move(s.chainHead);
+    frontier_ = std::move(s.frontier);
+    worklist_ = std::move(s.worklist);
+    inWave_ = std::move(s.inWave);
+    bucketPos_ = std::move(s.bucketPos);
+    pendingRetired_ = std::move(s.pendingRetired);
+    dirtyQubits_ = std::move(s.dirtyQubits);
+    windowBuckets_ = std::move(s.windowBuckets);
+    peelPreds_ = std::move(s.peelPreds);
+    peelTouched_ = std::move(s.peelTouched);
+    frontier_.clear();
+    worklist_.clear();
+    pendingRetired_.clear();
+    dirtyQubits_.clear();
+    peelTouched_.clear();
+    for (auto &bucket : windowBuckets_)
+        bucket.clear();
+}
+
+void
+DependencyDag::returnScratch()
+{
+    if (donor_ == nullptr)
+        return;
+    DagScratch &s = *donor_;
+    s.nodes = std::move(nodes_);
+    s.lead1qGates = std::move(lead1qGates_);
+    s.trailing1q = std::move(trailing1q_);
+    s.depth = std::move(depth_);
+    s.nextUse = std::move(nextUse_);
+    s.nextUseLog = std::move(nextUseLog_);
+    s.chainOffsets = std::move(chainOffsets_);
+    s.chainNodes = std::move(chainNodes_);
+    s.chainHead = std::move(chainHead_);
+    s.frontier = std::move(frontier_);
+    s.worklist = std::move(worklist_);
+    s.inWave = std::move(inWave_);
+    s.bucketPos = std::move(bucketPos_);
+    s.pendingRetired = std::move(pendingRetired_);
+    s.dirtyQubits = std::move(dirtyQubits_);
+    s.windowBuckets = std::move(windowBuckets_);
+    s.peelPreds = std::move(peelPreds_);
+    s.peelTouched = std::move(peelTouched_);
+}
+
+DependencyDag::~DependencyDag()
+{
+    returnScratch();
+}
+
+DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon,
+                             DagScratch *scratch)
+    : horizon_(window_horizon), donor_(scratch)
 {
     MUSSTI_REQUIRE(window_horizon >= 1,
                    "DAG window horizon must be >= 1, got "
                    << window_horizon);
+    adoptScratch();
 
     const int n = circuit.numQubits();
     // lastNode[q]: most recent 2q node touching qubit q, or -1.
     std::vector<DagNodeId> last_node(n, -1);
     // Pending 1q gates per qubit, attached to the next 2q node on that
-    // qubit (or to trailing1q_ if none follows).
+    // qubit (or to trailing1q_ if none follows). Inner vectors keep
+    // their capacity across clears, so churn is bounded by the qubit
+    // count, not the gate count.
     std::vector<std::vector<Gate>> pending_1q(n);
+
+    // Size the node and leading-1q stores up front: DagNode growth
+    // would otherwise re-copy the node array log(gates) times.
+    std::size_t two_qubit = 0;
+    std::size_t single_qubit = 0;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        if (circuit[i].twoQubit())
+            ++two_qubit;
+        else
+            ++single_qubit;
+    }
+    nodes_.reserve(two_qubit);
+    lead1qGates_.reserve(single_qubit);
 
     for (std::size_t i = 0; i < circuit.size(); ++i) {
         const Gate &g = circuit[i];
@@ -33,12 +118,14 @@ DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
         DagNode node;
         node.gate = g;
         node.circuitIndex = static_cast<int>(i);
-        node.leading1q = std::move(pending_1q[g.q0]);
-        pending_1q[g.q0].clear();
-        node.leading1q.insert(node.leading1q.end(),
-                              pending_1q[g.q1].begin(),
-                              pending_1q[g.q1].end());
-        pending_1q[g.q1].clear();
+        node.lead1qOffset = static_cast<int>(lead1qGates_.size());
+        for (int q : {g.q0, g.q1}) {
+            lead1qGates_.insert(lead1qGates_.end(), pending_1q[q].begin(),
+                                pending_1q[q].end());
+            pending_1q[q].clear();
+        }
+        node.lead1qCount = static_cast<int>(lead1qGates_.size()) -
+            node.lead1qOffset;
 
         const DagNodeId id = static_cast<DagNodeId>(nodes_.size());
         for (int q : {g.q0, g.q1}) {
@@ -56,7 +143,7 @@ DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
             }
             last_node[q] = id;
         }
-        nodes_.push_back(std::move(node));
+        nodes_.push_back(node);
     }
 
     for (auto &rest : pending_1q) {
@@ -64,6 +151,12 @@ DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
     }
 
     remaining_ = static_cast<int>(nodes_.size());
+
+    // Frontier capacity bound: frontier nodes are chain heads of their
+    // operand qubits, and each qubit has at most one chain head, so the
+    // frontier never exceeds floor(n / 2) nodes. Reserving it here keeps
+    // insertSortedFrontier allocation-free for the whole run.
+    frontier_.reserve(static_cast<std::size_t>(n) / 2 + 1);
     for (DagNodeId id = 0; id < size(); ++id) {
         if (nodes_[id].pendingPreds == 0)
             frontier_.push_back(id);
@@ -78,27 +171,54 @@ DependencyDag::DependencyDag(const Circuit &circuit, int window_horizon)
     for (DagNodeId id = 0; id < size(); ++id)
         depth_[id] = recomputeDepth(id);
 
-    // Per-qubit dependency chains: the nodes touching a qubit are
-    // totally ordered through it, so the first unfinished one always
-    // carries the qubit's minimum window depth.
-    qubitChain_.resize(n);
-    chainHead_.assign(n, 0);
-    for (DagNodeId id = 0; id < size(); ++id) {
-        qubitChain_[nodes_[id].gate.q0].push_back(id);
-        qubitChain_[nodes_[id].gate.q1].push_back(id);
+    // Per-qubit dependency chains in CSR form: the nodes touching a
+    // qubit are totally ordered through it, so the first unfinished one
+    // always carries the qubit's minimum window depth. Counting pass,
+    // prefix sum, fill pass — two flat arrays, no per-qubit vectors.
+    chainOffsets_.assign(n + 1, 0);
+    for (const DagNode &node : nodes_) {
+        ++chainOffsets_[node.gate.q0 + 1];
+        ++chainOffsets_[node.gate.q1 + 1];
     }
+    for (int q = 0; q < n; ++q)
+        chainOffsets_[q + 1] += chainOffsets_[q];
+    chainNodes_.resize(chainOffsets_[n]);
+    {
+        std::vector<int> fill(chainOffsets_.begin(),
+                              chainOffsets_.end() - 1);
+        for (DagNodeId id = 0; id < size(); ++id) {
+            chainNodes_[fill[nodes_[id].gate.q0]++] = id;
+            chainNodes_[fill[nodes_[id].gate.q1]++] = id;
+        }
+    }
+    chainHead_.assign(n, 0);
     nextUse_.assign(n, horizon_);
     for (int q = 0; q < n; ++q)
         refreshQubitNextUse(q);
 
     // Window buckets: unfinished nodes grouped by depth, for the
-    // order-independent windowLayer() view.
+    // order-independent windowLayer() view. Nodes of one bucket are
+    // qubit-disjoint (same-qubit nodes are chain-ordered, so their
+    // depths differ), which bounds each bucket by floor(n / 2); the
+    // reserve keeps the flush wave's bucket moves allocation-free.
     windowBuckets_.resize(horizon_);
+    const std::size_t bucket_bound =
+        std::min(static_cast<std::size_t>(n) / 2 + 1, nodes_.size());
+    for (auto &bucket : windowBuckets_)
+        bucket.reserve(bucket_bound);
     bucketPos_.assign(nodes_.size(), -1);
     for (DagNodeId id = 0; id < size(); ++id) {
         if (depth_[id] < horizon_)
             bucketInsert(id, depth_[id]);
     }
+
+    // Relaxation/retirement queues: bounded by the touched cone, itself
+    // bounded by the node count (the wave re-pushes a successor only
+    // after an actual depth decrease, and depths only shrink).
+    worklist_.reserve(nodes_.size() + 1);
+    inWave_.assign(nodes_.size(), 0);
+    pendingRetired_.reserve(nodes_.size() + 1);
+    dirtyQubits_.reserve(2 * nodes_.size() + 2);
 }
 
 void
@@ -150,11 +270,11 @@ DependencyDag::recomputeDepth(DagNodeId id) const
 void
 DependencyDag::refreshQubitNextUse(int q) const
 {
-    const auto &chain = qubitChain_[q];
+    const QubitChainView chain = qubitChain(q);
     const int head = chainHead_[q];
-    nextUse_[q] = head < static_cast<int>(chain.size())
-        ? depth_[chain[head]]
-        : horizon_;
+    nextUse_[q] = head < chain.size() ? depth_[chain[head]] : horizon_;
+    if (logNextUse_)
+        nextUseLog_.push_back(q);
 }
 
 void
@@ -169,17 +289,28 @@ DependencyDag::flushWindow() const
     // retirement propagation; clamping to the horizon stops changes
     // beyond the window immediately. A phase-1 drain of n executable
     // gates therefore costs one wave, not n.
+    // A node may be reachable through both operand chains and through
+    // several retirements of one burst; the inWave_ flag queues it once
+    // per wave. Deduping is sound because recomputeDepth reads the live
+    // pred depths at pop time: one visit after the duplicate pushes
+    // lands on the same value, and any later pred decrease re-queues
+    // the node (the push below fires on every actual decrease).
     worklist_.clear();
-    for (DagNodeId id : pendingRetired_) {
-        for (DagNodeId succ : nodes_[id].succs) {
-            if (!nodes_[succ].done)
-                worklist_.push_back(succ);
+    const auto enqueue = [this](DagNodeId succ) {
+        if (!nodes_[succ].done && !inWave_[succ]) {
+            inWave_[succ] = 1;
+            worklist_.push_back(succ);
         }
+    };
+    for (DagNodeId id : pendingRetired_) {
+        for (DagNodeId succ : nodes_[id].succs)
+            enqueue(succ);
     }
     pendingRetired_.clear();
     while (!worklist_.empty()) {
         const DagNodeId n = worklist_.back();
         worklist_.pop_back();
+        inWave_[n] = 0;
         const int fresh = recomputeDepth(n);
         if (fresh >= depth_[n])
             continue;
@@ -188,15 +319,16 @@ DependencyDag::flushWindow() const
         bucketInsert(n, fresh);
         const DagNode &node = nodes_[n];
         for (int q : {node.gate.q0, node.gate.q1}) {
-            const auto &chain = qubitChain_[q];
+            const QubitChainView chain = qubitChain(q);
             const int head = chainHead_[q];
-            if (head < static_cast<int>(chain.size()) && chain[head] == n)
+            if (head < chain.size() && chain[head] == n) {
                 nextUse_[q] = fresh;
+                if (logNextUse_)
+                    nextUseLog_.push_back(q);
+            }
         }
-        for (DagNodeId succ : node.succs) {
-            if (!nodes_[succ].done)
-                worklist_.push_back(succ);
-        }
+        for (DagNodeId succ : node.succs)
+            enqueue(succ);
     }
 
     for (int q : dirtyQubits_)
@@ -207,8 +339,10 @@ DependencyDag::flushWindow() const
 void
 DependencyDag::complete(DagNodeId id)
 {
-    auto it = std::find(frontier_.begin(), frontier_.end(), id);
-    MUSSTI_ASSERT(it != frontier_.end(),
+    // The frontier is sorted by node id, so membership is a binary
+    // search (complete() sits inside the drain loop).
+    auto it = std::lower_bound(frontier_.begin(), frontier_.end(), id);
+    MUSSTI_ASSERT(it != frontier_.end() && *it == id,
                   "complete() on non-frontier node " << id);
     frontier_.erase(it);
     DagNode &node = nodes_[id];
@@ -226,10 +360,9 @@ DependencyDag::complete(DagNodeId id)
     // ancestors), so advance their heads now (O(1)) and queue the depth
     // relaxation for the next window read (flushWindow).
     for (int q : {node.gate.q0, node.gate.q1}) {
-        const auto &chain = qubitChain_[q];
+        const QubitChainView chain = qubitChain(q);
         int &head = chainHead_[q];
-        while (head < static_cast<int>(chain.size()) &&
-               nodes_[chain[head]].done)
+        while (head < chain.size() && nodes_[chain[head]].done)
             ++head;
         dirtyQubits_.push_back(q);
     }

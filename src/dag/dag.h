@@ -38,6 +38,16 @@
  * frontLayers(k) keeps the non-destructive peel (the SWAP-insertion
  * weight table wants explicit layer lists) but reuses persistent scratch
  * buffers, so it performs no O(total-gates) allocation per call.
+ *
+ * ## Allocation discipline
+ *
+ * The scheduler's hot loop (drain, route, complete) must perform zero
+ * heap allocations in steady state. Everything that grows during that
+ * loop — the frontier, the relaxation worklist, the window buckets, the
+ * retirement queues — is reserved to its proven bound at construction,
+ * and a DagScratch (core/scheduler_workspace.h) may donate warm buffers
+ * so even construction reuses the previous run's capacity. Per-qubit
+ * chains are CSR (one flat array + offsets), not a vector-of-vectors.
  */
 #ifndef MUSSTI_DAG_DAG_H
 #define MUSSTI_DAG_DAG_H
@@ -91,9 +101,75 @@ struct DagNode
     DagEdgeList preds;               ///< Prerequisite nodes (mirror of
                                      ///< succs; drives window updates).
     int pendingPreds = 0;            ///< Unresolved predecessor count.
-    std::vector<Gate> leading1q;     ///< 1q gates to cost just before this
-                                     ///< node executes.
+    int lead1qOffset = 0;            ///< Slice of the DAG's flat leading-
+    int lead1qCount = 0;             ///< 1q gate store (leading1q(id)).
     bool done = false;
+};
+
+/** Read-only slice of the DAG's flat single-qubit gate store. */
+struct GateSpan
+{
+    const Gate *data = nullptr;
+    int count = 0;
+
+    const Gate *begin() const { return data; }
+    const Gate *end() const { return data + count; }
+    int size() const { return count; }
+};
+
+/**
+ * Recycled storage for the DependencyDag's incremental-window state.
+ * The MUSS-TI scheduler rebuilds the DAG for every run (three per SABRE
+ * compile); donating these buffers lets each rebuild reuse the previous
+ * run's capacity instead of re-growing from empty, and keeps the
+ * window-maintenance wave (flushWindow) allocation-free once warm.
+ * Moved into the DAG at construction and handed back on destruction;
+ * contents are opaque capacity, never information — a DAG built with a
+ * used scratch is identical to one built without.
+ */
+struct DagScratch
+{
+    std::vector<DagNode> nodes;      ///< Node storage.
+    std::vector<Gate> lead1qGates;   ///< Flat leading-1q store.
+    std::vector<Gate> trailing1q;    ///< Trailing-1q list.
+    std::vector<int> depth;          ///< Per-node clamped window layer.
+    std::vector<int> nextUse;        ///< Per-qubit chain-head depth.
+    std::vector<int> nextUseLog;     ///< syncNextUse change log.
+    std::vector<int> chainOffsets;   ///< CSR offsets of the qubit chains.
+    std::vector<DagNodeId> chainNodes; ///< CSR payload of the chains.
+    std::vector<int> chainHead;      ///< Per-qubit first-unfinished index.
+    std::vector<DagNodeId> frontier; ///< Ready-node list (sorted by id).
+    std::vector<DagNodeId> worklist; ///< Depth-relaxation wave scratch.
+    std::vector<std::uint8_t> inWave; ///< Wave-membership dedup flags.
+    std::vector<int> bucketPos;      ///< Node position in its bucket.
+    std::vector<DagNodeId> pendingRetired; ///< Retirements pre-flush.
+    std::vector<int> dirtyQubits;    ///< Qubits whose chain head moved.
+    std::vector<std::vector<DagNodeId>> windowBuckets; ///< Per-depth sets.
+    std::vector<int> peelPreds;      ///< frontLayers scratch (-1 = clean).
+    std::vector<DagNodeId> peelTouched; ///< frontLayers reset list.
+};
+
+/**
+ * Read-only view of one qubit's dependency chain (CSR slice). Nodes
+ * appear in circuit order; the unfinished suffix starts at
+ * DependencyDag::qubitChainHead.
+ */
+struct QubitChainView
+{
+    const DagNodeId *data = nullptr;
+    int count = 0;
+
+    const DagNodeId *begin() const { return data; }
+    const DagNodeId *end() const { return data + count; }
+    int size() const { return count; }
+
+    DagNodeId
+    operator[](int i) const
+    {
+        MUSSTI_ASSERT(i >= 0 && i < count,
+                      "chain view index " << i << " outside " << count);
+        return data[i];
+    }
 };
 
 /**
@@ -108,10 +184,18 @@ class DependencyDag
     /**
      * Build from a circuit in O(g). `window_horizon` bounds the
      * incremental look-ahead window: depths and nextUse() values are
-     * clamped to it, and it doubles as the idle sentinel.
+     * clamped to it, and it doubles as the idle sentinel. `scratch`,
+     * when given, donates warm buffers for the window state (returned
+     * when the DAG is destroyed); output is identical either way.
      */
     explicit DependencyDag(const Circuit &circuit,
-                           int window_horizon = kDefaultWindowHorizon);
+                           int window_horizon = kDefaultWindowHorizon,
+                           DagScratch *scratch = nullptr);
+
+    ~DependencyDag();
+
+    DependencyDag(const DependencyDag &) = delete;
+    DependencyDag &operator=(const DependencyDag &) = delete;
 
     /** Total number of two-qubit nodes. */
     int size() const { return static_cast<int>(nodes_.size()); }
@@ -124,6 +208,18 @@ class DependencyDag
 
     /** Node access. */
     const DagNode &node(DagNodeId id) const { return nodes_[id]; }
+
+    /**
+     * Single-qubit gates costed just before this node executes. Stored
+     * flat across the DAG (one array, not one vector per node) so
+     * 1q-heavy circuits build without thousands of small allocations.
+     */
+    GateSpan
+    leading1q(DagNodeId id) const
+    {
+        const DagNode &n = nodes_[id];
+        return {lead1qGates_.data() + n.lead1qOffset, n.lead1qCount};
+    }
 
     /**
      * Current frontier in ascending circuitIndex order (the paper's
@@ -199,19 +295,66 @@ class DependencyDag
     }
 
     /**
+     * Turn on change-logging for nextUse so syncNextUse() can patch a
+     * caller's snapshot instead of re-copying the whole table. Off by
+     * default: consumers that never sync (validator, grid baselines)
+     * pay nothing and the log cannot grow unbounded.
+     */
+    void enableNextUseLog() { logNextUse_ = true; }
+
+    /**
+     * Bring `copy` up to date with nextUse(). With `full` (the first
+     * snapshot of a run) the whole table is copied; afterwards only the
+     * qubits whose value changed since the previous sync are patched —
+     * a routing step touches a handful of chain heads, not the whole
+     * qubit population. Requires enableNextUseLog(). The result is
+     * always exactly nextUse(); the log is an optimisation, not a
+     * source of truth.
+     */
+    void
+    syncNextUse(std::vector<int> &copy, bool full) const
+    {
+        MUSSTI_ASSERT(logNextUse_, "syncNextUse without enableNextUseLog");
+        flushWindow();
+        if (full || copy.size() != nextUse_.size()) {
+            copy = nextUse_;
+        } else {
+            for (int q : nextUseLog_)
+                copy[q] = nextUse_[q];
+        }
+        nextUseLog_.clear();
+    }
+
+    /**
      * All nodes touching qubit q, in circuit order. The unfinished ones
      * form the suffix starting at qubitChainHead(q), and their window
      * depths are non-decreasing along the chain (each gate depends on
      * the previous gate on the same qubit), so the nodes of q inside a
      * k-layer window are a prefix of that suffix.
      */
-    const std::vector<DagNodeId> &qubitChain(int q) const
+    QubitChainView
+    qubitChain(int q) const
     {
-        return qubitChain_[q];
+        return {chainNodes_.data() + chainOffsets_[q],
+                chainOffsets_[q + 1] - chainOffsets_[q]};
     }
 
     /** Index into qubitChain(q) of q's first unfinished node. */
     int qubitChainHead(int q) const { return chainHead_[q]; }
+
+    /**
+     * The first unfinished node on qubit q's chain, or -1 when the
+     * qubit has no work left. This is the only node of q that can sit
+     * on the frontier (later chain nodes depend on it), which makes it
+     * the pivot of the scheduler's relocation dirtying: moving q can
+     * only change the executability of this node.
+     */
+    DagNodeId
+    qubitChainHeadNode(int q) const
+    {
+        const int begin = chainOffsets_[q] + chainHead_[q];
+        return begin < chainOffsets_[q + 1] ? chainNodes_[begin] : -1;
+    }
 
     /**
      * Trailing single-qubit gates (after the last 2q gate on their qubit)
@@ -224,10 +367,13 @@ class DependencyDag
 
   private:
     std::vector<DagNode> nodes_;
+    std::vector<Gate> lead1qGates_; ///< Flat leading-1q store (see
+                                    ///< leading1q()).
     std::vector<DagNodeId> frontier_;
     std::vector<Gate> trailing1q_;
     int remaining_ = 0;
     int horizon_ = kDefaultWindowHorizon;
+    DagScratch *donor_ = nullptr; ///< Buffers return here on destruction.
 
     // ---- incremental window state ------------------------------------
     // Depths are a pure function of the retired set, so maintenance is
@@ -237,10 +383,16 @@ class DependencyDag
     mutable std::vector<int> depth_;   ///< Clamped remaining-graph layer.
     mutable std::vector<int> nextUse_; ///< Per-qubit chain-head depth
                                        ///< (or horizon).
-    std::vector<std::vector<DagNodeId>> qubitChain_; ///< Nodes touching q,
-                                                     ///< in circuit order.
+    mutable std::vector<int> nextUseLog_; ///< Qubits written since the
+                                       ///< last sync (may repeat).
+    bool logNextUse_ = false;          ///< Log writes for syncNextUse.
+    std::vector<int> chainOffsets_;    ///< CSR offsets (numQubits + 1).
+    std::vector<DagNodeId> chainNodes_; ///< CSR payload: nodes touching
+                                        ///< q, in circuit order.
     std::vector<int> chainHead_; ///< Index of q's first unfinished node.
     mutable std::vector<DagNodeId> worklist_; ///< Depth-update scratch.
+    mutable std::vector<std::uint8_t> inWave_; ///< Node queued in the
+                                 ///< current relaxation wave (dedup).
     mutable std::vector<std::vector<DagNodeId>> windowBuckets_;
                                  ///< Unfinished nodes per depth < horizon.
     mutable std::vector<int> bucketPos_; ///< Index in bucket, or -1.
@@ -269,6 +421,10 @@ class DependencyDag
 
     /** Insert a node into the bucket of depth d (d < horizon). */
     void bucketInsert(DagNodeId id, int d) const;
+
+    /** Move the donated buffers in/out of the scratch. */
+    void adoptScratch();
+    void returnScratch();
 };
 
 } // namespace mussti

@@ -1,5 +1,6 @@
 #include "sim/shuttle_emitter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "arch/target_device.h"
@@ -41,12 +42,18 @@ ShuttleEmitter::relocate(int qubit, int to_zone, double distance_um)
     if (distance_um < 0.0)
         distance_um = zoneDistanceUm(zones_, from_zone, to_zone);
 
-    // Walk the ion to its cheaper chain edge.
-    int swaps = 0;
+    // Walk the ion to its cheaper chain edge. The chain is scanned once
+    // for the starting index; each swap moves the ion exactly one slot
+    // toward the exit edge, so the position is tracked arithmetically
+    // instead of re-searching the chain per swap.
     const ChainEnd exit_end = placement_.cheaperEnd(qubit);
-    while (placement_.extractionSwaps(qubit) > 0) {
+    const int start_idx = placement_.chainIndex(qubit);
+    const int swaps = std::min(start_idx,
+                               placement_.sizeOf(from_zone) - 1 -
+                                   start_idx);
+    int idx = start_idx;
+    for (int step = 0; step < swaps; ++step) {
         const auto &ch = placement_.chain(from_zone);
-        const int idx = placement_.chainIndex(qubit);
         const int neighbor = exit_end == ChainEnd::Front
             ? ch[idx - 1] : ch[idx + 1];
         ScheduledOp op;
@@ -58,8 +65,9 @@ ShuttleEmitter::relocate(int qubit, int to_zone, double distance_um)
         op.durationUs = params_.ionSwapTimeUs;
         op.nbar = params_.ionSwapNbar;
         schedule_.push(op);
-        placement_.swapToward(qubit, exit_end);
-        ++swaps;
+        placement_.swapAt(from_zone, idx,
+                          exit_end == ChainEnd::Front ? idx - 1 : idx + 1);
+        idx += exit_end == ChainEnd::Front ? -1 : 1;
     }
 
     ScheduledOp split;

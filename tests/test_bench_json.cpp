@@ -30,8 +30,10 @@ sampleRecords()
     a.speedupVsBaseline = 12.5;
     a.passTrace = {{"lower-swaps", 0.01}, {"mussti-schedule", 1.25},
                    {"sabre-two-fold", 2.5}};
+    a.routingSteps = 4321;
+    a.steadyAllocs = 0;
 
-    BenchRecord b; // no baseline, no trace
+    BenchRecord b; // no baseline, no trace, no scheduler counters
     b.suite = "fig10_compile_time";
     b.name = "bv";
     b.qubits = 160;
@@ -53,6 +55,8 @@ expectSameRecords(const std::vector<BenchRecord> &x,
         EXPECT_NEAR(x[i].wallMs, y[i].wallMs, 1e-9);
         EXPECT_NEAR(x[i].speedupVsBaseline, y[i].speedupVsBaseline,
                     1e-9);
+        EXPECT_EQ(x[i].routingSteps, y[i].routingSteps);
+        EXPECT_EQ(x[i].steadyAllocs, y[i].steadyAllocs);
         ASSERT_EQ(x[i].passTrace.size(), y[i].passTrace.size());
         for (std::size_t j = 0; j < x[i].passTrace.size(); ++j) {
             EXPECT_EQ(x[i].passTrace[j].pass, y[i].passTrace[j].pass);

@@ -93,7 +93,7 @@ TEST(Dag, LeadingOneQubitGatesAttach)
     qc.h(1);
     DependencyDag dag(qc);
     ASSERT_EQ(dag.size(), 1);
-    EXPECT_EQ(dag.node(0).leading1q.size(), 2u);
+    EXPECT_EQ(dag.leading1q(0).size(), 2);
     EXPECT_EQ(dag.trailing1q().size(), 1u);
 }
 
@@ -289,8 +289,10 @@ TEST(Dag, QubitChainsArePerQubitAndOrdered)
     qc.cx(2, 3);
     qc.cx(0, 1);
     DependencyDag dag(qc);
-    ASSERT_EQ(dag.qubitChain(1).size(), 3u);
-    EXPECT_EQ(dag.qubitChain(1), (std::vector<DagNodeId>{0, 1, 3}));
+    ASSERT_EQ(dag.qubitChain(1).size(), 3);
+    const QubitChainView chain = dag.qubitChain(1);
+    EXPECT_EQ(std::vector<DagNodeId>(chain.begin(), chain.end()),
+              (std::vector<DagNodeId>{0, 1, 3}));
     EXPECT_EQ(dag.qubitChainHead(1), 0);
     dag.complete(0);
     EXPECT_EQ(dag.qubitChainHead(1), 1);

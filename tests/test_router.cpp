@@ -20,7 +20,7 @@ TEST(Lru, VictimIsOldest)
     lru.touch(0);
     lru.touch(1);
     lru.touch(2);
-    std::deque<int> zone{0, 1, 2};
+    const ZoneChain zone{0, 1, 2};
     EXPECT_EQ(lru.victim(zone, {}), 0);
     lru.touch(0);
     EXPECT_EQ(lru.victim(zone, {}), 1);
@@ -30,14 +30,14 @@ TEST(Lru, NeverUsedBeatsUsed)
 {
     LruTracker lru(4);
     lru.touch(0);
-    std::deque<int> zone{0, 3};
+    const ZoneChain zone{0, 3};
     EXPECT_EQ(lru.victim(zone, {}), 3);
 }
 
 TEST(Lru, ExclusionRespected)
 {
     LruTracker lru(3);
-    std::deque<int> zone{0, 1};
+    const ZoneChain zone{0, 1};
     EXPECT_EQ(lru.victim(zone, {0}), 1);
     EXPECT_EQ(lru.victim(zone, {0, 1}), -1);
 }
@@ -49,7 +49,7 @@ TEST(Lru, AllCandidatesExcludedReturnsSentinel)
     LruTracker lru(4);
     lru.touch(0);
     lru.touch(1);
-    std::deque<int> zone{0, 1, 2};
+    const ZoneChain zone{0, 1, 2};
     EXPECT_EQ(lru.victim(zone, {0, 1, 2}), -1);
     EXPECT_EQ(lru.victim(zone, {2, 1, 0}), -1); // order irrelevant
     EXPECT_EQ(lru.victim({}, {}), -1);          // empty chain

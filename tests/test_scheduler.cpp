@@ -249,6 +249,52 @@ TEST(Scheduler, BitIdenticalToPreIncrementalWindowImplementation)
     }
 }
 
+/**
+ * The incrementally maintained executable-ready worklist must drain in
+ * exactly the order of the historical full-frontier re-scan: compile
+ * every family under both drains and compare full fingerprints. This is
+ * the cross-check oracle behind MusstiConfig::incrementalFrontier —
+ * relocation dirtying (shuttles, evictions, logical SWAP exchanges) and
+ * mid-round requeue ordering all fold into the fingerprint.
+ */
+TEST(Scheduler, FrontierWorklistMatchesFullRescan)
+{
+    const char *families[] = {"adder", "bv", "ghz", "qaoa", "qft",
+                              "sqrt", "ran", "sc"};
+    const ReplacementPolicy policies[] = {
+        ReplacementPolicy::AnticipatoryLru, ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo, ReplacementPolicy::Random};
+    for (const char *family : families) {
+        for (int qubits : {48, 96}) {
+            const Circuit qc = makeBenchmark(family, qubits);
+            MusstiConfig incremental;
+            MusstiConfig rescan;
+            rescan.incrementalFrontier = false;
+            const auto fast = MusstiCompiler(incremental).compile(qc);
+            const auto slow = MusstiCompiler(rescan).compile(qc);
+            EXPECT_EQ(scheduleFingerprint(fast),
+                      scheduleFingerprint(slow))
+                << family << "_n" << qubits
+                << ": worklist drain diverged from the full re-scan";
+        }
+    }
+    // The drains must also agree under every replacement policy — each
+    // policy takes a different victim, so relocation-dirtying patterns
+    // differ.
+    for (const ReplacementPolicy policy : policies) {
+        const Circuit qc = makeBenchmark("ran", 64);
+        MusstiConfig incremental;
+        incremental.replacement = policy;
+        MusstiConfig rescan = incremental;
+        rescan.incrementalFrontier = false;
+        EXPECT_EQ(scheduleFingerprint(
+                      MusstiCompiler(incremental).compile(qc)),
+                  scheduleFingerprint(MusstiCompiler(rescan).compile(qc)))
+            << "policy " << static_cast<int>(policy)
+            << ": worklist drain diverged from the full re-scan";
+    }
+}
+
 /** Every workload family at several sizes must produce valid schedules
  * under both mappings — the central correctness property sweep. */
 class SchedulerPropertyTest
