@@ -10,7 +10,6 @@
  *   capacity_explorer sqrt 117
  *   capacity_explorer --spec eml:hetero=2.1.2-2.1.1,cap=16 bv 64
  */
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -18,6 +17,7 @@
 #include <vector>
 
 #include "arch/device_registry.h"
+#include "common/string_util.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
 
@@ -67,8 +67,11 @@ main(int argc, char **argv)
     }
     if (!positional.empty())
         family = positional[0];
-    if (positional.size() > 1)
-        qubits = std::atoi(positional[1].c_str());
+    if (positional.size() > 1) {
+        qubits = parseIntArg(positional[1], "qubit count");
+        MUSSTI_REQUIRE(qubits > 0, "qubit count must be positive, got "
+                       << positional[1]);
+    }
 
     const Circuit circuit = makeBenchmark(family, qubits);
     std::cout << "Device sweep for " << circuit.name() << " ("

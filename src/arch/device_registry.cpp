@@ -1,5 +1,7 @@
 #include "arch/device_registry.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -74,16 +76,19 @@ parseEml(const std::vector<std::string> &tokens, const std::string &spec)
     parsed.family = DeviceFamily::Eml;
     bool hetero = false;
     bool uniform_zones = false;
+    std::vector<std::string> seen;
     for (const std::string &token : tokens) {
         if (trim(token).empty())
             continue;
-        const auto [key, value] = keyValue(token, spec);
+        const auto [raw_key, value] = keyValue(token, spec);
+        const std::string key = canonicalSpecKey(raw_key);
+        noteSpecKey(seen, key, spec);
         if (key == "cap") {
             parsed.eml.trapCapacity = specInt(value, key, spec);
         } else if (key == "storage") {
             parsed.eml.numStorageZones = specInt(value, key, spec);
             uniform_zones = true;
-        } else if (key == "op" || key == "operation") {
+        } else if (key == "op") {
             parsed.eml.numOperationZones = specInt(value, key, spec);
             uniform_zones = true;
         } else if (key == "optical") {
@@ -126,10 +131,12 @@ parseGrid(const std::vector<std::string> &tokens, const std::string &spec)
     parsed.grid.width = specInt(dims[0], "geometry", spec);
     parsed.grid.height = specInt(dims[1], "geometry", spec);
 
+    std::vector<std::string> seen;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
         if (trim(tokens[i]).empty())
             continue;
         const auto [key, value] = keyValue(tokens[i], spec);
+        noteSpecKey(seen, key, spec);
         if (key == "cap") {
             parsed.grid.trapCapacity = specInt(value, key, spec);
         } else if (key == "pitch") {
@@ -142,6 +149,22 @@ parseGrid(const std::vector<std::string> &tokens, const std::string &spec)
 }
 
 } // namespace
+
+std::string
+canonicalSpecKey(const std::string &key)
+{
+    return key == "operation" ? "op" : key;
+}
+
+void
+noteSpecKey(std::vector<std::string> &seen, const std::string &key,
+            const std::string &spec_text)
+{
+    MUSSTI_REQUIRE(std::find(seen.begin(), seen.end(), key) == seen.end(),
+                   "duplicate key `" << key << "` in device spec: "
+                   << spec_text);
+    seen.push_back(key);
+}
 
 std::string
 DeviceSpec::canonical() const
@@ -206,6 +229,20 @@ std::shared_ptr<const TargetDevice>
 DeviceRegistry::create(const std::string &text, int num_qubits)
 {
     return create(parse(text), num_qubits);
+}
+
+std::shared_ptr<const TargetDevice>
+DeviceRegistry::tryCreate(const DeviceSpec &spec, int num_qubits,
+                          std::string *error)
+{
+    try {
+        const ScopedFatalSilence quiet;
+        return create(spec, num_qubits);
+    } catch (const std::runtime_error &err) {
+        if (error)
+            *error = err.what();
+        return nullptr;
+    }
 }
 
 std::shared_ptr<const EmlDevice>

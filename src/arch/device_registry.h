@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/eml_device.h"
 #include "arch/grid_device.h"
@@ -75,6 +76,17 @@ class DeviceRegistry
     static std::shared_ptr<const TargetDevice>
     create(const std::string &text, int num_qubits);
 
+    /**
+     * Feasibility-probing create: returns nullptr (instead of the
+     * fatal() throw) when the spec cannot host `num_qubits` — e.g. a
+     * tuner search candidate whose modules cannot hold the workload.
+     * The diagnostic lands in `error` when given; nothing is printed.
+     * Only the user-error path is absorbed; internal bugs still panic.
+     */
+    static std::shared_ptr<const TargetDevice>
+    tryCreate(const DeviceSpec &spec, int num_qubits,
+              std::string *error = nullptr);
+
     /** Typed creation for the family-specific call sites. */
     static std::shared_ptr<const EmlDevice>
     createEml(const EmlConfig &config, int num_qubits);
@@ -90,6 +102,22 @@ class DeviceRegistry
     static std::string heteroSpec(const std::vector<EmlModuleMix> &mixes,
                                   int trap_capacity);
 };
+
+/**
+ * Canonical form of a spec key (lower-cased by the caller): folds the
+ * op/operation synonym. Shared by the concrete parser and the search
+ * grammar (arch/spec_search.h) so synonym handling never drifts.
+ */
+std::string canonicalSpecKey(const std::string &key);
+
+/**
+ * Record a key occurrence; fatal() on a repeat. Without this, the last
+ * occurrence silently wins (e.g. `eml:cap=16,cap=4` compiled with a
+ * surprising cap-4 device). Callers pass canonicalSpecKey() output so
+ * the synonyms collide too.
+ */
+void noteSpecKey(std::vector<std::string> &seen, const std::string &key,
+                 const std::string &spec_text);
 
 } // namespace mussti
 

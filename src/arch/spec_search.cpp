@@ -1,0 +1,222 @@
+#include "arch/spec_search.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mussti {
+
+namespace {
+
+/** Strict int with a range-flavoured diagnostic. */
+int
+rangeInt(const std::string &value, const std::string &token,
+         const std::string &text)
+{
+    const auto parsed = parseIntStrict(trim(value));
+    MUSSTI_REQUIRE(parsed.has_value(),
+                   "malformed range bound `" << value << "` in token `"
+                   << token << "` of device search: " << text);
+    return *parsed;
+}
+
+/** Expand "lo..hi[:step=n]" into its value list. */
+std::vector<std::string>
+expandRange(const std::string &value, const std::string &token,
+            const std::string &text)
+{
+    const std::vector<std::string> parts = split(value, ':');
+    const std::string &range = parts.front();
+
+    int step = 1;
+    MUSSTI_REQUIRE(parts.size() <= 2,
+                   "malformed range `" << value << "` (at most one "
+                   ":step=<int> suffix) in device search: " << text);
+    if (parts.size() == 2) {
+        const std::string suffix = trim(parts[1]);
+        MUSSTI_REQUIRE(startsWith(suffix, "step="),
+                       "unknown range suffix `" << suffix
+                       << "` (expected step=<int>) in device search: "
+                       << text);
+        step = rangeInt(suffix.substr(5), token, text);
+        MUSSTI_REQUIRE(step >= 1, "range step must be >= 1, got "
+                       << step << " in device search: " << text);
+    }
+
+    const std::size_t dots = range.find("..");
+    MUSSTI_ASSERT(dots != std::string::npos, "expandRange without `..`");
+    const std::string lo_text = range.substr(0, dots);
+    const std::string hi_text = range.substr(dots + 2);
+    MUSSTI_REQUIRE(!trim(lo_text).empty() && !trim(hi_text).empty(),
+                   "range `" << range << "` needs both bounds "
+                   "(<lo>..<hi>) in device search: " << text);
+    const int lo = rangeInt(lo_text, token, text);
+    const int hi = rangeInt(hi_text, token, text);
+    MUSSTI_REQUIRE(lo <= hi, "empty range `" << range
+                   << "` (lo > hi) in device search: " << text);
+
+    // Bound the axis BEFORE materialising it: a runaway range must hit
+    // the candidate ceiling as a diagnostic, not as an allocation. The
+    // widened arithmetic also keeps `v += step` clear of signed
+    // overflow at INT_MAX bounds.
+    const long long count =
+        (static_cast<long long>(hi) - lo) / step + 1;
+    MUSSTI_REQUIRE(count <= static_cast<long long>(kMaxSearchCandidates),
+                   "range `" << range << "` expands to " << count
+                   << " values, above the " << kMaxSearchCandidates
+                   << " candidate ceiling; narrow the range or raise "
+                   "the step");
+
+    std::vector<std::string> values;
+    values.reserve(static_cast<std::size_t>(count));
+    for (long long v = lo; v <= hi; v += step)
+        values.push_back(std::to_string(v));
+    return values;
+}
+
+/** Split "hetero=a|b|c" alternatives; every alternative non-empty. */
+std::vector<std::string>
+expandHetero(const std::string &value, const std::string &text)
+{
+    std::vector<std::string> alternatives;
+    for (const std::string &alt : split(value, '|')) {
+        const std::string trimmed = trim(alt);
+        MUSSTI_REQUIRE(!trimmed.empty(),
+                       "empty hetero alternative in device search: "
+                       << text);
+        alternatives.push_back(trimmed);
+    }
+    return alternatives;
+}
+
+} // namespace
+
+std::size_t
+SpecSearchSpace::size() const
+{
+    std::size_t count = 1;
+    for (const SpecSearchAxis &axis : axes) {
+        count *= axis.values.size();
+        if (count > kMaxSearchCandidates)
+            return count; // saturate early: callers only test the ceiling
+    }
+    return count;
+}
+
+std::vector<DeviceSpec>
+SpecSearchSpace::enumerate() const
+{
+    MUSSTI_REQUIRE(size() <= kMaxSearchCandidates,
+                   "device search enumerates " << size()
+                   << " candidates, above the " << kMaxSearchCandidates
+                   << " ceiling; narrow the ranges or raise the step");
+
+    std::vector<DeviceSpec> specs;
+    specs.reserve(size());
+    std::vector<std::size_t> odometer(axes.size(), 0);
+    for (;;) {
+        std::ostringstream rendered;
+        rendered << family << ":";
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            if (a > 0)
+                rendered << ",";
+            if (!axes[a].key.empty())
+                rendered << axes[a].key << "=";
+            rendered << axes[a].values[odometer[a]];
+        }
+        specs.push_back(DeviceRegistry::parse(rendered.str()));
+
+        // Advance the odometer, last axis fastest.
+        std::size_t a = axes.size();
+        while (a > 0) {
+            --a;
+            if (++odometer[a] < axes[a].values.size())
+                break;
+            odometer[a] = 0;
+            if (a == 0)
+                return specs;
+        }
+        if (axes.empty())
+            return specs;
+    }
+}
+
+std::string
+SpecSearchSpace::describe() const
+{
+    std::size_t searched_axes = 0;
+    for (const SpecSearchAxis &axis : axes)
+        searched_axes += axis.values.size() > 1 ? 1 : 0;
+    std::ostringstream out;
+    out << family << " search, " << searched_axes << " searched axis(es), "
+        << size() << " candidate(s)";
+    return out.str();
+}
+
+SpecSearchSpace
+parseSpecSearch(const std::string &text)
+{
+    const std::size_t colon = text.find(':');
+    MUSSTI_REQUIRE(colon != std::string::npos,
+                   "device search needs a `family:` prefix (eml or "
+                   "grid), got: " << text);
+    SpecSearchSpace space;
+    space.family = toLower(trim(text.substr(0, colon)));
+    MUSSTI_REQUIRE(space.family == "eml" || space.family == "grid",
+                   "unknown device family `" << space.family
+                   << "` in device search: " << text);
+
+    const std::vector<std::string> tokens =
+        split(text.substr(colon + 1), ',');
+    std::vector<std::string> seen;
+    bool first_token = true;
+    for (const std::string &raw : tokens) {
+        const std::string token = trim(raw);
+        if (token.empty()) {
+            first_token = false;
+            continue;
+        }
+        const std::size_t eq = token.find('=');
+
+        // The grid geometry token stays fixed (ranging <W>x<H> would
+        // need a 2-D grammar; sweep cap/pitch instead).
+        if (space.family == "grid" && first_token) {
+            MUSSTI_REQUIRE(eq == std::string::npos,
+                           "grid search needs a leading <W>x<H> geometry "
+                           "token: " << text);
+            space.axes.push_back({"", {token}});
+            first_token = false;
+            continue;
+        }
+        first_token = false;
+
+        MUSSTI_REQUIRE(eq != std::string::npos && eq > 0,
+                       "malformed token `" << token
+                       << "` (expected key=value) in device search: "
+                       << text);
+        const std::string key =
+            canonicalSpecKey(toLower(trim(token.substr(0, eq))));
+        const std::string value = trim(token.substr(eq + 1));
+        noteSpecKey(seen, key, text);
+
+        if (key == "hetero")
+            space.axes.push_back({key, expandHetero(value, text)});
+        else if (value.find("..") != std::string::npos)
+            space.axes.push_back({key, expandRange(value, token, text)});
+        else
+            space.axes.push_back({key, {value}});
+    }
+
+    MUSSTI_REQUIRE(space.size() <= kMaxSearchCandidates,
+                   "device search enumerates " << space.size()
+                   << " candidates, above the " << kMaxSearchCandidates
+                   << " ceiling; narrow the ranges or raise the step");
+    // Validate eagerly — a search whose keys the registry rejects
+    // should fail at parse, not at sweep time — and keep the result,
+    // so consumers never pay for a second enumeration.
+    space.candidates = space.enumerate();
+    return space;
+}
+
+} // namespace mussti

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Search spaces over DeviceRegistry specs: the registry grammar
+ * extended with value ranges, so a single compact string names a whole
+ * family of candidate devices for the tuner to sweep.
+ *
+ * Grammar (a superset of the concrete spec grammar — see
+ * device_registry.h and arch/README.md):
+ *
+ *   search      := family ':' token [',' token ...]
+ *   token       := <key> '=' range | <key> '=' <value>
+ *                | 'hetero=' mixlist ['|' mixlist ...]
+ *                | <W>x<H>                       (grid geometry, fixed)
+ *   range       := <lo> '..' <hi> [':step=' <n>]   (ints, step >= 1)
+ *
+ * e.g. `eml:modules=2..8,cap=8..32:step=8` enumerates 7 x 4 = 28
+ * candidates, and `eml:hetero=2.1.1-2.1.1|2.1.2-2.1.1,cap=12..16:step=4`
+ * crosses two heterogeneous mixes with two capacities. Keys without a
+ * range pass through fixed. Malformed ranges (missing bound, lo > hi,
+ * bad step) fatal() with a diagnostic naming the offending token, like
+ * the registry's own parse. Every enumerated candidate is validated by
+ * DeviceRegistry::parse, so the search grammar can never construct a
+ * spec the registry would reject.
+ */
+#ifndef MUSSTI_ARCH_SPEC_SEARCH_H
+#define MUSSTI_ARCH_SPEC_SEARCH_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/device_registry.h"
+
+namespace mussti {
+
+/**
+ * One searchable key of a spec search space: the candidate value texts
+ * in enumeration order. A fixed token is an axis with one value; the
+ * grid geometry token renders with an empty key.
+ */
+struct SpecSearchAxis
+{
+    std::string key;
+    std::vector<std::string> values;
+};
+
+/** A parsed search space over device specs. */
+struct SpecSearchSpace
+{
+    std::string family;              ///< "eml" or "grid".
+    std::vector<SpecSearchAxis> axes; ///< In token order of the input.
+
+    /**
+     * The enumerated candidates, filled by parseSpecSearch() (its
+     * validation pass IS the enumeration, so consumers — the tuner —
+     * reuse it instead of re-running enumerate()).
+     */
+    std::vector<DeviceSpec> candidates;
+
+    /** Number of candidate specs (product of axis sizes; >= 1). */
+    std::size_t size() const;
+
+    /**
+     * Every candidate DeviceSpec, in deterministic odometer order: the
+     * last axis varies fastest, values in listed (ascending) order.
+     * Each candidate round-trips through DeviceRegistry::parse.
+     */
+    std::vector<DeviceSpec> enumerate() const;
+
+    /** One-line human summary ("eml search, 3 axes, 28 candidates"). */
+    std::string describe() const;
+};
+
+/** Candidate-count ceiling enumerate() enforces (runaway-range guard). */
+inline constexpr std::size_t kMaxSearchCandidates = 4096;
+
+/**
+ * Parse the search grammar; fatal() names the offending token on
+ * malformed input (unknown range suffix, missing bound, lo > hi,
+ * step < 1, duplicate keys).
+ */
+SpecSearchSpace parseSpecSearch(const std::string &text);
+
+} // namespace mussti
+
+#endif // MUSSTI_ARCH_SPEC_SEARCH_H

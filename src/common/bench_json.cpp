@@ -6,7 +6,6 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
-#include <stdexcept>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -46,6 +45,35 @@ number(double value)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     return buf;
+}
+
+/** Value of one hex digit, or -1 for any other character. */
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Append a BMP code point as UTF-8 (1-3 bytes). */
+void
+appendUtf8(std::string &out, int code)
+{
+    if (code < 0x80) {
+        out += static_cast<char>(code);
+    } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+    }
 }
 
 /**
@@ -109,18 +137,21 @@ class JsonParser
                     MUSSTI_REQUIRE(pos_ + 4 <= text_.size(),
                                    "truncated \\u escape");
                     const std::string hex = text_.substr(pos_, 4);
+                    // Explicit digit walk: stoi's prefix semantics would
+                    // accept whitespace/sign forms like `\u 041`/`\u+041`.
                     int code = 0;
-                    try {
-                        std::size_t consumed = 0;
-                        code = std::stoi(hex, &consumed, 16);
-                        MUSSTI_REQUIRE(consumed == hex.size(),
+                    for (const char h : hex) {
+                        const int digit = hexDigit(h);
+                        MUSSTI_REQUIRE(digit >= 0,
                                        "malformed \\u escape `" << hex
-                                       << "`");
-                    } catch (const std::invalid_argument &) {
-                        fatal("malformed \\u escape `" + hex + "`");
+                                       << "` (want 4 hex digits)");
+                        code = code * 16 + digit;
                     }
+                    MUSSTI_REQUIRE(code < 0xD800 || code > 0xDFFF,
+                                   "unsupported surrogate \\u escape `"
+                                   << hex << "` in bench JSON");
                     pos_ += 4;
-                    out += static_cast<char>(code); // ASCII payloads only
+                    appendUtf8(out, code);
                     break;
                   }
                   default:
@@ -258,6 +289,12 @@ parseRecord(JsonParser &p)
             record.routingSteps = static_cast<long long>(p.parseNumber());
         } else if (key == "steady_allocs") {
             record.steadyAllocs = static_cast<long long>(p.parseNumber());
+        } else if (key == "shuttles") {
+            record.shuttles = static_cast<long long>(p.parseNumber());
+        } else if (key == "makespan_us") {
+            record.makespanUs = p.parseNumber();
+        } else if (key == "log10_fidelity") {
+            record.log10Fidelity = p.parseNumber();
         } else if (key == "pass_trace") {
             p.expect('[');
             if (!p.consumeIf(']')) {
@@ -304,6 +341,11 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
                               ? static_cast<double>(r.steadyAllocs) /
                                     static_cast<double>(r.routingSteps)
                               : 0.0);
+        }
+        if (r.shuttles >= 0) {
+            out << ", \"shuttles\": " << r.shuttles
+                << ", \"makespan_us\": " << number(r.makespanUs)
+                << ", \"log10_fidelity\": " << number(r.log10Fidelity);
         }
         if (!r.passTrace.empty()) {
             out << ", \"pass_trace\": [";

@@ -67,6 +67,16 @@ struct BenchRecord
      */
     long long routingSteps = -1;
     long long steadyAllocs = -1;
+
+    /**
+     * Device-tuner sweep scoring (device_tuner suites only; absent =
+     * `shuttles` < 0): the candidate device's ScoreCard for one
+     * workload, so a sweep trajectory file carries everything the
+     * Pareto front was computed from.
+     */
+    long long shuttles = -1;
+    double makespanUs = 0.0;
+    double log10Fidelity = 0.0;
 };
 
 /** Render records as a mussti-bench-v1 JSON document. */

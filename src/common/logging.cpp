@@ -5,6 +5,17 @@
 #include <stdexcept>
 
 namespace mussti {
+
+namespace {
+
+/** Depth of active ScopedFatalSilence guards on this thread. */
+thread_local int fatal_silence_depth = 0;
+
+} // namespace
+
+ScopedFatalSilence::ScopedFatalSilence() { ++fatal_silence_depth; }
+ScopedFatalSilence::~ScopedFatalSilence() { --fatal_silence_depth; }
+
 namespace detail {
 
 namespace {
@@ -26,7 +37,9 @@ levelName(LogLevel level)
 void
 die(LogLevel level, const std::string &where, const std::string &message)
 {
-    std::cerr << levelName(level) << ": " << where << message << std::endl;
+    if (level == LogLevel::Panic || fatal_silence_depth == 0)
+        std::cerr << levelName(level) << ": " << where << message
+                  << std::endl;
     // Throwing (rather than abort/exit) keeps death-path behaviour testable
     // from gtest; the what() string carries the diagnostic.
     if (level == LogLevel::Panic)

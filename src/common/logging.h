@@ -64,6 +64,24 @@ inform(const std::string &message)
     detail::report(LogLevel::Inform, message);
 }
 
+/**
+ * RAII guard silencing the stderr echo of fatal() on this thread (the
+ * exception still propagates, with the diagnostic in what()). For
+ * probes that expect and handle the user-error path — e.g. the device
+ * tuner testing candidate feasibility — where hundreds of handled
+ * failures would otherwise spam the console. panic() is never silenced:
+ * an internal bug must always be heard. Nestable.
+ */
+class ScopedFatalSilence
+{
+  public:
+    ScopedFatalSilence();
+    ~ScopedFatalSilence();
+
+    ScopedFatalSilence(const ScopedFatalSilence &) = delete;
+    ScopedFatalSilence &operator=(const ScopedFatalSilence &) = delete;
+};
+
 } // namespace mussti
 
 /**

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/logging.h"
+
 namespace mussti {
 
 std::optional<double>
@@ -41,6 +43,16 @@ parseIntStrict(const std::string &text)
     } catch (const std::out_of_range &) {
         return std::nullopt;
     }
+}
+
+int
+parseIntArg(const std::string &text, const std::string &what)
+{
+    const std::optional<int> parsed = parseIntStrict(trim(text));
+    MUSSTI_REQUIRE(parsed.has_value(),
+                   "unparsable " << what << " `" << text
+                   << "` (want a base-10 integer)");
+    return *parsed;
 }
 
 std::string

@@ -32,6 +32,14 @@ std::optional<double> parseDoubleStrict(const std::string &text);
 /** Strict full-string int parse; nullopt on garbage or overflow. */
 std::optional<int> parseIntStrict(const std::string &text);
 
+/**
+ * Strict int parse for command-line tokens: fatal() with a diagnostic
+ * naming the offending token and its role (`what`) instead of atoi's
+ * silent 0 — the CLI hardening convention (e.g. a positional qubit
+ * count of "banana" must not quietly run with 0 qubits).
+ */
+int parseIntArg(const std::string &text, const std::string &what);
+
 /** Lower-case an ASCII string. */
 std::string toLower(const std::string &text);
 

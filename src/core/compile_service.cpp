@@ -47,6 +47,17 @@ CompileService::~CompileService()
         worker.join();
 }
 
+std::vector<CompileResult>
+CompileService::compileSweep(std::vector<CompileRequest> requests,
+                             std::uint64_t base_seed)
+{
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!requests[i].seed.has_value())
+            requests[i].seed = deriveJobSeed(base_seed, i);
+    }
+    return compileAll(std::move(requests));
+}
+
 std::uint64_t
 CompileService::deriveJobSeed(std::uint64_t base_seed,
                               std::size_t job_index)

@@ -89,6 +89,20 @@ class CompileService
     compileAll(std::vector<CompileRequest> requests);
 
     /**
+     * Batch sweep: compileAll with deterministic per-job seeding. Every
+     * request without an explicit seed gets deriveJobSeed(base_seed,
+     * index) — index being the request's position in the batch — so a
+     * sweep's results are a pure function of (requests, base_seed),
+     * independent of the pool's thread count and completion order.
+     * This is the fleet-sweep primitive the device tuner fans its
+     * (spec x workload) grid through; results come back in submission
+     * order.
+     */
+    std::vector<CompileResult>
+    compileSweep(std::vector<CompileRequest> requests,
+                 std::uint64_t base_seed);
+
+    /**
      * Deterministic per-job seed derivation (SplitMix64 over the base
      * seed and job index) — independent of thread count and completion
      * order, so seeded batches replay exactly.

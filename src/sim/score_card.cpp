@@ -1,0 +1,37 @@
+#include "sim/score_card.h"
+
+#include "core/pipeline.h"
+
+namespace mussti {
+
+void
+ScoreCard::accumulate(const ScoreCard &other)
+{
+    log10Fidelity += other.log10Fidelity;
+    makespanUs += other.makespanUs;
+    shuttles += other.shuttles;
+    compileTimeSec += other.compileTimeSec;
+}
+
+bool
+ScoreCard::dominates(const ScoreCard &other) const
+{
+    if (log10Fidelity < other.log10Fidelity ||
+        makespanUs > other.makespanUs || shuttles > other.shuttles)
+        return false;
+    return log10Fidelity > other.log10Fidelity ||
+           makespanUs < other.makespanUs || shuttles < other.shuttles;
+}
+
+ScoreCard
+scoreCardOf(const CompileResult &result)
+{
+    ScoreCard card;
+    card.log10Fidelity = result.metrics.log10Fidelity();
+    card.makespanUs = result.metrics.executionTimeUs;
+    card.shuttles = result.metrics.shuttleCount;
+    card.compileTimeSec = result.compileTimeSec;
+    return card;
+}
+
+} // namespace mussti

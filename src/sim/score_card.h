@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compact multi-objective summary of one compilation — the currency of
+ * the device tuner. A sweep over hundreds of (spec x workload) jobs
+ * keeps one ScoreCard per job instead of full CompileResults, and the
+ * Pareto front is computed over exactly these three objectives:
+ *
+ *   log10Fidelity  (maximise)  — the paper's figure-of-merit axis,
+ *   makespanUs     (minimise)  — schedule execution time,
+ *   shuttles       (minimise)  — physical shuttle primitives.
+ *
+ * Wall-clock compile time rides along for reporting but is never
+ * scored: tuning decisions must be deterministic across machines and
+ * thread counts.
+ */
+#ifndef MUSSTI_SIM_SCORE_CARD_H
+#define MUSSTI_SIM_SCORE_CARD_H
+
+namespace mussti {
+
+struct CompileResult; // core/pipeline.h
+
+/** The tuner's scoring view of one (or an aggregate of) compilation. */
+struct ScoreCard
+{
+    double log10Fidelity = 0.0; ///< Higher (closer to 0) is better.
+    double makespanUs = 0.0;    ///< Lower is better.
+    long long shuttles = 0;     ///< Lower is better.
+    double compileTimeSec = 0.0; ///< Informational only; never scored.
+
+    /** Element-wise accumulation (aggregate over a workload set). */
+    void accumulate(const ScoreCard &other);
+
+    /**
+     * Pareto dominance over (log10Fidelity, makespanUs, shuttles): at
+     * least as good on every objective, strictly better on one.
+     */
+    bool dominates(const ScoreCard &other) const;
+};
+
+/** Extract the ScoreCard of one compilation. */
+ScoreCard scoreCardOf(const CompileResult &result);
+
+} // namespace mussti
+
+#endif // MUSSTI_SIM_SCORE_CARD_H

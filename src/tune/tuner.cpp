@@ -1,0 +1,224 @@
+#include "tune/tuner.h"
+
+#include <sstream>
+#include <utility>
+
+#include "arch/device_registry.h"
+#include "baselines/backend_factory.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/compiler.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+
+namespace {
+
+/** The backend one candidate spec compiles with. */
+std::shared_ptr<const ICompilerBackend>
+backendFor(const DeviceSpec &spec, const TunerConfig &config)
+{
+    if (spec.family == DeviceFamily::Eml) {
+        MusstiConfig mussti;
+        mussti.device = spec.eml;
+        return makeMusstiBackend(mussti);
+    }
+    return makeGridBackend(config.gridBackend, spec.grid);
+}
+
+/**
+ * The deterministic recommendation among the Pareto front: best total
+ * log-fidelity, then lower makespan, then fewer shuttles, then the
+ * lexicographically smallest canonical spec. Only scored objectives
+ * and the spec text participate — never wall-clock — so the pick is
+ * identical across machines and thread counts.
+ */
+bool
+recommendOver(const TuneCandidate &challenger, const TuneCandidate &best)
+{
+    const ScoreCard &c = challenger.total;
+    const ScoreCard &b = best.total;
+    if (c.log10Fidelity != b.log10Fidelity)
+        return c.log10Fidelity > b.log10Fidelity;
+    if (c.makespanUs != b.makespanUs)
+        return c.makespanUs < b.makespanUs;
+    if (c.shuttles != b.shuttles)
+        return c.shuttles < b.shuttles;
+    return challenger.spec.canonical() < best.spec.canonical();
+}
+
+} // namespace
+
+std::string
+TuneWorkload::label() const
+{
+    std::ostringstream out;
+    out << family << "_n" << qubits;
+    return out.str();
+}
+
+TuneWorkload
+parseTuneWorkload(const std::string &text)
+{
+    const std::size_t colon = text.find(':');
+    MUSSTI_REQUIRE(colon != std::string::npos && colon > 0,
+                   "malformed workload `" << text
+                   << "` (expected family:qubits, e.g. qaoa:96)");
+    TuneWorkload workload;
+    workload.family = toLower(trim(text.substr(0, colon)));
+    workload.qubits = parseIntArg(text.substr(colon + 1),
+                                  "workload qubit count");
+    MUSSTI_REQUIRE(workload.qubits > 0,
+                   "workload qubit count must be positive in `" << text
+                   << "`");
+    return workload;
+}
+
+const TuneCandidate &
+TuneOutcome::recommendedCandidate() const
+{
+    MUSSTI_ASSERT(recommended >= 0 &&
+                  static_cast<std::size_t>(recommended) <
+                      candidates.size(),
+                  "no recommended candidate in this TuneOutcome");
+    return candidates[static_cast<std::size_t>(recommended)];
+}
+
+TuneOutcome
+tuneDeviceSpec(const TunerConfig &config)
+{
+    return tuneDeviceSpec(config, parseSpecSearch(config.search));
+}
+
+TuneOutcome
+tuneDeviceSpec(const TunerConfig &config, CompileService &service)
+{
+    return tuneDeviceSpec(config, parseSpecSearch(config.search),
+                          service);
+}
+
+TuneOutcome
+tuneDeviceSpec(const TunerConfig &config, const SpecSearchSpace &space)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = config.numThreads;
+    service_config.cacheCapacity = config.cacheCapacity;
+    CompileService service(service_config);
+    return tuneDeviceSpec(config, space, service);
+}
+
+TuneOutcome
+tuneDeviceSpec(const TunerConfig &config, const SpecSearchSpace &space,
+               CompileService &service)
+{
+    MUSSTI_REQUIRE(!config.workloads.empty(),
+                   "tuner needs at least one workload (family:qubits)");
+    for (const TuneWorkload &workload : config.workloads)
+        MUSSTI_REQUIRE(workload.qubits > 0,
+                       "workload " << workload.family
+                       << " needs a positive qubit count");
+
+    // parseSpecSearch fills `candidates`; a hand-built space falls
+    // back to enumerating here.
+    const std::vector<DeviceSpec> fallback =
+        space.candidates.empty() ? space.enumerate()
+                                 : std::vector<DeviceSpec>{};
+    const std::vector<DeviceSpec> &enumerated =
+        space.candidates.empty() ? fallback : space.candidates;
+
+    TuneOutcome outcome;
+    for (const DeviceSpec &spec : enumerated) {
+        TuneCandidate candidate;
+        candidate.spec = spec;
+        outcome.candidates.push_back(std::move(candidate));
+    }
+
+    // One circuit build per workload. CompileRequest carries the
+    // circuit BY VALUE, so each feasible (candidate x workload) job
+    // below copies it — acceptable at the 4096-candidate ceiling, but
+    // a cost to know about before raising that ceiling.
+    std::vector<Circuit> circuits;
+    circuits.reserve(config.workloads.size());
+    for (const TuneWorkload &workload : config.workloads)
+        circuits.push_back(makeBenchmark(workload.family,
+                                         workload.qubits));
+
+    // Feasibility probe: a candidate must host every workload. The
+    // probe is quiet (tryCreate) — an out-of-range candidate is an
+    // expected part of a sweep, not console noise — and deterministic,
+    // so the feasible set is identical on every run.
+    std::vector<std::size_t> feasible;
+    for (std::size_t i = 0; i < outcome.candidates.size(); ++i) {
+        TuneCandidate &candidate = outcome.candidates[i];
+        candidate.feasible = true;
+        for (const Circuit &circuit : circuits) {
+            std::string reason;
+            if (!DeviceRegistry::tryCreate(candidate.spec,
+                                           circuit.numQubits(),
+                                           &reason)) {
+                candidate.feasible = false;
+                candidate.infeasibleReason = reason;
+                break;
+            }
+        }
+        if (candidate.feasible)
+            feasible.push_back(i);
+    }
+    MUSSTI_REQUIRE(!feasible.empty(),
+                   "every candidate of device search `" << config.search
+                   << "` is infeasible for the workload set; e.g. "
+                   << outcome.candidates.front().spec.canonical() << ": "
+                   << outcome.candidates.front().infeasibleReason);
+
+    // One sharded batch over the whole (feasible spec x workload) grid.
+    // Seeds derive from the flat job index, so the sweep replays
+    // identically at any thread count.
+    std::vector<CompileRequest> requests;
+    requests.reserve(feasible.size() * circuits.size());
+    for (const std::size_t i : feasible) {
+        const auto backend = backendFor(outcome.candidates[i].spec,
+                                        config);
+        for (const Circuit &circuit : circuits)
+            requests.push_back({backend, circuit, {}});
+    }
+    const std::vector<CompileResult> results =
+        service.compileSweep(std::move(requests), config.baseSeed);
+
+    std::size_t next = 0;
+    for (const std::size_t i : feasible) {
+        TuneCandidate &candidate = outcome.candidates[i];
+        for (std::size_t w = 0; w < circuits.size(); ++w) {
+            const ScoreCard card = scoreCardOf(results[next++]);
+            candidate.perWorkload.push_back(card);
+            candidate.total.accumulate(card);
+        }
+    }
+
+    // Pareto front over the aggregated scores: a candidate survives
+    // unless some feasible candidate dominates it.
+    for (const std::size_t i : feasible) {
+        bool dominated = false;
+        for (const std::size_t j : feasible) {
+            if (i != j && outcome.candidates[j].total.dominates(
+                              outcome.candidates[i].total)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            outcome.candidates[i].onParetoFront = true;
+            outcome.paretoFront.push_back(i);
+        }
+    }
+
+    for (const std::size_t i : outcome.paretoFront) {
+        if (outcome.recommended < 0 ||
+            recommendOver(outcome.candidates[i],
+                          outcome.candidates[static_cast<std::size_t>(
+                              outcome.recommended)]))
+            outcome.recommended = static_cast<int>(i);
+    }
+    return outcome;
+}
+
+} // namespace mussti

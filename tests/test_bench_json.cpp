@@ -39,7 +39,17 @@ sampleRecords()
     b.qubits = 160;
     b.repeats = 1;
     b.wallMs = 0.25;
-    return {a, b};
+
+    BenchRecord c; // a device-tuner sweep row with score fields
+    c.suite = "device_tuner/qaoa_n96";
+    c.name = "eml:cap=16,storage=2,op=1,optical=1,modules=3,maxq=32";
+    c.qubits = 96;
+    c.repeats = 1;
+    c.wallMs = 0.75;
+    c.shuttles = 132;
+    c.makespanUs = 86780.0;
+    c.log10Fidelity = -9.875;
+    return {a, b, c};
 }
 
 void
@@ -57,6 +67,9 @@ expectSameRecords(const std::vector<BenchRecord> &x,
                     1e-9);
         EXPECT_EQ(x[i].routingSteps, y[i].routingSteps);
         EXPECT_EQ(x[i].steadyAllocs, y[i].steadyAllocs);
+        EXPECT_EQ(x[i].shuttles, y[i].shuttles);
+        EXPECT_NEAR(x[i].makespanUs, y[i].makespanUs, 1e-9);
+        EXPECT_NEAR(x[i].log10Fidelity, y[i].log10Fidelity, 1e-9);
         ASSERT_EQ(x[i].passTrace.size(), y[i].passTrace.size());
         for (std::size_t j = 0; j < x[i].passTrace.size(); ++j) {
             EXPECT_EQ(x[i].passTrace[j].pass, y[i].passTrace[j].pass);
@@ -135,6 +148,37 @@ TEST(BenchJson, ToleratesUnknownKeysIncludingLiterals)
     ASSERT_EQ(records.size(), 1u);
     EXPECT_EQ(records[0].suite, "s");
     EXPECT_NEAR(records[0].wallMs, 1.5, 1e-12);
+}
+
+TEST(BenchJson, UnicodeEscapesDecodeToUtf8)
+{
+    // ISSUE-5 regression: `\u` code points above 0x7F used to be
+    // truncated by a char cast into a mangled byte. They must decode
+    // to proper UTF-8 now (1-3 bytes across the BMP ranges).
+    std::string context;
+    (void)parseBenchResults(
+        "{\"schema\": \"mussti-bench-v1\", \"context\": "
+        "\"\\u0041\\u00e9\\u20ac\", \"results\": []}",
+        &context);
+    EXPECT_EQ(context, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(BenchJson, MalformedUnicodeEscapesAreRejected)
+{
+    const auto doc = [](const std::string &escape) {
+        return "{\"schema\": \"mussti-bench-v1\", \"context\": \"" +
+               escape + "\", \"results\": []}";
+    };
+    // Non-hex characters anywhere in the 4 digits.
+    EXPECT_THROW(parseBenchResults(doc("\\u12g4")), std::runtime_error);
+    // stoi's prefix semantics used to accept whitespace and sign forms.
+    EXPECT_THROW(parseBenchResults(doc("\\u 041")), std::runtime_error);
+    EXPECT_THROW(parseBenchResults(doc("\\u+041")), std::runtime_error);
+    EXPECT_THROW(parseBenchResults(doc("\\u-041")), std::runtime_error);
+    // Unpaired surrogate halves are not characters.
+    EXPECT_THROW(parseBenchResults(doc("\\ud800")), std::runtime_error);
+    // Truncated escape at end of input.
+    EXPECT_THROW(parseBenchResults(doc("\\u00")), std::runtime_error);
 }
 
 TEST(BenchJson, SpecialCharactersInContextSurvive)

@@ -155,6 +155,29 @@ TEST(StringUtil, StartsWith)
     EXPECT_FALSE(startsWith("qreg", "qregs"));
 }
 
+TEST(StringUtil, ParseIntArgHardensCliTokens)
+{
+    // ISSUE-5 regression: positional CLI ints used to go through bare
+    // atoi, so `capacity_explorer bv banana` silently ran with 0
+    // qubits. parseIntArg fatals, naming the token and its role.
+    EXPECT_EQ(parseIntArg("96", "qubit count"), 96);
+    EXPECT_EQ(parseIntArg("  96 ", "qubit count"), 96);
+    EXPECT_EQ(parseIntArg("-4", "offset"), -4);
+
+    EXPECT_THROW(parseIntArg("banana", "qubit count"),
+                 std::runtime_error);
+    EXPECT_THROW(parseIntArg("12x", "qubit count"), std::runtime_error);
+    EXPECT_THROW(parseIntArg("", "qubit count"), std::runtime_error);
+    try {
+        (void)parseIntArg("banana", "qubit count");
+        FAIL();
+    } catch (const std::runtime_error &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("banana"), std::string::npos) << what;
+        EXPECT_NE(what.find("qubit count"), std::string::npos) << what;
+    }
+}
+
 TEST(StringUtil, ToLower)
 {
     EXPECT_EQ(toLower("GHZ_n32"), "ghz_n32");
@@ -229,6 +252,20 @@ TEST(Logging, AssertMacroFiresOnFalse)
 TEST(Logging, RequireMacroFiresOnFalse)
 {
     EXPECT_THROW(MUSSTI_REQUIRE(false, "bad input"), std::runtime_error);
+}
+
+TEST(Logging, ScopedFatalSilenceStillThrows)
+{
+    // The guard only mutes the stderr echo; the exception (and its
+    // diagnostic payload) must be unchanged.
+    const ScopedFatalSilence quiet;
+    try {
+        fatal("quiet user error");
+        FAIL();
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find("quiet user error"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

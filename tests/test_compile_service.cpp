@@ -110,6 +110,47 @@ TEST(CompileService, SeededBatchIndependentOfThreadCount)
     EXPECT_EQ(parallel.jobsExecuted(), 8u);
 }
 
+TEST(CompileService, CompileSweepDerivesSeedsByJobIndex)
+{
+    // The tuner's fleet-sweep primitive: requests without an explicit
+    // seed get deriveJobSeed(base, index), so a sweep replays exactly
+    // at any thread count — and honours explicit seeds untouched.
+    MusstiConfig config;
+    config.replacement = ReplacementPolicy::Random; // seed-sensitive
+    const auto backend = makeMusstiBackend(config);
+    const Circuit qc = makeBenchmark("ran", 40);
+    const std::uint64_t base = 99;
+
+    auto makeRequests = [&] {
+        std::vector<CompileRequest> requests;
+        for (int i = 0; i < 6; ++i)
+            requests.push_back({backend, qc, {}});
+        return requests;
+    };
+
+    CompileServiceConfig one_thread;
+    one_thread.numThreads = 1;
+    one_thread.cacheCapacity = 0;
+    CompileServiceConfig four_threads;
+    four_threads.numThreads = 4;
+    four_threads.cacheCapacity = 0;
+
+    CompileService serial(one_thread);
+    CompileService parallel(four_threads);
+    const auto a = serial.compileSweep(makeRequests(), base);
+    const auto b = parallel.compileSweep(makeRequests(), base);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectIdentical(a[i], b[i]);
+
+    // The derived seed IS deriveJobSeed(base, i): job i of the sweep
+    // matches an explicit submission under that seed.
+    const auto explicit_job =
+        serial.submit(backend, qc,
+                      CompileService::deriveJobSeed(base, 2)).get();
+    expectIdentical(a[2], explicit_job);
+}
+
 TEST(CompileService, DeriveJobSeedDeterministicAndDistinct)
 {
     EXPECT_EQ(CompileService::deriveJobSeed(7, 3),

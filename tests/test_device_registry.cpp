@@ -126,6 +126,35 @@ TEST(DeviceRegistry, MalformedSpecsNameTheOffendingToken)
     expectParseErrorNaming("grid:8x8,depth=2", "depth");
 }
 
+TEST(DeviceRegistry, DuplicateKeysAreDiagnosed)
+{
+    // Before ISSUE 5 the last occurrence silently won, so
+    // `eml:cap=16,cap=4` compiled with a surprising cap-4 device.
+    expectParseErrorNaming("eml:cap=16,cap=4", "duplicate key `cap`");
+    expectParseErrorNaming("eml:modules=2,modules=4",
+                           "duplicate key `modules`");
+    expectParseErrorNaming("grid:8x8,cap=16,cap=8",
+                           "duplicate key `cap`");
+    expectParseErrorNaming("grid:4x3,pitch=100,pitch=200",
+                           "duplicate key `pitch`");
+    // The op/operation synonyms are one key.
+    expectParseErrorNaming("eml:op=1,operation=2", "duplicate key `op`");
+}
+
+TEST(DeviceRegistry, TryCreateAbsorbsOnlyTheUserErrorPath)
+{
+    // Feasible spec: a real device comes back.
+    const DeviceSpec fits = DeviceRegistry::parse("eml:modules=3,cap=16");
+    EXPECT_NE(DeviceRegistry::tryCreate(fits, 96), nullptr);
+
+    // 2 modules x maxq=32 cannot hold 96 qubits: nullptr plus the
+    // device's own diagnostic, no throw (the tuner's quiet probe).
+    const DeviceSpec small = DeviceRegistry::parse("eml:modules=2,cap=16");
+    std::string reason;
+    EXPECT_EQ(DeviceRegistry::tryCreate(small, 96, &reason), nullptr);
+    EXPECT_NE(reason.find("cannot hold"), std::string::npos) << reason;
+}
+
 TEST(DeviceRegistry, DigestIsStableAndDiscriminates)
 {
     // Pinned digests: the cache key of every past CompileService run.

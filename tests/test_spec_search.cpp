@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the spec search grammar (arch/spec_search.h): range
+ * expansion, deterministic enumeration order, heterogeneous
+ * alternatives, and the malformed-range diagnostics the tuner relies
+ * on (the device-registry token-naming convention).
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "arch/spec_search.h"
+
+namespace mussti {
+namespace {
+
+/** Expect parseSpecSearch to throw, naming `token` in the message. */
+void
+expectSearchErrorNaming(const std::string &text, const std::string &token)
+{
+    try {
+        (void)parseSpecSearch(text);
+        FAIL() << "search `" << text << "` parsed but should have failed";
+    } catch (const std::runtime_error &err) {
+        EXPECT_NE(std::string(err.what()).find(token), std::string::npos)
+            << "diagnostic for `" << text
+            << "` does not name the offending token `" << token
+            << "`: " << err.what();
+    }
+}
+
+TEST(SpecSearch, ExpandsRangesWithDefaultAndExplicitStep)
+{
+    const SpecSearchSpace space =
+        parseSpecSearch("eml:modules=2..8,cap=8..32:step=8");
+    EXPECT_EQ(space.family, "eml");
+    ASSERT_EQ(space.axes.size(), 2u);
+    EXPECT_EQ(space.axes[0].key, "modules");
+    EXPECT_EQ(space.axes[0].values.size(), 7u); // 2,3,...,8
+    EXPECT_EQ(space.axes[1].key, "cap");
+    ASSERT_EQ(space.axes[1].values.size(), 4u); // 8,16,24,32
+    EXPECT_EQ(space.axes[1].values.back(), "32");
+    EXPECT_EQ(space.size(), 28u);
+    EXPECT_EQ(space.enumerate().size(), 28u);
+}
+
+TEST(SpecSearch, FixedKeysAreSingleValueAxes)
+{
+    const SpecSearchSpace space = parseSpecSearch("eml:cap=16,optical=2");
+    EXPECT_EQ(space.size(), 1u);
+    const auto specs = space.enumerate();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].canonical(),
+              DeviceRegistry::parse("eml:cap=16,optical=2").canonical());
+}
+
+TEST(SpecSearch, EnumerationOrderIsOdometerLastAxisFastest)
+{
+    const auto specs =
+        parseSpecSearch("eml:modules=2..3,cap=10..12:step=2").enumerate();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].eml.forcedNumModules, 2);
+    EXPECT_EQ(specs[0].eml.trapCapacity, 10);
+    EXPECT_EQ(specs[1].eml.forcedNumModules, 2);
+    EXPECT_EQ(specs[1].eml.trapCapacity, 12);
+    EXPECT_EQ(specs[2].eml.forcedNumModules, 3);
+    EXPECT_EQ(specs[2].eml.trapCapacity, 10);
+    EXPECT_EQ(specs[3].eml.forcedNumModules, 3);
+    EXPECT_EQ(specs[3].eml.trapCapacity, 12);
+}
+
+TEST(SpecSearch, HeteroAlternativesCrossWithRanges)
+{
+    const auto specs = parseSpecSearch(
+        "eml:hetero=2.1.1-2.1.1|2.1.2-2.1.1,cap=12..16:step=4")
+        .enumerate();
+    ASSERT_EQ(specs.size(), 4u);
+    // Alternative 1 (uniform), cap 12 then 16; alternative 2, ditto.
+    ASSERT_EQ(specs[0].eml.moduleMix.size(), 2u);
+    EXPECT_EQ(specs[0].eml.moduleMix[0].optical, 1);
+    EXPECT_EQ(specs[0].eml.trapCapacity, 12);
+    EXPECT_EQ(specs[1].eml.trapCapacity, 16);
+    EXPECT_EQ(specs[2].eml.moduleMix[0].optical, 2);
+    EXPECT_EQ(specs[2].eml.trapCapacity, 12);
+    EXPECT_EQ(specs[3].eml.moduleMix[0].optical, 2);
+    EXPECT_EQ(specs[3].eml.trapCapacity, 16);
+}
+
+TEST(SpecSearch, GridSearchesSweepCapOverAFixedGeometry)
+{
+    const auto specs =
+        parseSpecSearch("grid:4x3,cap=4..8:step=2").enumerate();
+    ASSERT_EQ(specs.size(), 3u);
+    for (const DeviceSpec &spec : specs) {
+        EXPECT_EQ(spec.family, DeviceFamily::Grid);
+        EXPECT_EQ(spec.grid.width, 4);
+        EXPECT_EQ(spec.grid.height, 3);
+    }
+    EXPECT_EQ(specs[0].grid.trapCapacity, 4);
+    EXPECT_EQ(specs[2].grid.trapCapacity, 8);
+}
+
+TEST(SpecSearch, EveryCandidateRoundTripsThroughTheRegistry)
+{
+    for (const DeviceSpec &spec :
+         parseSpecSearch("eml:modules=2..4,cap=12..16:step=2")
+             .enumerate()) {
+        EXPECT_EQ(DeviceRegistry::parse(spec.canonical()).canonical(),
+                  spec.canonical());
+    }
+}
+
+TEST(SpecSearch, MalformedRangesNameTheOffendingToken)
+{
+    expectSearchErrorNaming("eml:cap=8..", "8..");
+    expectSearchErrorNaming("eml:cap=..8", "..8");
+    expectSearchErrorNaming("eml:cap=16..8", "16..8");
+    expectSearchErrorNaming("eml:cap=a..b", "a");
+    expectSearchErrorNaming("eml:cap=8..32:step=0", "step");
+    expectSearchErrorNaming("eml:cap=8..32:step=x", "x");
+    expectSearchErrorNaming("eml:cap=8..32:stride=4", "stride");
+    expectSearchErrorNaming("eml:cap=8..32:step=4:step=2", "8..32");
+    expectSearchErrorNaming("eml:cap=8..16,cap=20", "duplicate");
+    expectSearchErrorNaming("eml:op=1..2,operation=3", "duplicate");
+    expectSearchErrorNaming("eml:hetero=2.1.1|", "hetero");
+    expectSearchErrorNaming("grid:cap=4..8", "geometry");
+    expectSearchErrorNaming("ring:cap=4..8", "ring");
+    expectSearchErrorNaming("eml", "family");
+}
+
+TEST(SpecSearch, RejectsRunawayCandidateCounts)
+{
+    expectSearchErrorNaming("eml:cap=1..100000", "ceiling");
+}
+
+TEST(SpecSearch, RegistryValidationHappensAtParseTime)
+{
+    // hetero excludes the uniform zone keys — the registry's rule, and
+    // the search parse surfaces it eagerly rather than mid-sweep.
+    expectSearchErrorNaming("eml:hetero=2.1.1-2.1.1,storage=1..2",
+                            "hetero");
+}
+
+} // namespace
+} // namespace mussti
