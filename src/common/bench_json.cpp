@@ -12,11 +12,8 @@
 
 namespace mussti {
 
-namespace {
-
-/** JSON-escape a string (the fields we emit are plain ASCII). */
 std::string
-escape(const std::string &text)
+jsonEscape(const std::string &text)
 {
     std::string out;
     out.reserve(text.size() + 2);
@@ -38,6 +35,8 @@ escape(const std::string &text)
     }
     return out;
 }
+
+namespace {
 
 std::string
 number(double value)
@@ -319,13 +318,13 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
 {
     std::ostringstream out;
     out << "{\n  \"schema\": \"mussti-bench-v1\",\n";
-    out << "  \"context\": \"" << escape(context) << "\",\n";
+    out << "  \"context\": \"" << jsonEscape(context) << "\",\n";
     out << "  \"results\": [";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const BenchRecord &r = records[i];
         out << (i ? ",\n" : "\n");
-        out << "    {\"suite\": \"" << escape(r.suite) << "\", "
-            << "\"name\": \"" << escape(r.name) << "\", "
+        out << "    {\"suite\": \"" << jsonEscape(r.suite) << "\", "
+            << "\"name\": \"" << jsonEscape(r.name) << "\", "
             << "\"qubits\": " << r.qubits << ", "
             << "\"repeats\": " << r.repeats << ", "
             << "\"wall_ms\": " << number(r.wallMs);
@@ -351,7 +350,7 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
             out << ", \"pass_trace\": [";
             for (std::size_t j = 0; j < r.passTrace.size(); ++j) {
                 out << (j ? ", " : "")
-                    << "{\"pass\": \"" << escape(r.passTrace[j].pass)
+                    << "{\"pass\": \"" << jsonEscape(r.passTrace[j].pass)
                     << "\", \"ms\": " << number(r.passTrace[j].ms) << "}";
             }
             out << "]";

@@ -38,6 +38,14 @@
 
 namespace mussti {
 
+/**
+ * JSON-escape a string for embedding in a double-quoted literal
+ * (quotes, backslashes, and control characters; the fields this repo
+ * emits are plain ASCII). Shared by the bench writer and the lint
+ * report renderer so escaping never drifts between emitters.
+ */
+std::string jsonEscape(const std::string &text);
+
 /** One pass of a result's per-pass wall-clock breakdown. */
 struct BenchPassTiming
 {

@@ -1,20 +1,54 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 
 namespace mussti {
 
 namespace {
 
-/** Depth of active ScopedFatalSilence guards on this thread. */
-thread_local int fatal_silence_depth = 0;
+/**
+ * Depth of active ScopedFatalSilence guards, process-wide. An atomic
+ * (not thread_local) so a probe loop that fans its candidate checks out
+ * to worker threads silences the whole burst, and so guard churn from
+ * concurrent probes is race-free under TSan.
+ */
+std::atomic<int> fatal_silence_depth{0};
+
+/**
+ * One mutex in front of the stderr sink: a diagnostic line is emitted
+ * as a single locked write, so concurrent warn()/fatal() from the
+ * compile-service workers cannot interleave mid-line. Function-local
+ * static so the mutex outlives every static-destruction-order caller.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+emitLine(const std::string &line)
+{
+    const std::lock_guard<std::mutex> lock(sinkMutex());
+    std::cerr << line << std::endl;
+}
 
 } // namespace
 
-ScopedFatalSilence::ScopedFatalSilence() { ++fatal_silence_depth; }
-ScopedFatalSilence::~ScopedFatalSilence() { --fatal_silence_depth; }
+ScopedFatalSilence::ScopedFatalSilence()
+{
+    fatal_silence_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedFatalSilence::~ScopedFatalSilence()
+{
+    fatal_silence_depth.fetch_sub(1, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -37,9 +71,9 @@ levelName(LogLevel level)
 void
 die(LogLevel level, const std::string &where, const std::string &message)
 {
-    if (level == LogLevel::Panic || fatal_silence_depth == 0)
-        std::cerr << levelName(level) << ": " << where << message
-                  << std::endl;
+    if (level == LogLevel::Panic ||
+        fatal_silence_depth.load(std::memory_order_relaxed) == 0)
+        emitLine(std::string(levelName(level)) + ": " + where + message);
     // Throwing (rather than abort/exit) keeps death-path behaviour testable
     // from gtest; the what() string carries the diagnostic.
     if (level == LogLevel::Panic)
@@ -50,7 +84,7 @@ die(LogLevel level, const std::string &where, const std::string &message)
 void
 report(LogLevel level, const std::string &message)
 {
-    std::cerr << levelName(level) << ": " << message << std::endl;
+    emitLine(std::string(levelName(level)) + ": " + message);
 }
 
 } // namespace detail

@@ -65,12 +65,14 @@ inform(const std::string &message)
 }
 
 /**
- * RAII guard silencing the stderr echo of fatal() on this thread (the
- * exception still propagates, with the diagnostic in what()). For
- * probes that expect and handle the user-error path — e.g. the device
- * tuner testing candidate feasibility — where hundreds of handled
- * failures would otherwise spam the console. panic() is never silenced:
- * an internal bug must always be heard. Nestable.
+ * RAII guard silencing the stderr echo of fatal() (the exception still
+ * propagates, with the diagnostic in what()). For probes that expect
+ * and handle the user-error path — e.g. the device tuner testing
+ * candidate feasibility — where hundreds of handled failures would
+ * otherwise spam the console. The silence is process-wide (an atomic
+ * depth, so guards are thread-safe and a probe fanned out to worker
+ * threads is muted as a whole). panic() is never silenced: an internal
+ * bug must always be heard. Nestable.
  */
 class ScopedFatalSilence
 {

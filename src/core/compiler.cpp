@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "core/mapper.h"
 #include "core/scheduler.h"
+#include "lint/lint_pass.h"
 #include "sim/evaluation_pass.h"
 #include "sim/evaluator.h"
 
@@ -182,6 +183,8 @@ MusstiCompiler::makePipeline() const
         .add(std::make_unique<MusstiSchedulePass>(config_))
         .add(std::make_unique<SabreTwoFoldPass>(config_))
         .add(std::make_unique<EvaluationPass>());
+    if (config_.lintLevel > 0)
+        pipeline.add(std::make_unique<ScheduleLintPass>(config_.lintLevel));
     return pipeline;
 }
 
@@ -235,6 +238,9 @@ MusstiCompiler::configDigest() const
     hash.update(static_cast<int>(config_.mapping));
     hash.update(static_cast<int>(config_.replacement));
     hash.update(config_.seed);
+    // lintLevel changes the pipeline shape (strict lint can reject a
+    // compile), so a cached result must not cross lint disciplines.
+    hash.update(config_.lintLevel);
     // The device folds in through its canonical registry spec, so
     // every topology knob — including heterogeneous module mixes —
     // keys the CompileService cache.

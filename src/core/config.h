@@ -79,6 +79,15 @@ struct MusstiConfig
     /** Seed for ReplacementPolicy::Random (deterministic runs). */
     std::uint64_t seed = 2025;
 
+    /**
+     * Post-compile static analysis (src/lint/): 0 = off (the default —
+     * the linter never sits on the hot path uninvited), 1 = lint the
+     * final schedule and warn() on findings, 2 = strict: fatal() when
+     * the lint report carries errors. Folded into configDigest() so a
+     * cached result is never served across lint-discipline changes.
+     */
+    int lintLevel = 0;
+
     /** Device construction parameters. */
     EmlConfig device;
 };

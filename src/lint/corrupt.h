@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Surgical schedule corruptions, one per schedule-lint rule.
+ *
+ * Each generator takes a VALID compiled schedule and plants exactly one
+ * violation class, engineered so the linter fires precisely the named
+ * rule and nothing else — the property the corruption-corpus tests
+ * (tests/test_lint.cpp) pin, and what makes the corpus a true
+ * per-rule detector test rather than a "something is wrong" test.
+ * lint_cli --corrupt RULE exposes the same generators for CI smokes
+ * and manual inspection.
+ *
+ * Generators return false when the schedule lacks the structure the
+ * corruption needs (e.g. no adjacent dependent gate pair); callers
+ * pick a richer circuit.
+ */
+#ifndef MUSSTI_LINT_CORRUPT_H
+#define MUSSTI_LINT_CORRUPT_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+class TargetDevice;
+
+/** Rule ids corruptSchedule() understands (the sch.* catalog). */
+std::vector<std::string> corruptibleRules();
+
+/**
+ * Plant the violation of `rule` into a valid schedule, in place.
+ * `circuit` is the LOWERED circuit the schedule implements. Returns
+ * false (schedule untouched) when the corruption cannot be staged;
+ * panics on an unknown rule id.
+ */
+bool corruptSchedule(Schedule &schedule, const Circuit &circuit,
+                     const TargetDevice &device, const std::string &rule);
+
+} // namespace mussti
+
+#endif // MUSSTI_LINT_CORRUPT_H

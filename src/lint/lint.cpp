@@ -1,0 +1,115 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bench_json.h"
+
+namespace mussti {
+
+const char *
+lintSeverityName(LintSeverity severity)
+{
+    switch (severity) {
+      case LintSeverity::Info: return "info";
+      case LintSeverity::Warning: return "warning";
+      case LintSeverity::Error: return "error";
+    }
+    return "?";
+}
+
+void
+LintReport::add(std::string rule, LintSeverity severity,
+                std::string location, std::string message)
+{
+    findings.push_back({std::move(rule), severity, std::move(location),
+                        std::move(message)});
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    findings.insert(findings.end(), other.findings.begin(),
+                    other.findings.end());
+}
+
+int
+LintReport::errorCount() const
+{
+    return static_cast<int>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const LintFinding &f) {
+                          return f.severity == LintSeverity::Error;
+                      }));
+}
+
+int
+LintReport::warningCount() const
+{
+    return static_cast<int>(
+        std::count_if(findings.begin(), findings.end(),
+                      [](const LintFinding &f) {
+                          return f.severity == LintSeverity::Warning;
+                      }));
+}
+
+std::vector<std::string>
+LintReport::firedRules() const
+{
+    std::vector<std::string> rules;
+    rules.reserve(findings.size());
+    for (const LintFinding &finding : findings)
+        rules.push_back(finding.rule);
+    std::sort(rules.begin(), rules.end());
+    rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+    return rules;
+}
+
+bool
+LintReport::fired(const std::string &rule) const
+{
+    return std::any_of(findings.begin(), findings.end(),
+                       [&](const LintFinding &f) {
+                           return f.rule == rule;
+                       });
+}
+
+std::string
+LintReport::renderText() const
+{
+    if (findings.empty())
+        return "clean: no findings\n";
+    std::ostringstream out;
+    for (const LintFinding &f : findings) {
+        out << lintSeverityName(f.severity) << "[" << f.rule << "]";
+        if (!f.location.empty())
+            out << " " << f.location;
+        out << ": " << f.message << "\n";
+    }
+    out << errorCount() << " error(s), " << warningCount()
+        << " warning(s)\n";
+    return out.str();
+}
+
+std::string
+LintReport::renderJson() const
+{
+    std::ostringstream out;
+    out << "{\n  \"schema\": \"mussti-lint-v1\",\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const LintFinding &f = findings[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"rule\": \"" << jsonEscape(f.rule) << "\", "
+            << "\"severity\": \"" << lintSeverityName(f.severity)
+            << "\", "
+            << "\"location\": \"" << jsonEscape(f.location) << "\", "
+            << "\"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    if (!findings.empty())
+        out << "\n  ";
+    out << "],\n  \"summary\": {\"errors\": " << errorCount()
+        << ", \"warnings\": " << warningCount() << "}\n}\n";
+    return out.str();
+}
+
+} // namespace mussti

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Structured static-analysis findings: the shared vocabulary of the
+ * mussti-lint subsystem (schedule linter, spec/config linter).
+ *
+ * A LintFinding names a rule (stable token id such as "sch.dep-order"),
+ * a severity, a location inside the linted artifact ("op 42 (gate2q
+ * q3,q7 ...)", "token cap=1"), and a human-readable message. A
+ * LintReport is an ordered collection with text and JSON renderers; it
+ * is data, never control flow — linters REPORT, callers decide whether
+ * a finding is fatal (the CLI exits non-zero, the opt-in pipeline pass
+ * throws, the fuzz oracle asserts).
+ *
+ * The full rule catalog — id, invariant, paper rationale — lives in
+ * src/lint/README.md.
+ */
+#ifndef MUSSTI_LINT_LINT_H
+#define MUSSTI_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace mussti {
+
+/** Weight of a finding. Only Error findings fail a lint gate. */
+enum class LintSeverity {
+    Info,    ///< Observation; never actionable on its own.
+    Warning, ///< Legal but suspect (degenerate range, contradictory knob).
+    Error,   ///< Invariant violation; the artifact is wrong.
+};
+
+/** Human-readable severity name ("info", "warning", "error"). */
+const char *lintSeverityName(LintSeverity severity);
+
+/** One diagnostic produced by a linter. */
+struct LintFinding
+{
+    std::string rule;     ///< Stable rule id, e.g. "sch.capacity".
+    LintSeverity severity = LintSeverity::Error;
+    std::string location; ///< Where in the artifact ("op 12 (...)").
+    std::string message;  ///< What is wrong, in token-naming style.
+};
+
+/** Ordered findings of one lint run (possibly merged across linters). */
+struct LintReport
+{
+    std::vector<LintFinding> findings;
+
+    /** Append one finding. */
+    void add(std::string rule, LintSeverity severity,
+             std::string location, std::string message);
+
+    /** Append every finding of another report (rule order preserved). */
+    void merge(const LintReport &other);
+
+    /** True when nothing at all was reported. */
+    bool clean() const { return findings.empty(); }
+
+    /** True when no Error-severity finding was reported. */
+    bool ok() const { return errorCount() == 0; }
+
+    int errorCount() const;
+    int warningCount() const;
+
+    /** Distinct rule ids that fired, sorted (corpus tests key on this). */
+    std::vector<std::string> firedRules() const;
+
+    /** True if any finding carries the given rule id. */
+    bool fired(const std::string &rule) const;
+
+    /**
+     * Plain-text rendering, one finding per line:
+     *   error[sch.capacity] op 12 (merge q3 -> z1): merge overfills ...
+     * Returns "clean: no findings\n" for an empty report.
+     */
+    std::string renderText() const;
+
+    /**
+     * JSON rendering (schema "mussti-lint-v1"): a findings array plus
+     * an error/warning summary. Clean reports render an empty array,
+     * so `"findings": []` is grep-able in CI smokes.
+     */
+    std::string renderJson() const;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_LINT_LINT_H

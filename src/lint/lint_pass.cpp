@@ -1,0 +1,23 @@
+#include "lint/lint_pass.h"
+
+#include "common/logging.h"
+#include "lint/schedule_linter.h"
+
+namespace mussti {
+
+void
+ScheduleLintPass::run(CompileContext &ctx) const
+{
+    if (level_ <= 0)
+        return;
+    const LintReport report = lintSchedule(
+        ctx.schedule, ctx.requireLowered(), ctx.requireDevice());
+    if (report.clean())
+        return;
+    if (level_ >= 2 && !report.ok())
+        fatal("schedule lint failed (lintLevel=2):\n" +
+              report.renderText());
+    warn("schedule lint findings:\n" + report.renderText());
+}
+
+} // namespace mussti

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Opt-in pipeline stage running the schedule linter on the compiled
+ * artifact (MusstiConfig::lintLevel; see src/lint/README.md).
+ *
+ * The pass re-checks the pipeline's own output — a self-audit, not a
+ * transformation: it never mutates the context. Level 1 reports
+ * findings through warn(); level 2 (strict) fatal()s when the report
+ * carries errors, turning the linter into a hard gate for soak runs
+ * and CI sweeps. Level 0 pipelines simply never add the pass.
+ */
+#ifndef MUSSTI_LINT_LINT_PASS_H
+#define MUSSTI_LINT_LINT_PASS_H
+
+#include "core/pipeline.h"
+
+namespace mussti {
+
+/** Post-compile schedule audit (see file comment). */
+class ScheduleLintPass : public CompilerPass
+{
+  public:
+    explicit ScheduleLintPass(int level) : level_(level) {}
+
+    const char *name() const override { return "schedule-lint"; }
+
+    void run(CompileContext &ctx) const override;
+
+  private:
+    int level_;
+};
+
+} // namespace mussti
+
+#endif // MUSSTI_LINT_LINT_PASS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Static schedule analyzer: proves MUSS-TI invariants over a compiled
+ * op stream WITHOUT executing it, and names each violation by rule.
+ *
+ * The sim/ ScheduleValidator answers "is this schedule legal?" with the
+ * first violated invariant; this linter answers "which named invariants
+ * does it violate, everywhere?" — the shape a fuzzing oracle, a CI
+ * gate, and a corruption corpus need. The two are cross-checked on the
+ * same corpus (tests/test_lint.cpp): a schedule is validator-legal iff
+ * it lints with zero errors.
+ *
+ * Rule catalog (full rationale in src/lint/README.md):
+ *   sch.dep-order    every gate op runs after its DAG predecessors
+ *   sch.coverage     every circuit 2q gate appears exactly once
+ *   sch.capacity     no zone ever holds more ions than its trap capacity
+ *   sch.zone         gates only fire where the architecture allows
+ *   sch.shuttle      shuttle windows never overlap (strict split/move/
+ *                    merge triples, one ion in flight, real paths)
+ *   sch.placement    no qubit is in two places at once; ops act on ions
+ *                    where they actually are
+ *   sch.swap-triple  inserted SWAP gates come in clean 3-gate runs
+ *
+ * The linter reports every violation (unlike the validator's
+ * first-error stop), capped per rule so a totally corrupt artifact
+ * cannot produce unbounded output. Checks run as three independent
+ * walks (shuttle discipline, placement replay, DAG order/coverage) so
+ * one corruption class fires its own rule without cascading into the
+ * others — the property the corruption-corpus tests pin.
+ */
+#ifndef MUSSTI_LINT_SCHEDULE_LINTER_H
+#define MUSSTI_LINT_SCHEDULE_LINTER_H
+
+#include "circuit/circuit.h"
+#include "lint/lint.h"
+#include "sim/schedule.h"
+
+namespace mussti {
+
+class TargetDevice; // arch/target_device.h
+
+/** Stable schedule-lint rule ids (shared by tests, corpus, CI greps). */
+namespace lint_rules {
+inline constexpr const char *kDepOrder = "sch.dep-order";
+inline constexpr const char *kCoverage = "sch.coverage";
+inline constexpr const char *kCapacity = "sch.capacity";
+inline constexpr const char *kZone = "sch.zone";
+inline constexpr const char *kShuttle = "sch.shuttle";
+inline constexpr const char *kPlacement = "sch.placement";
+inline constexpr const char *kSwapTriple = "sch.swap-triple";
+} // namespace lint_rules
+
+/**
+ * Static analyzer bound to one target device. Stateless across lint()
+ * calls; safe to share across threads (the device must outlive it).
+ */
+class ScheduleLinter
+{
+  public:
+    /** Findings reported per rule before truncation kicks in. */
+    static constexpr int kMaxFindingsPerRule = 16;
+
+    explicit ScheduleLinter(const TargetDevice &device)
+        : device_(device)
+    {}
+
+    /**
+     * Lint a schedule against its LOWERED source circuit (the circuit
+     * the schedule implements — CompileResult::lowered, same contract
+     * as ScheduleValidator::validate).
+     */
+    LintReport lint(const Schedule &schedule,
+                    const Circuit &circuit) const;
+
+  private:
+    const TargetDevice &device_;
+};
+
+/** One-shot convenience: the library oracle the fuzz/soak paths call. */
+LintReport lintSchedule(const Schedule &schedule, const Circuit &circuit,
+                        const TargetDevice &device);
+
+} // namespace mussti
+
+#endif // MUSSTI_LINT_SCHEDULE_LINTER_H

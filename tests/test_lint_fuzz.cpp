@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bounded fuzz smoke: the linter as an oracle over random workloads.
+ *
+ * Random circuits are compiled through every backend against two device
+ * shapes each, and every resulting schedule must lint clean AND satisfy
+ * the replay validator. This is the cheap always-on slice of the fuzz
+ * strategy (ISSUE 7): the corpus test proves the linter catches planted
+ * violations; this test proves the compilers never produce one on
+ * inputs nobody hand-picked. Seeds are fixed so failures reproduce.
+ */
+#include <gtest/gtest.h>
+
+#include "arch/device_registry.h"
+#include "baselines/backend_factory.h"
+#include "lint/schedule_linter.h"
+#include "sim/validator.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 7, 2025};
+
+/** Lint + validate one compiled artifact; label appears on failure. */
+void
+expectCleanCompile(const ICompilerBackend &backend,
+                   const TargetDevice &device, const Circuit &circuit,
+                   const std::string &label)
+{
+    const CompileResult result = backend.compile(circuit);
+    const LintReport report =
+        lintSchedule(result.schedule, result.lowered, device);
+    EXPECT_TRUE(report.clean())
+        << label << "\n" << report.renderText();
+    const ValidationReport replay = ScheduleValidator(device).validate(
+        result.schedule, result.lowered);
+    EXPECT_TRUE(replay.valid) << label << ": " << replay.firstError;
+}
+
+TEST(LintFuzz, MusstiSingleModuleRandomCircuitsLintClean)
+{
+    MusstiConfig config; // default device: one module, 64 slots
+    for (const std::uint64_t seed : kSeeds) {
+        const Circuit circuit = makeRandomCircuit(24, 60, seed);
+        const auto device =
+            DeviceRegistry::createEml(config.device, circuit.numQubits());
+        expectCleanCompile(*makeMusstiBackend(config), *device, circuit,
+                           "mussti/default seed=" + std::to_string(seed));
+    }
+}
+
+TEST(LintFuzz, MusstiMultiModuleRandomCircuitsLintClean)
+{
+    // 20 qubits per module forces 40-qubit circuits across two modules,
+    // exercising fiber gates and cross-module placement.
+    MusstiConfig config;
+    config.device = DeviceRegistry::parse(
+                        "eml:cap=12,storage=2,op=1,optical=1,maxq=20")
+                        .eml;
+    for (const std::uint64_t seed : kSeeds) {
+        const Circuit circuit = makeRandomCircuit(40, 80, seed);
+        const auto device =
+            DeviceRegistry::createEml(config.device, circuit.numQubits());
+        expectCleanCompile(*makeMusstiBackend(config), *device, circuit,
+                           "mussti/multi seed=" + std::to_string(seed));
+    }
+}
+
+TEST(LintFuzz, GridBaselinesRandomCircuitsLintClean)
+{
+    const GridConfig grids[] = {{2, 2, 16}, {3, 2, 8}};
+    for (const std::string &backend_name : gridBackendNames()) {
+        for (const GridConfig &grid : grids) {
+            const auto backend = makeGridBackend(backend_name, grid);
+            const GridDevice device(grid);
+            for (const std::uint64_t seed : kSeeds) {
+                const Circuit circuit = makeRandomCircuit(24, 60, seed);
+                expectCleanCompile(
+                    *backend, device, circuit,
+                    backend_name + "/" + device.spec() +
+                        " seed=" + std::to_string(seed));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mussti
