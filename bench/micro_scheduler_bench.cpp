@@ -31,11 +31,33 @@
  * Compilations go straight through the backends, NOT the shared
  * CompileService, so the result cache cannot fake the timings.
  *
+ * ## Delta-recompilation tier
+ *
+ * A micro_scheduler/delta suite measures delta recompilation on deep
+ * Ising workloads: the base circuit is scheduled once (untimed) with
+ * checkpoint capture on, then an edited variant — one appended Trotter
+ * layer, or re-parameterized rz angles in the tail — is scheduled
+ * cold and warm (resuming from the base run's snapshots). `wall_ms`
+ * is the warm resumed path, `delta_cold_ms`/`delta_speedup` the cold
+ * reference and their ratio, both at scheduler level so the numbers
+ * isolate the resume machinery. Each record also carries snapshot
+ * hit/miss and resume/fallback counters from a CompileService
+ * verification pass over the same pair, proving the cache tier above
+ * the scheduler actually serves the scenario end to end.
+ * --require-delta-speedup X exits non-zero unless the suite's
+ * aggregate warm-vs-cold speedup reaches X (self-contained: the cold
+ * reference is measured in the same run, no baseline file needed).
+ * --soak N re-runs every warm resumed path N extra times with the
+ * resume and zero-allocation assertions live on each iteration — a
+ * cheap endurance gate for the allocation-free resume path.
+ *
  * Usage:
  *   micro_scheduler_bench [--repeats N] [--quick]
  *                         [--out bench_results.json]
  *                         [--baseline old_results.json]
  *                         [--require-speedup X]
+ *                         [--require-delta-speedup X]
+ *                         [--soak N]
  *                         [--assert-zero-allocs]
  *
  * With --baseline, each record gains speedup_vs_baseline against the
@@ -61,7 +83,10 @@
 #include "baselines/backend_factory.h"
 #include "common/alloc_counter.h"
 #include "common/bench_json.h"
+#include "core/compile_service.h"
 #include "core/compiler.h"
+#include "core/mapper.h"
+#include "core/scheduler.h"
 #include "core/scheduler_workspace.h"
 #include "workloads/workloads.h"
 
@@ -249,6 +274,189 @@ measureGrid(const std::string &which, int repeats)
     return record;
 }
 
+// ---- delta-recompilation tier --------------------------------------------
+
+struct DeltaTier
+{
+    const char *label;
+    int qubits;
+    int trotterSteps;
+};
+
+// Deep Ising workloads: many Trotter steps so the shared prefix dwarfs
+// the edited suffix — the regime delta recompilation targets (think an
+// interactive session appending layers or sweeping angles).
+constexpr DeltaTier kDeltaTiers[] = {
+    {"small", 32, 60}, {"medium", 48, 160}, {"large", 64, 480}};
+
+constexpr const char *kDeltaSuite = "micro_scheduler/delta";
+
+/**
+ * The re-parameterize edit: same structure, rz angles nudged in the
+ * last eighth of the gate list (an angle sweep touching the final
+ * layers, as in variational fine-tuning). The early divergence point
+ * is what distinguishes this scenario from append — the resume must
+ * stop at the edit, not at the end of the base circuit.
+ */
+Circuit
+reparamTail(const Circuit &base)
+{
+    Circuit edited(base.numQubits(), base.name());
+    const std::size_t pivot = base.size() - base.size() / 8;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        Gate g = base[i];
+        if (i >= pivot && g.kind == GateKind::Rz)
+            g.param += 0.017;
+        edited.add(g);
+    }
+    return edited;
+}
+
+/**
+ * Measure one delta scenario at scheduler level. The base circuit runs
+ * once, untimed, with checkpoint capture on; the edited circuit is
+ * then scheduled `repeats` times cold (no candidates) and `repeats`
+ * times warm (resuming from the capture run's snapshots), both
+ * best-of-repeats through one shared workspace. Every warm run must
+ * actually resume, and with `soak` > 0 the warm path re-runs that many
+ * extra times asserting resume + zero loop allocations on each
+ * iteration. A CompileService pass over the same (base, edited) pair
+ * supplies the record's snapshot-cache counters. Failures clear `ok`.
+ */
+BenchRecord
+measureDelta(const DeltaTier &tier, bool append, int repeats, int soak,
+             bool &ok)
+{
+    const Circuit base = makeIsing(tier.qubits, tier.trotterSteps);
+    const Circuit edited = append
+        ? makeIsing(tier.qubits, tier.trotterSteps + 1)
+        : reparamTail(base);
+
+    // Trivial mapping: a single forward scheduling leg, the leg the
+    // delta path resumes — so cold-vs-warm compares exactly the work
+    // the snapshot machinery is supposed to skip.
+    MusstiConfig config;
+    config.mapping = MappingKind::Trivial;
+    const auto device = DeviceRegistry::createEml(config.device,
+                                                  tier.qubits);
+    const PhysicalParams params;
+    const MusstiScheduler scheduler(*device, params, config);
+
+    const Circuit low_base = base.withSwapsDecomposed();
+    const Circuit low_edit = edited.withSwapsDecomposed();
+    const Placement initial = trivialPlacement(*device, tier.qubits);
+    SchedulerWorkspace ws;
+
+    // Untimed capture run over the base circuit supplies the snapshots.
+    DeltaRequest capture;
+    capture.checkpointEvery = 64;
+    const MusstiScheduler::RunOutput captured =
+        scheduler.run(low_base, initial, &ws, &capture);
+
+    // Shared lowered prefix between base and edit, by direct compare —
+    // the bench plays the role the compile pass's prefix-hash lookup
+    // plays in production.
+    std::size_t shared = 0;
+    const std::size_t limit = std::min(low_base.size(), low_edit.size());
+    while (shared < limit && low_base[shared] == low_edit[shared])
+        ++shared;
+
+    DeltaRequest resume;
+    for (const ScheduleSnapshot &snap : captured.snapshots) {
+        if (snap.loweredPrefixGates <= shared)
+            resume.candidates.push_back({&snap, shared});
+    }
+
+    BenchRecord record;
+    record.suite = kDeltaSuite;
+    record.name = append ? "ising-append" : "ising-reparam";
+    record.qubits = tier.qubits;
+    record.repeats = repeats;
+    record.wallMs = -1.0;
+
+    double cold_ms = -1.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const MusstiScheduler::RunOutput out =
+            scheduler.run(low_edit, initial, &ws);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms = toMs(t1 - t0);
+        if (cold_ms < 0.0 || wall_ms < cold_ms)
+            cold_ms = wall_ms;
+        if (out.resumed) {
+            std::printf("FAIL: %s/%s cold reference reports resumed\n",
+                        kDeltaSuite, record.name.c_str());
+            ok = false;
+        }
+    }
+
+    const int warm_runs = repeats + soak;
+    for (int rep = 0; rep < warm_runs; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const MusstiScheduler::RunOutput out =
+            scheduler.run(low_edit, initial, &ws, &resume);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double wall_ms = toMs(t1 - t0);
+        if (record.wallMs < 0.0 || wall_ms < record.wallMs)
+            record.wallMs = wall_ms;
+        if (!out.resumed) {
+            std::printf("FAIL: %s/%s warm run %d fell back to a cold "
+                        "schedule\n", kDeltaSuite, record.name.c_str(),
+                        rep);
+            ok = false;
+            break;
+        }
+        // The soak iterations (and every steady-state repeat) must keep
+        // the resumed hot path allocation-free; rep 0 warms the arena.
+        if (rep > 0 && out.loopHeapAllocs != 0 &&
+            MUSSTI_BENCH_COUNT_ALLOCS) {
+            std::printf("FAIL: %s/%s warm run %d performs %llu heap "
+                        "allocations in the resumed scheduling loop "
+                        "(want 0)\n", kDeltaSuite, record.name.c_str(),
+                        rep,
+                        static_cast<unsigned long long>(
+                            out.loopHeapAllocs));
+            ok = false;
+            break;
+        }
+        record.routingSteps = out.routingSteps;
+        record.steadyAllocs = static_cast<long long>(out.loopHeapAllocs);
+    }
+    record.deltaColdMs = cold_ms;
+    if (record.wallMs > 0.0)
+        record.deltaSpeedup = cold_ms / record.wallMs;
+
+    // End-to-end verification through the CompileService snapshot tier:
+    // submit base then edited and require the edited compile to resume
+    // from the cached checkpoint. Untimed — the result cache is off so
+    // the edited job must really compile, and the counters land in the
+    // record as proof the production path (prefix-hash probe included)
+    // serves this scenario.
+    CompileServiceConfig svc;
+    svc.numThreads = 1;
+    svc.cacheCapacity = 0;
+    svc.snapshotCacheCapacity = 32;
+    CompileService service(svc);
+    MusstiConfig delta_cfg = config;
+    delta_cfg.deltaCompile = true;
+    const auto backend = std::make_shared<MusstiCompiler>(delta_cfg);
+    service.submit(backend, base).get();
+    const CompileResult warm = service.submit(backend, edited).get();
+    const CompileService::CacheStats stats = service.cacheStats();
+    record.snapshotHits = static_cast<long long>(stats.snapshotHits);
+    record.snapshotMisses = static_cast<long long>(stats.snapshotMisses);
+    record.deltaResumes = static_cast<long long>(stats.deltaResumes);
+    record.deltaFallbacks =
+        static_cast<long long>(stats.deltaFallbacks);
+    if (!warm.deltaResumed) {
+        std::printf("FAIL: %s/%s did not delta-resume through the "
+                    "CompileService\n", kDeltaSuite,
+                    record.name.c_str());
+        ok = false;
+    }
+    return record;
+}
+
 const BenchRecord *
 findBaseline(const std::vector<BenchRecord> &baseline,
              const BenchRecord &record)
@@ -294,6 +502,8 @@ main(int argc, char **argv)
     std::string out_path = "bench_results.json";
     std::string baseline_path;
     double require_speedup = 0.0;
+    double require_delta_speedup = 0.0;
+    int soak = 0;
     bool assert_zero_allocs = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -325,6 +535,18 @@ main(int argc, char **argv)
                 require_speedup <= 0.0)
                 fatal("--require-speedup wants a positive number, got `" +
                       value + "`");
+        } else if (arg == "--require-delta-speedup") {
+            const std::string value = next();
+            char *end = nullptr;
+            require_delta_speedup = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' ||
+                require_delta_speedup <= 0.0)
+                fatal("--require-delta-speedup wants a positive number, "
+                      "got `" + value + "`");
+        } else if (arg == "--soak") {
+            soak = std::atoi(next().c_str());
+            if (soak < 1)
+                fatal("--soak must be >= 1");
         } else {
             fatal("unknown argument: " + arg + " (see the file header "
                   "for usage)");
@@ -387,6 +609,15 @@ main(int argc, char **argv)
                     gate_ok = false;
             }
         }
+        // Delta records' headline number is warm-vs-cold, measured in
+        // this same run — show it in the speedup column (the baseline
+        // comparison, when available, still lands in the JSON).
+        if (record.deltaSpeedup > 0.0) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2fx",
+                          record.deltaSpeedup);
+            speedup_cell = buf;
+        }
         if (assert_zero_allocs &&
             record.suite.rfind("micro_scheduler/", 0) == 0 &&
             record.steadyAllocs != 0) {
@@ -428,6 +659,16 @@ main(int argc, char **argv)
                                      repeats));
     }
 
+    // Delta-recompilation tier: warm resume vs cold recompile of an
+    // edited circuit, scheduler level (see the file header).
+    bool delta_ok = true;
+    for (const DeltaTier &tier : kDeltaTiers) {
+        for (const bool append : {true, false}) {
+            submit("delta",
+                   measureDelta(tier, append, repeats, soak, delta_ok));
+        }
+    }
+
     // Grid-router suite (informational; the --require-speedup gate
     // stays on the MUSS-TI tiers).
     for (const char *which : {"murali", "dai", "mqt"})
@@ -460,5 +701,32 @@ main(int argc, char **argv)
         gate_ok = false;
     }
 
-    return gate_ok && allocs_ok ? 0 : 1;
+    // The delta gate is self-contained: warm and cold come from this
+    // run, aggregated as summed wall time so the large tier dominates.
+    {
+        double warm = 0.0, cold = 0.0;
+        for (const BenchRecord &r : records) {
+            if (r.suite == kDeltaSuite) {
+                warm += r.wallMs;
+                cold += r.deltaColdMs;
+            }
+        }
+        if (warm > 0.0 && cold > 0.0) {
+            const double speedup = cold / warm;
+            std::printf("%s aggregate warm-vs-cold speedup: %.2fx "
+                        "(%.2f ms cold -> %.2f ms warm)\n", kDeltaSuite,
+                        speedup, cold, warm);
+            if (require_delta_speedup > 0.0 &&
+                speedup < require_delta_speedup) {
+                std::printf("FAIL: delta aggregate speedup below the "
+                            "required %.2fx\n", require_delta_speedup);
+                delta_ok = false;
+            }
+        } else if (require_delta_speedup > 0.0) {
+            std::printf("FAIL: no delta-tier record to gate\n");
+            delta_ok = false;
+        }
+    }
+
+    return gate_ok && allocs_ok && delta_ok ? 0 : 1;
 }

@@ -143,6 +143,28 @@ Placement::allPlaced() const
 }
 
 void
+Placement::restoreChains(const std::vector<std::vector<int>> &chains)
+{
+    MUSSTI_REQUIRE(static_cast<int>(chains.size()) <= numZones(),
+                   "chain snapshot spans " << chains.size()
+                   << " zones, placement has " << numZones());
+    std::fill(qubitZone_.begin(), qubitZone_.end(), -1);
+    for (int z = 0; z < numZones(); ++z) {
+        auto &ions = chains_[z].ions_;
+        ions.clear();
+        if (z >= static_cast<int>(chains.size()))
+            continue;
+        for (int q : chains[z]) {
+            checkQubit(q);
+            MUSSTI_ASSERT(qubitZone_[q] < 0, "qubit " << q
+                          << " appears twice in the chain snapshot");
+            ions.push_back(q);
+            qubitZone_[q] = z;
+        }
+    }
+}
+
+void
 Placement::reserveChains(const std::vector<ZoneInfo> &zones)
 {
     const int count = std::min(numZones(),

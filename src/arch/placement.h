@@ -165,6 +165,16 @@ class Placement
      */
     void reserveChains(const std::vector<ZoneInfo> &zones);
 
+    /**
+     * Overwrite the whole placement from a per-zone chain snapshot
+     * (index = zone id, ions front to back), the delta-resume
+     * counterpart of Schedule::snapshotChains. `chains.size()` must not
+     * exceed numZones(); qubits absent from every chain end up
+     * unplaced. Existing chain capacity is kept, so restoring into a
+     * reserveChains()'d placement allocates nothing.
+     */
+    void restoreChains(const std::vector<std::vector<int>> &chains);
+
   private:
     std::vector<int> qubitZone_;
     std::vector<ZoneChain> chains_;

@@ -115,18 +115,31 @@ Circuit::twoQubitDegrees() const
 }
 
 std::uint64_t
-Circuit::contentHash() const
+Circuit::prefixHash(std::size_t num_gates) const
 {
-    Fnv1a hash;
-    hash.update(numQubits_);
-    hash.update(name_);
-    for (const Gate &g : gates_) {
+    MUSSTI_REQUIRE(num_gates <= gates_.size(),
+                   "prefixHash over " << num_gates << " gates of a "
+                   << gates_.size() << "-gate circuit");
+    if (prefixHashes_.empty()) {
+        // Link 0: the chain seed over everything that precedes the gate
+        // stream. Byte-compatible with the historical contentHash(),
+        // which folded (numQubits, name) before the gates.
+        Fnv1a seed;
+        seed.update(numQubits_);
+        seed.update(name_);
+        prefixHashes_.reserve(gates_.size() + 1);
+        prefixHashes_.push_back(seed.digest());
+    }
+    while (prefixHashes_.size() <= num_gates) {
+        const Gate &g = gates_[prefixHashes_.size() - 1];
+        Fnv1a hash(prefixHashes_.back());
         hash.update(static_cast<int>(g.kind));
         hash.update(g.q0);
         hash.update(g.q1);
         hash.update(g.param);
+        prefixHashes_.push_back(hash.digest());
     }
-    return hash.digest();
+    return prefixHashes_[num_gates];
 }
 
 } // namespace mussti

@@ -45,7 +45,13 @@ class Circuit
 
     /** Human-readable identifier, e.g. "Adder_n32". */
     const std::string &name() const { return name_; }
-    void setName(std::string name) { name_ = std::move(name); }
+
+    void
+    setName(std::string name)
+    {
+        name_ = std::move(name);
+        prefixHashes_.clear(); // The name seeds the prefix-hash chain.
+    }
 
     /** Append a gate; operands are validated against numQubits(). */
     void add(const Gate &gate);
@@ -97,16 +103,48 @@ class Circuit
     /**
      * Platform-stable FNV-1a digest of the circuit's full content (qubit
      * count, name, every gate). Equal circuits hash equally; used as the
-     * circuit component of the compile-service cache key.
+     * circuit component of the compile-service cache key. Identical to
+     * prefixHash(size()) — the full hash is the last link of the
+     * prefix-hash chain.
      */
-    std::uint64_t contentHash() const;
+    std::uint64_t contentHash() const { return prefixHash(size()); }
 
-    bool operator==(const Circuit &other) const = default;
+    /**
+     * FNV-1a digest of the first `num_gates` gates (plus qubit count and
+     * name): the rolling prefix-hash chain behind delta compilation.
+     * prefixHash(p) of circuit A equals prefixHash(p) of circuit B iff
+     * they agree on qubit count, name, and gates [0, p) — so the longest
+     * prefix shared with a cached artifact is found by hash lookup, not
+     * by diffing gate lists. The chain is cached lazily and extends
+     * incrementally: after the first call, hashing an appended gate (or
+     * any longer prefix) costs O(1) per gate, never a rescan.
+     *
+     * The cache is not synchronised: the first call on a Circuit shared
+     * across threads races. Every compile path hands each job its own
+     * Circuit copy (CompileRequest owns its circuit), so this only
+     * matters for callers that deliberately share one instance.
+     */
+    std::uint64_t prefixHash(std::size_t num_gates) const;
+
+    bool
+    operator==(const Circuit &other) const
+    {
+        // The lazy prefix-hash cache is derived state, not content.
+        return numQubits_ == other.numQubits_ && name_ == other.name_ &&
+               gates_ == other.gates_;
+    }
 
   private:
     int numQubits_;
     std::string name_;
     std::vector<Gate> gates_;
+
+    /**
+     * Lazy rolling chain: prefixHashes_[i] is the FNV-1a state after
+     * (numQubits, name, gates [0, i)). Empty until the first hash query;
+     * extended on demand, so appends never invalidate it.
+     */
+    mutable std::vector<std::uint64_t> prefixHashes_;
 };
 
 } // namespace mussti

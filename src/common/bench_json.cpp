@@ -294,6 +294,20 @@ parseRecord(JsonParser &p)
             record.makespanUs = p.parseNumber();
         } else if (key == "log10_fidelity") {
             record.log10Fidelity = p.parseNumber();
+        } else if (key == "delta_cold_ms") {
+            record.deltaColdMs = p.parseNumber();
+        } else if (key == "delta_speedup") {
+            record.deltaSpeedup = p.parseNumber();
+        } else if (key == "snapshot_hits") {
+            record.snapshotHits = static_cast<long long>(p.parseNumber());
+        } else if (key == "snapshot_misses") {
+            record.snapshotMisses =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "delta_resumes") {
+            record.deltaResumes = static_cast<long long>(p.parseNumber());
+        } else if (key == "delta_fallbacks") {
+            record.deltaFallbacks =
+                static_cast<long long>(p.parseNumber());
         } else if (key == "pass_trace") {
             p.expect('[');
             if (!p.consumeIf(']')) {
@@ -345,6 +359,16 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
             out << ", \"shuttles\": " << r.shuttles
                 << ", \"makespan_us\": " << number(r.makespanUs)
                 << ", \"log10_fidelity\": " << number(r.log10Fidelity);
+        }
+        if (r.deltaColdMs > 0.0) {
+            out << ", \"delta_cold_ms\": " << number(r.deltaColdMs)
+                << ", \"delta_speedup\": " << number(r.deltaSpeedup);
+        }
+        if (r.snapshotHits >= 0) {
+            out << ", \"snapshot_hits\": " << r.snapshotHits
+                << ", \"snapshot_misses\": " << r.snapshotMisses
+                << ", \"delta_resumes\": " << r.deltaResumes
+                << ", \"delta_fallbacks\": " << r.deltaFallbacks;
         }
         if (!r.passTrace.empty()) {
             out << ", \"pass_trace\": [";

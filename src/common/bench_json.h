@@ -85,6 +85,24 @@ struct BenchRecord
     long long shuttles = -1;
     double makespanUs = 0.0;
     double log10Fidelity = 0.0;
+
+    /**
+     * Delta-compilation accounting (micro_scheduler/delta records
+     * only). `wall_ms` holds the warm resumed path; `delta_cold_ms`
+     * (absent = <= 0) is the cold-path reference on the same edited
+     * circuit and `delta_speedup` their ratio. The snapshot counters
+     * (absent = -1) come from the scenario's CompileService
+     * verification pass, proving the cache tier actually hit and the
+     * compile resumed end to end. All optional fields of the same
+     * mussti-bench-v1 schema; readers that predate them skip unknown
+     * keys.
+     */
+    double deltaColdMs = 0.0;
+    double deltaSpeedup = 0.0;
+    long long snapshotHits = -1;
+    long long snapshotMisses = -1;
+    long long deltaResumes = -1;
+    long long deltaFallbacks = -1;
 };
 
 /** Render records as a mussti-bench-v1 JSON document. */

@@ -19,6 +19,17 @@ namespace mussti {
 class Fnv1a
 {
   public:
+    Fnv1a() = default;
+
+    /**
+     * Resume accumulation from a previously observed digest. FNV-1a has
+     * no finalisation step — the running state IS the digest — so
+     * `Fnv1a(a.digest())` continued with bytes B equals one accumulator
+     * fed A then B. This is what makes a per-gate prefix-hash chain
+     * (Circuit::prefixHash) O(1) per appended gate.
+     */
+    explicit Fnv1a(std::uint64_t resume_state) : hash_(resume_state) {}
+
     /** Fold `size` raw bytes into the hash. */
     void
     updateBytes(const void *data, std::size_t size)

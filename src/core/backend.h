@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/pipeline.h"
@@ -74,6 +75,27 @@ class ICompilerBackend
     {
         (void)workspace;
         return compileSeeded(std::move(circuit), seed);
+    }
+
+    /**
+     * Compile with a delta-compilation exchange: resume candidates in,
+     * captured checkpoints out (see DeltaCompileIO). `seed` absent means
+     * the backend's configured seed, matching compile(); present matches
+     * compileSeeded(). The result must be bit-identical to the
+     * corresponding plain call whether or not a resume happens. Backends
+     * without a delta path ignore the candidates and capture nothing
+     * (this default).
+     */
+    virtual CompileResult
+    compileDelta(Circuit circuit, const std::optional<std::uint64_t> &seed,
+                 const std::shared_ptr<SchedulerWorkspace> &workspace,
+                 DeltaCompileIO &delta) const
+    {
+        delta.captured.clear();
+        delta.resumed = false;
+        return seed.has_value()
+                   ? compileSeeded(std::move(circuit), *seed, workspace)
+                   : compile(std::move(circuit), workspace);
     }
 
     /**

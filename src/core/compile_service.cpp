@@ -23,6 +23,27 @@ CompileService::CacheKeyHash::operator()(const CacheKey &key) const
     return static_cast<std::size_t>(hash.digest());
 }
 
+std::size_t
+CompileService::SnapshotKeyHash::operator()(const SnapshotKey &key) const
+{
+    Fnv1a hash;
+    hash.update(key.prefixHash);
+    hash.update(key.configDigest);
+    hash.update(key.seed);
+    hash.update(key.hasSeed);
+    return static_cast<std::size_t>(hash.digest());
+}
+
+std::size_t
+CompileService::ProbeKeyHash::operator()(const ProbeKey &key) const
+{
+    Fnv1a hash;
+    hash.update(key.configDigest);
+    hash.update(key.seed);
+    hash.update(key.hasSeed);
+    return static_cast<std::size_t>(hash.digest());
+}
+
 CompileService::CompileService(const CompileServiceConfig &config)
     : config_(config)
 {
@@ -173,18 +194,38 @@ CompileService::execute(Job job)
         thread_local auto workspace =
             std::make_shared<SchedulerWorkspace>();
 
-        const CompileResult result =
-            job.request.seed
-                ? job.request.backend->compileSeeded(
-                      std::move(job.request.circuit), *job.request.seed,
-                      workspace)
-                : job.request.backend->compile(
-                      std::move(job.request.circuit), workspace);
+        CompileResult result = [&] {
+            if (config_.snapshotCacheCapacity == 0) {
+                return job.request.seed
+                           ? job.request.backend->compileSeeded(
+                                 std::move(job.request.circuit),
+                                 *job.request.seed, workspace)
+                           : job.request.backend->compile(
+                                 std::move(job.request.circuit),
+                                 workspace);
+            }
+
+            // Snapshot tier on: offer hash-verified prefix snapshots
+            // as resume candidates and bank whatever this compile
+            // captures. Bit-identical to the plain path by contract.
+            DeltaCompileIO delta;
+            delta.candidates = probeSnapshots(key, job.request.circuit);
+            const bool had_candidates = !delta.candidates.empty();
+            CompileResult compiled = job.request.backend->compileDelta(
+                std::move(job.request.circuit), job.request.seed,
+                workspace, delta);
+            if (delta.resumed)
+                deltaResumes_.fetch_add(1);
+            else if (had_candidates)
+                deltaFallbacks_.fetch_add(1);
+            storeSnapshots(key, std::move(delta.captured));
+            return compiled;
+        }();
         jobsExecuted_.fetch_add(1);
 
         if (config_.cacheCapacity > 0)
             cacheStore(key, result);
-        job.promise.set_value(result);
+        job.promise.set_value(std::move(result));
     } catch (...) {
         job.promise.set_exception(std::current_exception());
     }
@@ -212,9 +253,133 @@ CompileService::cacheStore(const CacheKey &key,
     while (cache_.size() >= config_.cacheCapacity && !lruOrder_.empty()) {
         cache_.erase(lruOrder_.back());
         lruOrder_.pop_back();
+        resultEvictions_.fetch_add(1);
     }
     lruOrder_.push_front(key);
     cache_.emplace(key, std::make_pair(result, lruOrder_.begin()));
+}
+
+std::vector<std::shared_ptr<const ScheduleSnapshot>>
+CompileService::probeSnapshots(const CacheKey &key, const Circuit &circuit)
+{
+    std::vector<std::shared_ptr<const ScheduleSnapshot>> found;
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+
+    const ProbeKey probe{key.configDigest, key.seed, key.hasSeed};
+    const auto index_it = prefixIndex_.find(probe);
+    if (index_it != prefixIndex_.end()) {
+        // Walk the cached prefix lengths longest-first — the longer
+        // the verified prefix, the less suffix the scheduler replays —
+        // and stop once enough candidates are in hand.
+        const auto &lengths = index_it->second;
+        for (auto it = lengths.rbegin();
+             it != lengths.rend() && found.size() < kMaxResumeCandidates;
+             ++it) {
+            const std::size_t prefix_gates = it->first;
+            if (prefix_gates == 0 || prefix_gates > circuit.size())
+                continue;
+            SnapshotKey skey{circuit.prefixHash(prefix_gates),
+                             key.configDigest, key.seed, key.hasSeed};
+            const auto snap_it = snapshots_.find(skey);
+            if (snap_it == snapshots_.end())
+                continue;
+            snapshotLru_.splice(snapshotLru_.begin(), snapshotLru_,
+                                snap_it->second.lruIt);
+            found.push_back(snap_it->second.snapshot);
+        }
+    }
+
+    if (found.empty())
+        snapshotMisses_.fetch_add(1);
+    else
+        snapshotHits_.fetch_add(1);
+
+    // The scheduler wants candidates ascending by covered prefix.
+    std::reverse(found.begin(), found.end());
+    return found;
+}
+
+void
+CompileService::storeSnapshots(const CacheKey &key,
+                               std::vector<ScheduleSnapshot> captured)
+{
+    if (captured.empty())
+        return;
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    for (ScheduleSnapshot &snap : captured) {
+        if (snap.inputPrefixGates == 0)
+            continue;
+        SnapshotKey skey{snap.prefixHash, key.configDigest, key.seed,
+                         key.hasSeed};
+        const auto it = snapshots_.find(skey);
+        if (it != snapshots_.end()) {
+            // Deterministic compiles recapture identical checkpoints;
+            // keep the incumbent, just refresh its recency.
+            snapshotLru_.splice(snapshotLru_.begin(), snapshotLru_,
+                                it->second.lruIt);
+            continue;
+        }
+
+        snapshotBytes_ += snap.approxBytes();
+        prefixIndex_[{key.configDigest, key.seed, key.hasSeed}]
+                    [snap.inputPrefixGates] += 1;
+        snapshotLru_.push_front(skey);
+        snapshots_.emplace(
+            skey,
+            SnapshotEntry{std::make_shared<const ScheduleSnapshot>(
+                              std::move(snap)),
+                          snapshotLru_.begin()});
+
+        while (snapshots_.size() > config_.snapshotCacheCapacity &&
+               !snapshotLru_.empty()) {
+            evictSnapshotLocked(snapshotLru_.back());
+            snapshotEvictions_.fetch_add(1);
+        }
+    }
+}
+
+void
+CompileService::evictSnapshotLocked(const SnapshotKey &key)
+{
+    const auto it = snapshots_.find(key);
+    if (it == snapshots_.end())
+        return;
+    const ScheduleSnapshot &snap = *it->second.snapshot;
+    const std::size_t bytes = snap.approxBytes();
+    snapshotBytes_ -= bytes > snapshotBytes_ ? snapshotBytes_ : bytes;
+
+    const ProbeKey probe{key.configDigest, key.seed, key.hasSeed};
+    const auto index_it = prefixIndex_.find(probe);
+    if (index_it != prefixIndex_.end()) {
+        const auto len_it = index_it->second.find(snap.inputPrefixGates);
+        if (len_it != index_it->second.end() && --len_it->second <= 0)
+            index_it->second.erase(len_it);
+        if (index_it->second.empty())
+            prefixIndex_.erase(index_it);
+    }
+
+    snapshotLru_.erase(it->second.lruIt);
+    snapshots_.erase(it);
+}
+
+CompileService::CacheStats
+CompileService::cacheStats() const
+{
+    CacheStats stats;
+    stats.resultHits = cacheHits_.load();
+    stats.resultMisses = jobsExecuted_.load();
+    stats.resultEvictions = resultEvictions_.load();
+    stats.snapshotHits = snapshotHits_.load();
+    stats.snapshotMisses = snapshotMisses_.load();
+    stats.snapshotEvictions = snapshotEvictions_.load();
+    stats.deltaResumes = deltaResumes_.load();
+    stats.deltaFallbacks = deltaFallbacks_.load();
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        stats.snapshotCount = snapshots_.size();
+        stats.snapshotBytes = snapshotBytes_;
+    }
+    return stats;
 }
 
 } // namespace mussti

@@ -9,6 +9,14 @@
  * memoised in a bounded LRU cache keyed by (circuit content hash,
  * backend config digest, seed), which collapses the repeated
  * compilations the bench sweeps perform.
+ *
+ * A second LRU tier caches delta-compile checkpoints
+ * (core/schedule_snapshot.h) keyed by (input PREFIX hash, config
+ * digest, seed): when a submitted circuit shares a prefix with an
+ * earlier compile, the matching snapshots ride into the backend's
+ * compileDelta call as resume candidates, so the recompile costs time
+ * proportional to the edited suffix instead of the whole circuit —
+ * with a bit-identical result either way.
  */
 #ifndef MUSSTI_CORE_COMPILE_SERVICE_H
 #define MUSSTI_CORE_COMPILE_SERVICE_H
@@ -19,6 +27,7 @@
 #include <deque>
 #include <future>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -27,6 +36,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/schedule_snapshot.h"
 
 namespace mussti {
 
@@ -38,6 +48,19 @@ struct CompileServiceConfig
 
     /** Cached results kept (LRU evicted); 0 disables the cache. */
     std::size_t cacheCapacity = 128;
+
+    /**
+     * Delta-compile checkpoints kept (LRU evicted); 0 disables the
+     * snapshot tier entirely — jobs then run through the plain
+     * compile/compileSeeded path. With the tier on, every job routes
+     * through ICompilerBackend::compileDelta: snapshots captured by
+     * past compiles are offered as resume candidates to future jobs
+     * that share an input prefix (same config digest and seed), turning
+     * an append-or-reparameterize recompile into work proportional to
+     * the edited suffix. Results stay bit-identical by contract;
+     * backends without a delta path are unaffected.
+     */
+    std::size_t snapshotCacheCapacity = 64;
 };
 
 /** One unit of work for the service. */
@@ -132,6 +155,30 @@ class CompileService
     /** Jobs served from the result cache. */
     std::uint64_t cacheHits() const { return cacheHits_.load(); }
 
+    /** Counters over both cache tiers (see cacheStats()). */
+    struct CacheStats
+    {
+        std::uint64_t resultHits = 0;   ///< Jobs served from the result cache.
+        std::uint64_t resultMisses = 0; ///< Jobs that actually compiled.
+        std::uint64_t resultEvictions = 0; ///< Results dropped by the LRU bound.
+        std::uint64_t snapshotHits = 0; ///< Probes finding >=1 resume candidate.
+        std::uint64_t snapshotMisses = 0;  ///< Probes finding none.
+        std::uint64_t snapshotEvictions = 0; ///< Snapshots dropped by the bound.
+        std::uint64_t deltaResumes = 0; ///< Compiles resumed from a snapshot.
+        std::uint64_t deltaFallbacks = 0; ///< Candidate-backed compiles that
+                                          ///< still scheduled cold.
+        std::size_t snapshotCount = 0;  ///< Snapshots currently cached.
+        std::size_t snapshotBytes = 0;  ///< Their approximate footprint.
+    };
+
+    /**
+     * Point-in-time cache-effectiveness counters across the result tier
+     * and the delta-compile snapshot tier. Monotonic over the service's
+     * lifetime except snapshotCount/snapshotBytes, which track current
+     * occupancy.
+     */
+    CacheStats cacheStats() const;
+
   private:
     struct Job
     {
@@ -154,11 +201,72 @@ class CompileService
         std::size_t operator()(const CacheKey &key) const;
     };
 
+    /**
+     * Snapshot-tier key: the content hash of the input PREFIX the
+     * snapshot covers (not the whole circuit — that is the point),
+     * plus the same config/seed coordinates as the result tier so a
+     * snapshot can never resume a job it was not produced under.
+     */
+    struct SnapshotKey
+    {
+        std::uint64_t prefixHash = 0;
+        std::uint64_t configDigest = 0;
+        std::uint64_t seed = 0;
+        bool hasSeed = false;
+
+        bool operator==(const SnapshotKey &other) const = default;
+    };
+
+    struct SnapshotKeyHash
+    {
+        std::size_t operator()(const SnapshotKey &key) const;
+    };
+
+    /** (configDigest, seed) coordinates of the probe index. */
+    struct ProbeKey
+    {
+        std::uint64_t configDigest = 0;
+        std::uint64_t seed = 0;
+        bool hasSeed = false;
+
+        bool operator==(const ProbeKey &other) const = default;
+    };
+
+    struct ProbeKeyHash
+    {
+        std::size_t operator()(const ProbeKey &key) const;
+    };
+
+    struct SnapshotEntry
+    {
+        std::shared_ptr<const ScheduleSnapshot> snapshot;
+        std::list<SnapshotKey>::iterator lruIt;
+    };
+
     void workerLoop();
     void execute(Job job);
 
     std::optional<CompileResult> cacheLookup(const CacheKey &key);
     void cacheStore(const CacheKey &key, const CompileResult &result);
+
+    /**
+     * Find cached snapshots whose input prefix the circuit shares
+     * (hash-verified), ascending by prefix length, at most
+     * kMaxResumeCandidates of the longest ones. Counts a snapshot-tier
+     * hit or miss.
+     */
+    std::vector<std::shared_ptr<const ScheduleSnapshot>>
+    probeSnapshots(const CacheKey &key, const Circuit &circuit);
+
+    /** Insert captured checkpoints, evicting LRU past the bound. */
+    void storeSnapshots(const CacheKey &key,
+                        std::vector<ScheduleSnapshot> captured);
+
+    /** Drop one snapshot entry and unwind its index bookkeeping. */
+    void evictSnapshotLocked(const SnapshotKey &key);
+
+    /** Longest resume-candidate list offered to one compile. */
+    static constexpr std::size_t kMaxResumeCandidates = 8;
 
     CompileServiceConfig config_;
     std::vector<std::thread> workers_;
@@ -168,7 +276,7 @@ class CompileService
     std::deque<Job> queue_;
     bool stopping_ = false;
 
-    std::mutex cacheMutex_;
+    mutable std::mutex cacheMutex_; ///< Also taken by const cacheStats().
     std::unordered_map<CacheKey,
                        std::pair<CompileResult,
                                  std::list<CacheKey>::iterator>,
@@ -176,8 +284,29 @@ class CompileService
         cache_;
     std::list<CacheKey> lruOrder_; ///< Front = most recently used.
 
+    // ---- snapshot tier (all guarded by cacheMutex_) ------------------
+    std::unordered_map<SnapshotKey, SnapshotEntry, SnapshotKeyHash>
+        snapshots_;
+    std::list<SnapshotKey> snapshotLru_; ///< Front = most recently used.
+
+    /**
+     * Probe index: per (configDigest, seed), the cached prefix lengths
+     * with a refcount (several snapshots of different circuits may
+     * share a length). Lets a probe enumerate candidate lengths and
+     * hash only those prefixes of the incoming circuit.
+     */
+    std::unordered_map<ProbeKey, std::map<std::size_t, int>, ProbeKeyHash>
+        prefixIndex_;
+    std::size_t snapshotBytes_ = 0;
+
     std::atomic<std::uint64_t> jobsExecuted_{0};
     std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> resultEvictions_{0};
+    std::atomic<std::uint64_t> snapshotHits_{0};
+    std::atomic<std::uint64_t> snapshotMisses_{0};
+    std::atomic<std::uint64_t> snapshotEvictions_{0};
+    std::atomic<std::uint64_t> deltaResumes_{0};
+    std::atomic<std::uint64_t> deltaFallbacks_{0};
 };
 
 } // namespace mussti

@@ -9,6 +9,7 @@
 #include "core/mapper.h"
 #include "core/scheduler.h"
 #include "lint/lint_pass.h"
+#include "lint/schedule_linter.h"
 #include "sim/evaluation_pass.h"
 #include "sim/evaluator.h"
 
@@ -32,6 +33,35 @@ schedulerWorkspaceOf(CompileContext &ctx)
     if (!ctx.schedulerWorkspace)
         ctx.schedulerWorkspace = std::make_shared<SchedulerWorkspace>();
     return *ctx.schedulerWorkspace;
+}
+
+/**
+ * Lowered-gate count of the first `prefix` input gates: lowering
+ * rewrites each SWAP into 3 CX and keeps every other gate 1:1
+ * (Circuit::withSwapsDecomposed), so the counts stay in lockstep.
+ */
+std::size_t
+loweredPrefixLength(const Circuit &input, std::size_t prefix)
+{
+    std::size_t extra = 0;
+    for (std::size_t i = 0; i < prefix; ++i) {
+        if (input[i].kind == GateKind::Swap)
+            extra += 2;
+    }
+    return prefix + extra;
+}
+
+/** Minimal input-prefix length whose lowering covers `lowered_gates`. */
+std::size_t
+inputPrefixCovering(const Circuit &input, std::size_t lowered_gates)
+{
+    std::size_t lowered = 0;
+    std::size_t prefix = 0;
+    while (prefix < input.size() && lowered < lowered_gates) {
+        lowered += input[prefix].kind == GateKind::Swap ? 3 : 1;
+        ++prefix;
+    }
+    return prefix;
 }
 
 /** Build the EML device sized for the input circuit. */
@@ -87,15 +117,63 @@ class MusstiSchedulePass : public CompilerPass
         const MusstiConfig config = seededConfig(config_, ctx.seed);
         const MusstiScheduler scheduler(ctx.requireEmlDevice(),
                                         ctx.params, config);
+
+        // Delta compilation covers only this forward leg: under Sabre
+        // the reverse/refined legs run over different circuits or
+        // placements and always schedule cold. Candidates arrive with
+        // their input-prefix hashes already verified by the caller;
+        // translate each prefix into lowered-gate terms for the
+        // scheduler's window-cleanliness proof.
+        DeltaRequest request;
+        const DeltaRequest *delta = nullptr;
+        if (config.deltaCompile && ctx.delta != nullptr) {
+            request.checkpointEvery = config.deltaCheckpointGates;
+            request.candidates.reserve(ctx.delta->candidates.size());
+            for (const auto &snap : ctx.delta->candidates) {
+                if (snap == nullptr ||
+                    snap->inputPrefixGates > ctx.input.size())
+                    continue;
+                request.candidates.push_back(
+                    {snap.get(),
+                     loweredPrefixLength(ctx.input,
+                                         snap->inputPrefixGates)});
+            }
+            delta = &request;
+        }
+
         auto output = scheduler.run(ctx.requireLowered(),
                                     ctx.requirePlacement(),
-                                    &schedulerWorkspaceOf(ctx));
+                                    &schedulerWorkspaceOf(ctx), delta);
         ctx.schedule = std::move(output.schedule);
         ctx.finalPlacement = std::move(output.finalPlacement);
         ctx.swapInsertions = output.swapInsertions;
         ctx.evictions = output.evictions;
         ctx.routingSteps += output.routingSteps;
         ctx.schedulerHeapAllocs += output.loopHeapAllocs;
+
+        if (delta == nullptr)
+            return;
+
+        if (output.resumed) {
+            // Safety net on the fast path: every delta-produced
+            // schedule must clear the lint oracle before leaving the
+            // pass, so a resume bug can never ship a broken schedule.
+            const LintReport report = lintSchedule(
+                ctx.schedule, ctx.requireLowered(), ctx.requireDevice());
+            MUSSTI_ASSERT(report.ok(),
+                          "delta-resumed schedule failed lint with "
+                              << report.errorCount() << " error(s)");
+        }
+
+        // Stamp each captured checkpoint with the input prefix it
+        // covers so the caller can key it by Circuit::prefixHash.
+        for (ScheduleSnapshot &snap : output.snapshots) {
+            snap.inputPrefixGates =
+                inputPrefixCovering(ctx.input, snap.loweredPrefixGates);
+            snap.prefixHash = ctx.input.prefixHash(snap.inputPrefixGates);
+        }
+        ctx.delta->captured = std::move(output.snapshots);
+        ctx.delta->resumed = output.resumed;
     }
 
   private:
@@ -219,6 +297,17 @@ MusstiCompiler::compileSeeded(
                                   workspace);
 }
 
+CompileResult
+MusstiCompiler::compileDelta(
+    Circuit circuit, const std::optional<std::uint64_t> &seed,
+    const std::shared_ptr<SchedulerWorkspace> &workspace,
+    DeltaCompileIO &delta) const
+{
+    return makePipeline().compile(std::move(circuit), params_,
+                                  seed.value_or(config_.seed), workspace,
+                                  &delta);
+}
+
 const std::string &
 MusstiCompiler::name() const
 {
@@ -241,6 +330,14 @@ MusstiCompiler::configDigest() const
     // lintLevel changes the pipeline shape (strict lint can reject a
     // compile), so a cached result must not cross lint disciplines.
     hash.update(config_.lintLevel);
+    // Delta compilation is bit-identical by contract, but snapshots key
+    // on this digest and must never cross the knob; fold it in only
+    // when enabled so every knob-off digest (and the golden-fingerprint
+    // suite keyed on it) stays exactly as before.
+    if (config_.deltaCompile) {
+        hash.update(config_.deltaCompile);
+        hash.update(config_.deltaCheckpointGates);
+    }
     // The device folds in through its canonical registry spec, so
     // every topology knob — including heterogeneous module mixes —
     // keys the CompileService cache.

@@ -78,6 +78,18 @@ class MusstiCompiler : public ICompilerBackend
         const std::shared_ptr<SchedulerWorkspace> &workspace)
         const override;
 
+    /**
+     * Compile with a delta-compilation exchange: when
+     * MusstiConfig::deltaCompile is on, the scheduling pass tries to
+     * resume from the candidates and captures checkpoints per
+     * MusstiConfig::deltaCheckpointGates. Bit-identical to
+     * compileSeeded(circuit, seed) / compile(circuit) either way.
+     */
+    CompileResult
+    compileDelta(Circuit circuit, const std::optional<std::uint64_t> &seed,
+                 const std::shared_ptr<SchedulerWorkspace> &workspace,
+                 DeltaCompileIO &delta) const override;
+
     const std::string &name() const override;
 
     std::uint64_t configDigest() const override;

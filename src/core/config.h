@@ -80,6 +80,28 @@ struct MusstiConfig
     std::uint64_t seed = 2025;
 
     /**
+     * Prefix-reuse delta compilation. When on, the forward scheduling
+     * leg captures ScheduleSnapshots at gate-count checkpoints
+     * (core/schedule_snapshot.h) and, handed a snapshot whose input
+     * prefix matches, resumes from it instead of replaying the shared
+     * prefix — bit-identical to the cold path by construction, with the
+     * cold path kept as the cross-check oracle
+     * (tests/test_delta_compile.cpp). Off by default so the stock
+     * pipelines, golden fingerprints, and configDigest() values are
+     * untouched; when on it is folded into configDigest(), so a
+     * delta-produced result is never served to a non-delta request.
+     */
+    bool deltaCompile = false;
+
+    /**
+     * Snapshot-capture cadence of the delta path: a checkpoint is
+     * captured every this many retired two-qubit gates (the scheduler
+     * thins the set to a bounded count as the run grows). Only read
+     * when deltaCompile is on.
+     */
+    int deltaCheckpointGates = 64;
+
+    /**
      * Post-compile static analysis (src/lint/): 0 = off (the default —
      * the linter never sits on the hot path uninvited), 1 = lint the
      * final schedule and warn() on findings, 2 = strict: fatal() when

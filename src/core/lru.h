@@ -39,6 +39,23 @@ class LruTracker
     /** Current clock value (tests). */
     std::int64_t now() const { return clock_; }
 
+    /** Full stamp table (delta-compile checkpoint capture). */
+    const std::vector<std::int64_t> &stamps() const { return stamps_; }
+
+    /**
+     * Restore stamps and clock from a checkpoint, so every later
+     * victim() comparison replays exactly as in the captured run.
+     */
+    void
+    restore(const std::vector<std::int64_t> &stamps, std::int64_t clock)
+    {
+        MUSSTI_ASSERT(stamps.size() == stamps_.size(),
+                      "LRU restore across qubit counts: " << stamps.size()
+                      << " vs " << stamps_.size());
+        stamps_ = stamps;
+        clock_ = clock;
+    }
+
   private:
     std::vector<std::int64_t> stamps_;
     std::int64_t clock_ = 0;

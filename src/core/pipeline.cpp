@@ -79,11 +79,13 @@ PassPipeline::passNames() const
 CompileResult
 PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
                       std::uint64_t seed,
-                      std::shared_ptr<SchedulerWorkspace> workspace) const
+                      std::shared_ptr<SchedulerWorkspace> workspace,
+                      DeltaCompileIO *delta) const
 {
     const auto t0 = std::chrono::steady_clock::now();
     CompileContext ctx(std::move(circuit), params, seed);
     ctx.schedulerWorkspace = std::move(workspace);
+    ctx.delta = delta;
 
     for (const auto &pass : passes_) {
         const auto p0 = std::chrono::steady_clock::now();
@@ -108,6 +110,7 @@ PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
     result.evictions = ctx.evictions;
     result.routingSteps = ctx.routingSteps;
     result.schedulerHeapAllocs = ctx.schedulerHeapAllocs;
+    result.deltaResumed = delta != nullptr && delta->resumed;
     if (ctx.finalPlacement)
         result.finalChains = Schedule::snapshotChains(*ctx.finalPlacement);
     result.compileTimeSec =

@@ -26,6 +26,7 @@
 #include "arch/placement.h"
 #include "arch/target_device.h"
 #include "circuit/circuit.h"
+#include "core/schedule_snapshot.h"
 #include "sim/evaluator.h"
 #include "sim/params.h"
 #include "sim/schedule.h"
@@ -41,6 +42,35 @@ struct PassTiming
 {
     std::string pass;
     double seconds = 0.0;
+};
+
+/**
+ * Delta-compilation exchange of one compile call (core/
+ * schedule_snapshot.h). The caller (normally the CompileService's
+ * snapshot tier) supplies checkpoints whose input-prefix hashes it has
+ * matched against the incoming circuit; the pipeline's scheduling pass
+ * tries to resume from the longest provably safe one and reports the
+ * checkpoints it captured for future reuse. Only consulted when the
+ * backend's configuration enables delta compilation
+ * (MusstiConfig::deltaCompile); other backends ignore it.
+ */
+struct DeltaCompileIO
+{
+    /**
+     * Resume candidates, ascending by inputPrefixGates. Each must
+     * carry a prefixHash the caller verified equals the incoming
+     * circuit's prefixHash(inputPrefixGates).
+     */
+    std::vector<std::shared_ptr<const ScheduleSnapshot>> candidates;
+
+    /**
+     * Checkpoints captured during this compile, stamped with the input
+     * prefix they cover — ready to key into a snapshot cache.
+     */
+    std::vector<ScheduleSnapshot> captured;
+
+    /** The compile resumed from one of the candidates. */
+    bool resumed = false;
 };
 
 /** Everything a compilation produces. */
@@ -66,6 +96,13 @@ struct CompileResult
      */
     int routingSteps = 0;
     std::uint64_t schedulerHeapAllocs = 0;
+
+    /**
+     * The schedule was produced by resuming from a delta-compile
+     * checkpoint rather than scheduling the whole circuit (bit-
+     * identical either way; see MusstiConfig::deltaCompile).
+     */
+    bool deltaResumed = false;
 
     explicit CompileResult(Circuit c) : lowered(std::move(c)) {}
 };
@@ -116,6 +153,13 @@ struct CompileContext
      * SABRE legs). Per-context, so concurrent jobs never share it.
      */
     std::shared_ptr<SchedulerWorkspace> schedulerWorkspace;
+
+    /**
+     * Delta-compilation exchange (may be null): candidates in,
+     * captured checkpoints and the resume verdict out. Owned by the
+     * compile() caller; the scheduling pass is the only reader/writer.
+     */
+    DeltaCompileIO *delta = nullptr;
 
     std::vector<PassTiming> trace; ///< Filled by PassPipeline.
 
@@ -182,11 +226,14 @@ class PassPipeline
      * `workspace`, when given, seeds the context's scheduler arena so
      * repeated compilations reuse warm buffers (results are identical
      * either way; see core/scheduler_workspace.h for the contract).
+     * `delta`, when given, is wired into the context for the scheduling
+     * pass (resume candidates in, captured checkpoints out).
      */
     CompileResult
     compile(Circuit circuit, const PhysicalParams &params,
             std::uint64_t seed,
-            std::shared_ptr<SchedulerWorkspace> workspace = nullptr) const;
+            std::shared_ptr<SchedulerWorkspace> workspace = nullptr,
+            DeltaCompileIO *delta = nullptr) const;
 
   private:
     std::vector<std::unique_ptr<CompilerPass>> passes_;

@@ -27,6 +27,7 @@
 #include "common/small_vec.h"
 #include "core/config.h"
 #include "core/lru.h"
+#include "core/schedule_snapshot.h"
 #include "sim/params.h"
 #include "sim/schedule.h"
 #include "sim/shuttle_emitter.h"
@@ -103,6 +104,32 @@ class Router
 
     /** Total evictions performed so far (conflict-handling count). */
     int evictionCount() const { return evictions_; }
+
+    /**
+     * Capture the conflict-handling state into a delta-compile
+     * checkpoint: arrival stamps (FIFO policy), eviction count, and the
+     * Random-policy RNG stream position.
+     */
+    void
+    saveCheckpoint(RouterCheckpoint &out) const
+    {
+        out.arrival = arrival_;
+        out.arrivalClock = arrivalClock_;
+        out.evictions = evictions_;
+        out.rng = rng_;
+    }
+
+    /** Restore the state captured by saveCheckpoint. */
+    void
+    restoreCheckpoint(const RouterCheckpoint &checkpoint)
+    {
+        MUSSTI_ASSERT(checkpoint.arrival.size() == arrival_.size(),
+                      "router checkpoint across qubit counts");
+        arrival_ = checkpoint.arrival;
+        arrivalClock_ = checkpoint.arrivalClock;
+        evictions_ = checkpoint.evictions;
+        rng_ = checkpoint.rng;
+    }
 
   private:
     const EmlDevice &device_;

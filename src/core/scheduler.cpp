@@ -1,6 +1,8 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -102,6 +104,25 @@ class FrontierWorklist : public QubitMoveListener
         return id;
     }
 
+    /**
+     * Re-seed from the DAG's current frontier, dropping any queued
+     * state — the delta-resume entry point. At a checkpoint the drain
+     * has just proven every frontier gate non-executable with nothing
+     * queued, so a resumed run's first drain round re-checks the full
+     * frontier, executes nothing (same placement, same DAG, same
+     * verdicts), and lands in exactly the captured worklist state.
+     */
+    void
+    reseed()
+    {
+        cur_.clear();
+        next_.clear();
+        std::fill(queued_.begin(), queued_.end(), 0);
+        inRound_ = false;
+        for (DagNodeId id : dag_.frontier())
+            noteReady(id);
+    }
+
     /** A node's last predecessor retired; queue its first check. */
     void
     noteReady(DagNodeId id)
@@ -159,6 +180,14 @@ struct PassState
 
     std::vector<int> nextUse;
     bool nextUseSynced = false; ///< First snapshot copies the table.
+
+    /**
+     * When non-null, every retired node id is recorded here in
+     * retirement order — the DAG completion watermark a
+     * ScheduleSnapshot replays to fast-forward a fresh DAG. Only bound
+     * when the run captures checkpoints (delta compilation).
+     */
+    std::vector<int> *retiredOrder = nullptr;
 
     PassState(const EmlDevice &dev, const PhysicalParams &par,
               const MusstiConfig &cfg, const Circuit &circuit,
@@ -270,6 +299,8 @@ executeGate(PassState &st, const MusstiConfig &config, DagNodeId id,
     st.lru.touch(gate.q0);
     st.lru.touch(gate.q1);
     st.dag.complete(id);
+    if (st.retiredOrder != nullptr)
+        st.retiredOrder->push_back(id);
     if (config.incrementalFrontier) {
         for (DagNodeId succ : node.succs) {
             if (st.dag.isReady(succ))
@@ -323,63 +354,430 @@ drainFullRescan(PassState &st, const MusstiConfig &config,
     }
 }
 
+// ---- delta compilation: capture and resume ----------------------------
+//
+// ## Why a checkpoint is resumable bit for bit
+//
+// Snapshots are captured at one precise point of the loop: after the
+// phase-1 drain has concluded (every frontier gate checked, none
+// executable, nothing queued) and before phase 2 routes a gate. At that
+// point the pass state is closed over (placement, schedule, LRU,
+// router, inserter, the stale nextUse copy) plus the DAG, which is a
+// pure function of (lowered circuit, retired set). Restoring the
+// explicit state verbatim and fast-forwarding a fresh DAG by replaying
+// the recorded retirement order (a valid topological order, so every
+// replayed node is ready when its turn comes) therefore reconstructs
+// the captured state exactly; the loop then continues as the cold run
+// would have.
+//
+// ## Why a resume equals a cold compile of the NEW circuit
+//
+// The suffix beyond the shared prefix may differ arbitrarily, so the
+// resumed run is only bit-identical to a cold compile of the new
+// circuit if that cold compile would have made the very same decisions
+// up to the checkpoint. Every decision input is either (a) a retired
+// node, (b) a node inside the look-ahead window (depth < horizon:
+// frontier membership, the nextUse table, the SWAP-insertion weight
+// table — which reads depths < lookAhead <= horizon, a guard below), or
+// (c) nothing. Window depths only DECREASE as nodes retire, so if a
+// suffix node's depth is >= horizon after the full replay, it was >=
+// horizon — invisible — at every earlier step too. windowClean() checks
+// exactly that on the new DAG; a candidate that fails falls back to the
+// cold path, never to a wrong schedule. Prefix nodes' depths depend
+// only on their (prefix) predecessors, hence agree between the old and
+// new DAGs.
+
+/** No unfinished node at or beyond the shared prefix is visible inside
+    the look-ahead window. */
+bool
+windowClean(const DependencyDag &dag, std::size_t shared_gates)
+{
+    for (int d = 0; d < dag.windowHorizon(); ++d) {
+        for (DagNodeId id : dag.windowLayer(d)) {
+            if (static_cast<std::size_t>(dag.node(id).circuitIndex) >=
+                shared_gates)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Shape guards a snapshot must pass before any replay is attempted. */
+bool
+resumeShapeOk(const PassState &st, const Circuit &lowered,
+              const ResumeCandidate &cand)
+{
+    const ScheduleSnapshot &snap = *cand.snapshot;
+    const auto qubits = static_cast<std::size_t>(lowered.numQubits());
+    return snap.loweredPrefixGates <= cand.sharedLoweredGates &&
+           cand.sharedLoweredGates <= lowered.size() &&
+           snap.retired.size() <=
+               static_cast<std::size_t>(st.dag.size()) &&
+           snap.lruStamps.size() == qubits &&
+           snap.router.arrival.size() == qubits &&
+           snap.nextUse.size() == qubits &&
+           snap.chainTailDepth.size() == qubits &&
+           static_cast<int>(snap.chains.size()) <=
+               st.placement.numZones() &&
+           snap.schedule.initialChains == st.schedule.initialChains;
+}
+
+/**
+ * Replay snapshot retirements [from, snap.retired.size()) onto the
+ * DAG. Every id must be a ready, unfinished node inside the verified
+ * shared prefix; false (state partially advanced, caller rebuilds)
+ * otherwise.
+ */
+bool
+replayRetired(PassState &st, const ResumeCandidate &cand,
+              std::size_t from)
+{
+    const ScheduleSnapshot &snap = *cand.snapshot;
+    for (std::size_t i = from; i < snap.retired.size(); ++i) {
+        const int id = snap.retired[i];
+        if (id < 0 || id >= st.dag.size())
+            return false;
+        const DagNode &node = st.dag.node(id);
+        if (node.done || !st.dag.isReady(id) ||
+            static_cast<std::size_t>(node.circuitIndex) >=
+                cand.sharedLoweredGates)
+            return false;
+        st.dag.complete(id);
+    }
+    return true;
+}
+
+/**
+ * Decide windowClean(shared_gates) for a candidate without building or
+ * replaying a DAG. At the resume point, the depth of every prefix node
+ * (circuitIndex < the snapshot's covered prefix P) is what it was at
+ * capture — depths only read predecessors, all inside the prefix — and
+ * each qubit's deepest live prefix depth is frozen in the snapshot's
+ * chainTailDepth. Every later node's depth then follows the
+ * longest-path recurrence along its operands' dependency chains, so
+ * one forward sweep over lowered[P..) reproduces exactly the depths
+ * the replayed DAG would report (clamping at the horizon commutes with
+ * the recurrence). Fails the moment a node at or beyond shared_gates
+ * lands inside the window; succeeds early once every chain tail has
+ * sunk to the horizon, since depths only grow along a sweep.
+ */
+bool
+suffixWindowClean(const Circuit &lowered, const ScheduleSnapshot &snap,
+                  std::size_t shared_gates, int horizon,
+                  std::vector<int> &cur)
+{
+    cur.assign(snap.chainTailDepth.begin(), snap.chainTailDepth.end());
+    int shallow = 0; // Qubits whose next gate could enter the window
+                     // (-1, "next gate would be frontier", included).
+    for (const int d : cur)
+        shallow += d < horizon;
+    for (std::size_t i = snap.loweredPrefixGates;
+         i < lowered.size() && shallow > 0; ++i) {
+        const Gate &g = lowered[i];
+        if (!g.twoQubit())
+            continue;
+        const int da = cur[g.q0];
+        const int db = cur[g.q1];
+        const int m = std::max(da, db);
+        const int d = m < 0 ? 0 : std::min(m + 1, horizon);
+        if (d < horizon && i >= shared_gates)
+            return false;
+        shallow -= (da < horizon) + (db < horizon) - 2 * (d < horizon);
+        cur[g.q0] = d;
+        cur[g.q1] = d;
+    }
+    return true;
+}
+
+/**
+ * Resume a freshly built pass state from a probe-approved candidate:
+ * fast-forward the DAG, restore the captured state verbatim, and
+ * re-seed the worklist from the fast-forwarded frontier. False when a
+ * replay guard trips (pass state is dirty; caller rebuilds and goes
+ * cold).
+ */
+bool
+resumeFromSnapshot(PassState &st, const ResumeCandidate &cand,
+                   int &swap_insertions, int &routing_steps)
+{
+    const ScheduleSnapshot &snap = *cand.snapshot;
+    if (!replayRetired(st, cand, 0))
+        return false;
+
+    st.placement.restoreChains(snap.chains);
+    st.schedule.ops.assign(snap.schedule.ops.begin(),
+                           snap.schedule.ops.end());
+    st.schedule.shuttleCount = snap.schedule.shuttleCount;
+    st.schedule.ionSwapCount = snap.schedule.ionSwapCount;
+    st.schedule.insertedSwapGates = snap.schedule.insertedSwapGates;
+    st.lru.restore(snap.lruStamps, snap.lruClock);
+    st.router.restoreCheckpoint(snap.router);
+    st.inserter.restoreInsertedCount(snap.insertedSwapCount);
+    st.nextUse.assign(snap.nextUse.begin(), snap.nextUse.end());
+    st.nextUseSynced = snap.nextUseSynced;
+    st.worklist.reseed();
+    swap_insertions = snap.swapInsertions;
+    routing_steps = snap.routingSteps;
+    return true;
+}
+
+/**
+ * Capture the current pass state as a resumable checkpoint. Returns
+ * false — capturing nothing — once the look-ahead window has reached
+ * the circuit's last gate (`last_node_index`): from there on a
+ * checkpoint's watermark covers the whole circuit, so it could only
+ * ever resume an EXACT recompile, which the service's result cache
+ * already serves without scheduling at all. The window only moves
+ * forward, so the caller should stop capturing for the rest of the run.
+ */
+bool
+captureSnapshot(const PassState &st,
+                const std::vector<int> &retired_order,
+                int last_node_index, int swap_insertions,
+                int routing_steps, std::vector<ScheduleSnapshot> &out)
+{
+    ScheduleSnapshot snap;
+
+    // Lowered-prefix watermark: everything this run has observed so far
+    // is either retired or inside the look-ahead window (see the proof
+    // comment above), so any circuit agreeing on gates [0, watermark)
+    // can resume here.
+    int max_index = -1;
+    for (const int id : retired_order)
+        max_index = std::max(max_index, st.dag.node(id).circuitIndex);
+    for (int d = 0; d < st.dag.windowHorizon(); ++d) {
+        for (DagNodeId id : st.dag.windowLayer(d))
+            max_index = std::max(max_index,
+                                 st.dag.node(id).circuitIndex);
+    }
+    if (max_index >= last_node_index)
+        return false;
+    snap.loweredPrefixGates = static_cast<std::size_t>(max_index + 1);
+
+    // Seed of the selection sweep (suffixWindowClean): for each qubit,
+    // the clamped depth of its deepest unfinished gate inside the
+    // covered prefix. Chain entries are circuit-ordered and the
+    // unfinished ones form the suffix from the chain head, so the
+    // deepest live prefix gate is the last entry with circuitIndex
+    // <= max_index — found by binary search — provided it is at or
+    // past the head.
+    const int horizon = st.dag.windowHorizon();
+    const std::size_t qubits = st.nextUse.size();
+    snap.chainTailDepth.assign(qubits, -1);
+    for (std::size_t q = 0; q < qubits; ++q) {
+        const QubitChainView chain =
+            st.dag.qubitChain(static_cast<int>(q));
+        int lo = 0, hi = chain.size(); // First entry beyond max_index.
+        while (lo < hi) {
+            const int mid = lo + (hi - lo) / 2;
+            if (st.dag.node(chain[mid]).circuitIndex <= max_index)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo > st.dag.qubitChainHead(static_cast<int>(q)))
+            snap.chainTailDepth[q] =
+                std::min(st.dag.windowDepth(chain[lo - 1]), horizon);
+    }
+
+    snap.retired = retired_order;
+    snap.schedule = st.schedule;
+    snap.chains = Schedule::snapshotChains(st.placement);
+    snap.lruStamps = st.lru.stamps();
+    snap.lruClock = st.lru.now();
+    st.router.saveCheckpoint(snap.router);
+    snap.nextUse = st.nextUse;
+    snap.nextUseSynced = st.nextUseSynced;
+    snap.swapInsertions = swap_insertions;
+    snap.insertedSwapCount = st.inserter.insertedCount();
+    snap.routingSteps = routing_steps;
+    out.push_back(std::move(snap));
+    return true;
+}
+
 } // namespace
 
 MusstiScheduler::RunOutput
 MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
-                     SchedulerWorkspace *workspace) const
+                     SchedulerWorkspace *workspace,
+                     const DeltaRequest *delta) const
 {
     MUSSTI_REQUIRE(initial.allPlaced(),
                    "initial mapping leaves qubits unplaced");
 
     SchedulerWorkspace local;
     SchedulerWorkspace &ws = workspace ? *workspace : local;
-    PassState st(device_, params_, config_, lowered, initial, ws);
+    // Heap-held (not optional-held) so the dirty-resume rebuild is a
+    // plain reset, and because GCC's flow analysis mis-flags optional
+    // payload reads here. The allocation sits outside the measured
+    // loop window.
+    auto st = std::make_unique<PassState>(device_, params_, config_,
+                                          lowered, initial, ws);
     int swap_insertions = 0;
     int routing_steps = 0;
 
+    // Delta resume is only sound when every window consumer's reach is
+    // bounded by the horizon (the weight table reads depths up to
+    // lookAhead); otherwise skip resuming, never produce a wrong
+    // schedule.
+    const bool resumable =
+        delta != nullptr && !delta->candidates.empty() &&
+        config_.lookAhead <= config_.nextUseHorizon;
+    const bool capture = delta != nullptr && delta->checkpointEvery > 0;
+
+    std::vector<int> retired_order = std::move(ws.retiredOrderScratch);
+    retired_order.clear();
+
+    bool resumed = false;
+    if (resumable) {
+        // Pick the longest candidate whose resume point the no-replay
+        // sweep proves invisible to the new suffix, fast-forward the
+        // DAG once, and re-verify on the real window state — the sweep
+        // selects, windowClean() remains the authoritative guard.
+        std::vector<int> sweep = std::move(ws.sweepScratch);
+        int best = -1;
+        for (int i = static_cast<int>(delta->candidates.size()) - 1;
+             i >= 0; --i) {
+            const ResumeCandidate &cand = delta->candidates[i];
+            if (cand.snapshot == nullptr ||
+                !resumeShapeOk(*st, lowered, cand))
+                continue;
+            if (suffixWindowClean(lowered, *cand.snapshot,
+                                  cand.sharedLoweredGates,
+                                  st->dag.windowHorizon(), sweep)) {
+                best = static_cast<int>(i);
+                break;
+            }
+        }
+        ws.sweepScratch = std::move(sweep);
+        if (best >= 0) {
+            const ResumeCandidate &cand = delta->candidates[best];
+            if (resumeFromSnapshot(*st, cand, swap_insertions,
+                                   routing_steps) &&
+                windowClean(st->dag, cand.sharedLoweredGates)) {
+                resumed = true;
+                retired_order = cand.snapshot->retired;
+            } else {
+                // A replay guard tripped or the sweep over-promised:
+                // rebuild and schedule from scratch.
+                st.reset(); // Returns the scratch before the re-adopt.
+                st = std::make_unique<PassState>(device_, params_,
+                                                 config_, lowered,
+                                                 initial, ws);
+                swap_insertions = 0;
+                routing_steps = 0;
+                retired_order.clear();
+            }
+        }
+    }
+
+    // A resumed run captures nothing: the resume itself proves the
+    // snapshot store already covers the shared prefix, so new
+    // checkpoints would either duplicate existing keys (the prefix
+    // region) or sit inside the end-of-circuit window (exact-recompile
+    // only — the result cache's job). Skipping also keeps the resumed
+    // hot path allocation-free, the property the delta bench gates on.
+    const bool capture_active = capture && !resumed;
+    std::vector<ScheduleSnapshot> snapshots;
+    int checkpoint_every = capture_active
+                               ? std::max(1, delta->checkpointEvery)
+                               : 0;
+    std::uint64_t capture_allocs = 0;
+    int next_capture_at = 0;
+    int last_node_index = -1;
+    bool capture_open = capture_active;
+    if (capture_active) {
+        st->retiredOrder = &retired_order;
+        retired_order.reserve(static_cast<std::size_t>(st->dag.size()));
+        next_capture_at =
+            static_cast<int>(retired_order.size()) + checkpoint_every;
+        for (DagNodeId id = 0; id < st->dag.size(); ++id)
+            last_node_index = std::max(last_node_index,
+                                       st->dag.node(id).circuitIndex);
+    }
+
     // Everything beyond this point is the steady-state hot path; the
     // delta of the (bench-instrumented) allocation counter proves it
-    // performs no heap allocation once the workspace is warm.
+    // performs no heap allocation once the workspace is warm. Snapshot
+    // capture inside the loop books its own allocations separately —
+    // it copies state by design — so the counter still pins the
+    // scheduling work itself.
     const std::uint64_t allocs_at_start = AllocCounter::now();
 
-    while (!st.dag.empty()) {
+    while (!st->dag.empty()) {
         // Gate selection, phase 1: drain every immediately executable
         // frontier gate ("prioritize executable gates").
         if (config_.incrementalFrontier)
-            drainIncremental(st, config_, swap_insertions);
+            drainIncremental(*st, config_, swap_insertions);
         else
-            drainFullRescan(st, config_, swap_insertions);
-        if (st.dag.empty())
+            drainFullRescan(*st, config_, swap_insertions);
+        if (st->dag.empty())
             break;
+
+        // Between the drain and phase 2 is the one point a checkpoint
+        // is resumable from: the worklist is empty and every frontier
+        // gate is proven non-executable, so a resumed run's first drain
+        // round is a bit-identical no-op.
+        if (capture_open) {
+            const int retired_count = st->dag.size() -
+                                      st->dag.remaining();
+            if (retired_count >= next_capture_at) {
+                const std::uint64_t before = AllocCounter::now();
+                if (captureSnapshot(*st, retired_order, last_node_index,
+                                    swap_insertions, routing_steps,
+                                    snapshots)) {
+                    if (static_cast<int>(snapshots.size()) >
+                        std::max(1, delta->maxSnapshots)) {
+                        // Thin: drop every other checkpoint and double
+                        // the cadence, keeping an even spread at
+                        // bounded count.
+                        std::size_t kept = 0;
+                        for (std::size_t i = 1; i < snapshots.size();
+                             i += 2)
+                            snapshots[kept++] = std::move(snapshots[i]);
+                        snapshots.resize(kept);
+                        checkpoint_every *= 2;
+                    }
+                    next_capture_at = retired_count + checkpoint_every;
+                } else {
+                    capture_open = false; // Window reached the end.
+                }
+                capture_allocs += AllocCounter::now() - before;
+            }
+        }
 
         // Phase 2: first-come-first-served on the frontier; route its
         // operands, then execute. Eviction decisions see the current
         // look-ahead window.
-        const DagNodeId chosen = st.dag.frontier().front();
-        const Gate &gate = st.dag.node(chosen).gate;
-        st.snapshotNextUse();
-        st.router.routeForGate(gate.q0, gate.q1);
-        executeGate(st, config_, chosen, swap_insertions);
+        const DagNodeId chosen = st->dag.frontier().front();
+        const Gate &gate = st->dag.node(chosen).gate;
+        st->snapshotNextUse();
+        st->router.routeForGate(gate.q0, gate.q1);
+        executeGate(*st, config_, chosen, swap_insertions);
         ++routing_steps;
     }
 
-    for (const Gate &g1 : st.dag.trailing1q())
-        emit1q(st, g1);
+    for (const Gate &g1 : st->dag.trailing1q())
+        emit1q(*st, g1);
 
-    const std::uint64_t loop_allocs = AllocCounter::now() - allocs_at_start;
+    const std::uint64_t loop_allocs =
+        AllocCounter::now() - allocs_at_start - capture_allocs;
 
     // Hand the reusable buffers back so the next run (the SABRE
     // reverse/refine legs) starts pre-sized.
-    ws.opReserveHint = std::max(ws.opReserveHint, st.schedule.ops.size());
-    ws.nextUseScratch = std::move(st.nextUse);
+    ws.opReserveHint = std::max(ws.opReserveHint, st->schedule.ops.size());
+    ws.nextUseScratch = std::move(st->nextUse);
+    st->retiredOrder = nullptr;
+    ws.retiredOrderScratch = std::move(retired_order);
 
-    RunOutput out(std::move(st.placement));
-    out.schedule = std::move(st.schedule);
+    RunOutput out(std::move(st->placement));
+    out.schedule = std::move(st->schedule);
     out.swapInsertions = swap_insertions;
-    out.evictions = st.router.evictionCount();
+    out.evictions = st->router.evictionCount();
     out.routingSteps = routing_steps;
     out.loopHeapAllocs = loop_allocs;
+    out.snapshots = std::move(snapshots);
+    out.resumed = resumed;
     return out;
 }
 

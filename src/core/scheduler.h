@@ -16,11 +16,55 @@
 #include "arch/placement.h"
 #include "circuit/circuit.h"
 #include "core/config.h"
+#include "core/schedule_snapshot.h"
 #include "core/scheduler_workspace.h"
 #include "sim/params.h"
 #include "sim/schedule.h"
 
 namespace mussti {
+
+/**
+ * One snapshot the scheduler may resume from, paired with the
+ * lowered-gate count the caller has VERIFIED (by prefix-hash lookup)
+ * the incoming circuit shares with the snapshot's source circuit. The
+ * scheduler trusts the count for gate content but still proves, on the
+ * freshly built DAG, that nothing at or beyond it leaks into the
+ * look-ahead window before the resume point (see scheduler.cpp,
+ * windowClean) — the condition that makes a resume bit-identical to a
+ * cold compile of the new circuit.
+ */
+struct ResumeCandidate
+{
+    const ScheduleSnapshot *snapshot = nullptr;
+    std::size_t sharedLoweredGates = 0;
+};
+
+/** Delta-compilation request accompanying one scheduling pass. */
+struct DeltaRequest
+{
+    /**
+     * Snapshots to try resuming from, ascending by covered prefix
+     * (each entry's retirement record extending the previous — they
+     * normally come from one source run). The scheduler fast-forwards
+     * through them on one probe DAG and resumes from the longest
+     * candidate that passes the window-cleanliness proof; when none
+     * does, the pass falls back to a cold compile of the whole circuit.
+     */
+    std::vector<ResumeCandidate> candidates;
+
+    /**
+     * Capture a ScheduleSnapshot every this many retired two-qubit
+     * gates (0 = never capture).
+     */
+    int checkpointEvery = 0;
+
+    /**
+     * Bound on captured snapshots per run: when exceeded, every other
+     * snapshot is dropped and the cadence doubles, so long runs keep a
+     * spread of checkpoints at bounded memory.
+     */
+    int maxSnapshots = 16;
+};
 
 /** One full scheduling pass over a circuit. */
 class MusstiScheduler
@@ -50,6 +94,17 @@ class MusstiScheduler
          */
         std::uint64_t loopHeapAllocs = 0;
 
+        /**
+         * Checkpoints captured during the run (DeltaRequest with
+         * checkpointEvery > 0). inputPrefixGates / prefixHash are left
+         * for the compile pass to stamp — the scheduler only sees the
+         * lowered circuit.
+         */
+        std::vector<ScheduleSnapshot> snapshots;
+
+        /** The run resumed from a DeltaRequest candidate. */
+        bool resumed = false;
+
         RunOutput(Placement placement)
             : finalPlacement(std::move(placement)) {}
     };
@@ -64,10 +119,14 @@ class MusstiScheduler
      * `initial` placement. The initial placement must place all qubits.
      * `workspace`, when given, donates reusable buffers and receives
      * them back on return (see SchedulerWorkspace); output is identical
-     * either way.
+     * either way. `delta`, when given, may request snapshot capture
+     * and/or a resume from a prior run's snapshot — a successful resume
+     * produces the bit-identical schedule in time proportional to the
+     * unshared suffix.
      */
     RunOutput run(const Circuit &lowered, const Placement &initial,
-                  SchedulerWorkspace *workspace = nullptr) const;
+                  SchedulerWorkspace *workspace = nullptr,
+                  const DeltaRequest *delta = nullptr) const;
 
   private:
     const EmlDevice &device_;

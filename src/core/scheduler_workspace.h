@@ -50,6 +50,20 @@ struct SchedulerWorkspace
 
     /** Donated DependencyDag window scratch. */
     DagScratch dag;
+
+    /**
+     * Retirement-order recording buffer of the delta-compile capture
+     * path (unused — empty — when deltaCompile is off). Reserved to the
+     * DAG size before the hot loop so recording a retirement is a plain
+     * push into warm storage.
+     */
+    std::vector<int> retiredOrderScratch;
+
+    /**
+     * Recycled per-qubit depth buffer for the resume-candidate
+     * selection sweep (scheduler.cpp, suffixWindowClean).
+     */
+    std::vector<int> sweepScratch;
 };
 
 } // namespace mussti

@@ -43,6 +43,9 @@ class SwapInserter
     /** Lifetime count of inserted logical SWAPs. */
     int insertedCount() const { return inserted_; }
 
+    /** Restore the lifetime count from a delta-compile checkpoint. */
+    void restoreInsertedCount(int count) { inserted_ = count; }
+
   private:
     const EmlDevice &device_;
     const PhysicalParams &params_;

@@ -4,7 +4,6 @@
 #include <map>
 #include <sstream>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/target_device.h"
@@ -309,7 +308,9 @@ lintPlacementReplay(const Schedule &schedule,
         if (!valid[i])
             continue;
         const ScheduledOp &op = schedule.ops[i];
-        const std::string where = opLocation(i, op);
+        // Deferred: formatting every op's location costs more than the
+        // whole replay on a clean schedule; build it only on a finding.
+        const auto where = [&] { return opLocation(i, op); };
 
         if (op.isGate() && op.inserted) {
             const int lo = std::min(op.q0, op.q1);
@@ -318,7 +319,7 @@ lintPlacementReplay(const Schedule &schedule,
                 inserted_a = lo;
                 inserted_b = hi;
             } else if (lo != inserted_a || hi != inserted_b) {
-                sink.add(lint_rules::kSwapTriple, where,
+                sink.add(lint_rules::kSwapTriple, where(),
                          "inserted SWAP gates interleaved across qubit "
                          "pairs");
                 inserted_a = lo;
@@ -327,7 +328,7 @@ lintPlacementReplay(const Schedule &schedule,
             }
             ++inserted_run;
         } else if (op.isGate() && inserted_run != 0) {
-            sink.add(lint_rules::kSwapTriple, where,
+            sink.add(lint_rules::kSwapTriple, where(),
                      "inserted SWAP run interrupted before its 3rd "
                      "gate");
             inserted_run = 0;
@@ -339,7 +340,7 @@ lintPlacementReplay(const Schedule &schedule,
                 std::ostringstream out;
                 out << "split of q" << op.q0
                     << ", which is not resident anywhere";
-                sink.add(lint_rules::kPlacement, where, msg(out));
+                sink.add(lint_rules::kPlacement, where(), msg(out));
                 break;
             }
             if (zone_of[op.q0] != op.zoneFrom) {
@@ -347,7 +348,7 @@ lintPlacementReplay(const Schedule &schedule,
                 out << "q" << op.q0 << " is resident in z"
                     << zone_of[op.q0] << " but the split claims z"
                     << op.zoneFrom;
-                sink.add(lint_rules::kPlacement, where, msg(out));
+                sink.add(lint_rules::kPlacement, where(), msg(out));
             }
             --zone_count[zone_of[op.q0]];
             zone_of[op.q0] = -1;
@@ -362,7 +363,7 @@ lintPlacementReplay(const Schedule &schedule,
                     << " which is already resident in z"
                     << zone_of[op.q0]
                     << " — a qubit cannot be in two places at once";
-                sink.add(lint_rules::kPlacement, where, msg(out));
+                sink.add(lint_rules::kPlacement, where(), msg(out));
                 --zone_count[zone_of[op.q0]];
             }
             if (zone_count[op.zoneTo] + 1 >
@@ -372,7 +373,7 @@ lintPlacementReplay(const Schedule &schedule,
                     << zone_count[op.zoneTo] + 1
                     << " ions against capacity "
                     << device.zone(op.zoneTo).capacity;
-                sink.add(lint_rules::kCapacity, where, msg(out));
+                sink.add(lint_rules::kCapacity, where(), msg(out));
             }
             zone_of[op.q0] = op.zoneTo;
             ++zone_count[op.zoneTo];
@@ -384,7 +385,7 @@ lintPlacementReplay(const Schedule &schedule,
                 std::ostringstream out;
                 out << "ion swap of q" << op.q0 << " and q" << op.q1
                     << ", which are not co-resident";
-                sink.add(lint_rules::kPlacement, where, msg(out));
+                sink.add(lint_rules::kPlacement, where(), msg(out));
             }
             break; // Membership is order-free; nothing changes.
           }
@@ -393,7 +394,7 @@ lintPlacementReplay(const Schedule &schedule,
                 std::ostringstream out;
                 out << "1q gate on q" << op.q0
                     << ", which is not resident anywhere";
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
             }
             break;
           }
@@ -404,7 +405,7 @@ lintPlacementReplay(const Schedule &schedule,
                 std::ostringstream out;
                 out << "2q gate on unplaced qubit q"
                     << (za < 0 ? op.q0 : op.q1);
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
                 break;
             }
             if (za != zb) {
@@ -412,7 +413,7 @@ lintPlacementReplay(const Schedule &schedule,
                 out << "2q gate needs co-resident qubits, but q" << op.q0
                     << " is in z" << za << " and q" << op.q1 << " in z"
                     << zb;
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
                 break;
             }
             if (!device.gateCapable(za)) {
@@ -420,13 +421,13 @@ lintPlacementReplay(const Schedule &schedule,
                 out << "2q gate fired in z" << za << " ("
                     << zoneKindName(device.kindOf(za))
                     << "), which cannot execute gates";
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
             }
             if (op.zoneFrom != za) {
                 std::ostringstream out;
                 out << "2q gate claims z" << op.zoneFrom
                     << " but both qubits are resident in z" << za;
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
             }
             break;
           }
@@ -437,7 +438,7 @@ lintPlacementReplay(const Schedule &schedule,
                 std::ostringstream out;
                 out << "fiber gate on unplaced qubit q"
                     << (za < 0 ? op.q0 : op.q1);
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
                 break;
             }
             if (device.kindOf(za) != ZoneKind::Optical ||
@@ -450,13 +451,13 @@ lintPlacementReplay(const Schedule &schedule,
                     << device.moduleOf(za) << ") and z" << zb << " ("
                     << zoneKindName(device.kindOf(zb)) << ", m"
                     << device.moduleOf(zb) << ")";
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
             } else if (op.zoneFrom != za || op.zoneTo != zb) {
                 std::ostringstream out;
                 out << "fiber gate claims z" << op.zoneFrom << "->z"
                     << op.zoneTo << " but the qubits are resident in z"
                     << za << " and z" << zb;
-                sink.add(lint_rules::kZone, where, msg(out));
+                sink.add(lint_rules::kZone, where(), msg(out));
             }
             break;
           }
@@ -487,10 +488,15 @@ void
 lintDagOrder(const Schedule &schedule, const std::vector<char> &valid,
              const Circuit &circuit, RuleSink &sink)
 {
-    const DependencyDag dag(circuit);
-    std::unordered_map<int, DagNodeId> by_circuit_index;
+    // Horizon 1: this walk reads only nodes and edges, never the
+    // look-ahead window, and the smallest horizon keeps the DAG's
+    // window-initialisation sweep out of the lint budget (the linter
+    // runs inline on every delta-resumed schedule).
+    const DependencyDag dag(circuit, 1);
+    std::vector<DagNodeId> by_circuit_index(circuit.size(), -1);
     for (DagNodeId id = 0; id < dag.size(); ++id)
-        by_circuit_index[dag.node(id).circuitIndex] = id;
+        by_circuit_index[static_cast<std::size_t>(
+            dag.node(id).circuitIndex)] = id;
 
     constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
     std::vector<std::size_t> first_op(
@@ -503,17 +509,23 @@ lintDagOrder(const Schedule &schedule, const std::vector<char> &valid,
         if ((op.kind != OpKind::Gate2Q &&
              op.kind != OpKind::FiberGate) || op.inserted)
             continue;
-        const std::string where = opLocation(i, op);
+        const auto where = [&] { return opLocation(i, op); };
 
-        const auto found = by_circuit_index.find(op.circuitGate);
-        if (found == by_circuit_index.end()) {
+        const bool known =
+            op.circuitGate >= 0 &&
+            static_cast<std::size_t>(op.circuitGate) <
+                by_circuit_index.size() &&
+            by_circuit_index[static_cast<std::size_t>(op.circuitGate)] >=
+                0;
+        if (!known) {
             std::ostringstream out;
             out << "gate op references circuit gate " << op.circuitGate
                 << ", which is not a 2q gate of the circuit";
-            sink.add(lint_rules::kCoverage, where, msg(out));
+            sink.add(lint_rules::kCoverage, where(), msg(out));
             continue;
         }
-        const DagNodeId node = found->second;
+        const DagNodeId node =
+            by_circuit_index[static_cast<std::size_t>(op.circuitGate)];
         const Gate &g = dag.node(node).gate;
         const bool operands_match =
             (g.q0 == op.q0 && g.q1 == op.q1) ||
@@ -523,7 +535,7 @@ lintDagOrder(const Schedule &schedule, const std::vector<char> &valid,
             out << "op operands disagree with circuit gate "
                 << op.circuitGate << " (q" << g.q0 << ",q" << g.q1
                 << ")";
-            sink.add(lint_rules::kCoverage, where, msg(out));
+            sink.add(lint_rules::kCoverage, where(), msg(out));
             continue;
         }
         if (first_op[static_cast<std::size_t>(node)] != kUnseen) {
@@ -532,7 +544,7 @@ lintDagOrder(const Schedule &schedule, const std::vector<char> &valid,
                 << " already executed at op "
                 << first_op[static_cast<std::size_t>(node)]
                 << " — every gate must appear exactly once";
-            sink.add(lint_rules::kCoverage, where, msg(out));
+            sink.add(lint_rules::kCoverage, where(), msg(out));
             continue;
         }
         first_op[static_cast<std::size_t>(node)] = i;

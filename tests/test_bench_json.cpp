@@ -49,7 +49,22 @@ sampleRecords()
     c.shuttles = 132;
     c.makespanUs = 86780.0;
     c.log10Fidelity = -9.875;
-    return {a, b, c};
+
+    BenchRecord d; // a delta-recompilation row with cache counters
+    d.suite = "micro_scheduler/delta";
+    d.name = "ising-append";
+    d.qubits = 64;
+    d.repeats = 5;
+    d.wallMs = 6.5;
+    d.routingSteps = 2048;
+    d.steadyAllocs = 0;
+    d.deltaColdMs = 36.25;
+    d.deltaSpeedup = 5.5769; // %.6g emitter: keep within 6 sig figs
+    d.snapshotHits = 1;
+    d.snapshotMisses = 1;
+    d.deltaResumes = 1;
+    d.deltaFallbacks = 0;
+    return {a, b, c, d};
 }
 
 void
@@ -70,6 +85,12 @@ expectSameRecords(const std::vector<BenchRecord> &x,
         EXPECT_EQ(x[i].shuttles, y[i].shuttles);
         EXPECT_NEAR(x[i].makespanUs, y[i].makespanUs, 1e-9);
         EXPECT_NEAR(x[i].log10Fidelity, y[i].log10Fidelity, 1e-9);
+        EXPECT_NEAR(x[i].deltaColdMs, y[i].deltaColdMs, 1e-9);
+        EXPECT_NEAR(x[i].deltaSpeedup, y[i].deltaSpeedup, 1e-9);
+        EXPECT_EQ(x[i].snapshotHits, y[i].snapshotHits);
+        EXPECT_EQ(x[i].snapshotMisses, y[i].snapshotMisses);
+        EXPECT_EQ(x[i].deltaResumes, y[i].deltaResumes);
+        EXPECT_EQ(x[i].deltaFallbacks, y[i].deltaFallbacks);
         ASSERT_EQ(x[i].passTrace.size(), y[i].passTrace.size());
         for (std::size_t j = 0; j < x[i].passTrace.size(); ++j) {
             EXPECT_EQ(x[i].passTrace[j].pass, y[i].passTrace[j].pass);

@@ -178,5 +178,68 @@ TEST(Circuit, NeedsPositiveQubits)
     EXPECT_THROW(Circuit(0), std::runtime_error);
 }
 
+// ---- prefix-hash chain (the delta-compile cache key) -----------------
+
+TEST(Circuit, PrefixHashStableUnderAppend)
+{
+    // Appending gates must never disturb the hashes of prefixes
+    // already in the chain — the property that lets a snapshot cache
+    // key survive the circuit growing underneath it.
+    Circuit qc(3, "chain");
+    qc.h(0);
+    qc.cx(0, 1);
+    const std::uint64_t h0 = qc.prefixHash(0);
+    const std::uint64_t h1 = qc.prefixHash(1);
+    const std::uint64_t h2 = qc.prefixHash(2);
+    qc.rz(2, 0.5);
+    qc.cx(1, 2);
+    qc.measure(0);
+    EXPECT_EQ(qc.prefixHash(0), h0);
+    EXPECT_EQ(qc.prefixHash(1), h1);
+    EXPECT_EQ(qc.prefixHash(2), h2);
+}
+
+TEST(Circuit, ContentHashIsLastPrefixHash)
+{
+    Circuit qc(2, "full");
+    qc.h(0);
+    qc.cx(0, 1);
+    qc.rz(1, 0.25);
+    EXPECT_EQ(qc.contentHash(), qc.prefixHash(qc.size()));
+}
+
+TEST(Circuit, PrefixHashDivergesExactlyAtEdit)
+{
+    // Two circuits differing in one gate parameter (or operand) agree
+    // on every prefix up to the edit and on none from it onward — the
+    // chain localises the edit point exactly.
+    Circuit a(3, "edit");
+    a.h(0);
+    a.cx(0, 1);
+    a.rz(1, 0.50);
+    a.cx(1, 2);
+
+    // `param` changes only the rz angle, `operand` only its target.
+    Circuit param(3, "edit");
+    param.h(0);
+    param.cx(0, 1);
+    param.rz(1, 0.75);
+    param.cx(1, 2);
+    Circuit operand(3, "edit");
+    operand.h(0);
+    operand.cx(0, 1);
+    operand.rz(2, 0.50);
+    operand.cx(1, 2);
+
+    for (const Circuit *edited : {&param, &operand}) {
+        for (std::size_t p = 0; p <= 2; ++p)
+            EXPECT_EQ(edited->prefixHash(p), a.prefixHash(p))
+                << "shared prefix length " << p;
+        for (std::size_t p = 3; p <= 4; ++p)
+            EXPECT_NE(edited->prefixHash(p), a.prefixHash(p))
+                << "post-edit prefix length " << p;
+    }
+}
+
 } // namespace
 } // namespace mussti

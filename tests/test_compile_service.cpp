@@ -275,6 +275,47 @@ TEST(CompileService, EvictedJobIsCachedAgainOnResubmit)
     expectIdentical(second_a, third_a);
 }
 
+TEST(CompileService, CacheStatsTrackBothTiers)
+{
+    // One base compile seeds both tiers; a repeat hits the result
+    // cache (no snapshot probe); an extended circuit misses the result
+    // cache, hits the snapshot tier, and delta-resumes. Every counter
+    // of the accessor must reflect exactly that history.
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    service_config.cacheCapacity = 2;
+    service_config.snapshotCacheCapacity = 8;
+    CompileService service(service_config);
+
+    MusstiConfig config;
+    config.deltaCompile = true;
+    config.deltaCheckpointGates = 16;
+    const auto backend = makeMusstiBackend(config);
+
+    // Deep enough that the appended layer sits beyond the scheduler's
+    // 64-layer look-ahead horizon — shallower circuits always fall
+    // back cold and would leave the resume counters untested.
+    const Circuit base = makeIsing(24, 40);
+    const Circuit longer = makeIsing(24, 41);
+
+    (void)service.submit(backend, base).get();
+    (void)service.submit(backend, base).get();
+    const CompileResult extended =
+        service.submit(backend, longer).get();
+    EXPECT_TRUE(extended.deltaResumed);
+
+    const CompileService::CacheStats stats = service.cacheStats();
+    EXPECT_EQ(stats.resultHits, 1u);
+    EXPECT_EQ(stats.resultMisses, 2u);
+    EXPECT_EQ(stats.resultEvictions, 0u);
+    EXPECT_EQ(stats.snapshotHits, 1u);
+    EXPECT_EQ(stats.snapshotMisses, 1u);
+    EXPECT_EQ(stats.deltaResumes, 1u);
+    EXPECT_EQ(stats.deltaFallbacks, 0u);
+    EXPECT_GT(stats.snapshotCount, 0u);
+    EXPECT_GT(stats.snapshotBytes, 0u);
+}
+
 TEST(CompileService, ParseThreadCountValidatesInput)
 {
     // Auto (hardware concurrency) cases.
