@@ -236,7 +236,10 @@ DeviceRegistry::tryCreate(const DeviceSpec &spec, int num_qubits,
                           std::string *error)
 {
     try {
-        const ScopedFatalSilence quiet;
+        // Also mute warn(): tryCreate runs in tuner probe bursts where
+        // hundreds of expected failures would interleave warn chatter
+        // from concurrent workers with the probe output.
+        const ScopedFatalSilence quiet(/*silence_warns=*/true);
         return create(spec, num_qubits);
     } catch (const std::runtime_error &err) {
         if (error)

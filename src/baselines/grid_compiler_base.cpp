@@ -280,6 +280,20 @@ GridCompilerBase::compile(Circuit circuit) const
     return makePipeline().compile(std::move(circuit), params_, 0);
 }
 
+CompileResult
+GridCompilerBase::compileControlled(
+    Circuit circuit, const std::optional<std::uint64_t> &seed,
+    const std::shared_ptr<SchedulerWorkspace> &workspace,
+    DeltaCompileIO &delta, const JobControl *control) const
+{
+    (void)seed;
+    (void)workspace;
+    delta.captured.clear();
+    delta.resumed = false;
+    return makePipeline().compile(std::move(circuit), params_, 0, nullptr,
+                                  nullptr, control);
+}
+
 void
 GridCompilerBase::hashConfigExtra(Fnv1a &hash) const
 {

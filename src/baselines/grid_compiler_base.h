@@ -45,6 +45,18 @@ class GridCompilerBase : public ICompilerBackend
     /** Compile a circuit and evaluate it on the grid device. */
     CompileResult compile(Circuit circuit) const override;
 
+    /**
+     * The grid strategies have no delta path (the candidates are
+     * ignored, nothing is captured), but deadlines/cancellation are
+     * honoured at every pass boundary of the pipeline.
+     */
+    CompileResult
+    compileControlled(Circuit circuit,
+                      const std::optional<std::uint64_t> &seed,
+                      const std::shared_ptr<SchedulerWorkspace> &workspace,
+                      DeltaCompileIO &delta,
+                      const JobControl *control) const override;
+
     const std::string &name() const override { return name_; }
 
     std::uint64_t configDigest() const override;

@@ -288,6 +288,13 @@ fromQasm(const std::string &text, const std::string &name)
                            << num_qubits << " (gate " << gateName(g.kind)
                            << " q" << g.q0 << (gateArity(g.kind) == 2
                                ? ",q" + std::to_string(g.q1) : "") << ")");
+            // Malformed input, not a library bug: without this check a
+            // repeated operand (e.g. "cx q[0],q[0];") would sail past
+            // the range validation and trip Circuit::add's internal
+            // assertion — an Internal panic for what is a bad program.
+            MUSSTI_REQUIRE(gateArity(g.kind) < 2 || g.q0 != g.q1,
+                           "two-qubit gate repeats operand q" << g.q0
+                           << " (gate " << gateName(g.kind) << ")");
             circuit.add(g);
         }
     }

@@ -308,6 +308,15 @@ parseRecord(JsonParser &p)
         } else if (key == "delta_fallbacks") {
             record.deltaFallbacks =
                 static_cast<long long>(p.parseNumber());
+        } else if (key == "jobs_failed") {
+            record.jobsFailed = static_cast<long long>(p.parseNumber());
+        } else if (key == "jobs_timed_out") {
+            record.jobsTimedOut = static_cast<long long>(p.parseNumber());
+        } else if (key == "jobs_cancelled") {
+            record.jobsCancelled =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "jobs_retried") {
+            record.jobsRetried = static_cast<long long>(p.parseNumber());
         } else if (key == "pass_trace") {
             p.expect('[');
             if (!p.consumeIf(']')) {
@@ -369,6 +378,12 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
                 << ", \"snapshot_misses\": " << r.snapshotMisses
                 << ", \"delta_resumes\": " << r.deltaResumes
                 << ", \"delta_fallbacks\": " << r.deltaFallbacks;
+        }
+        if (r.jobsFailed >= 0) {
+            out << ", \"jobs_failed\": " << r.jobsFailed
+                << ", \"jobs_timed_out\": " << r.jobsTimedOut
+                << ", \"jobs_cancelled\": " << r.jobsCancelled
+                << ", \"jobs_retried\": " << r.jobsRetried;
         }
         if (!r.passTrace.empty()) {
             out << ", \"pass_trace\": [";

@@ -103,6 +103,18 @@ struct BenchRecord
     long long snapshotMisses = -1;
     long long deltaResumes = -1;
     long long deltaFallbacks = -1;
+
+    /**
+     * CompileService failure-path counters (absent = -1): jobs that
+     * resolved with a structured error, split by taxonomy, plus the
+     * Transient retry attempts consumed. Emitted by records whose
+     * scenario ran through a CompileService, proving the fault-
+     * tolerance accounting is live on the production path.
+     */
+    long long jobsFailed = -1;
+    long long jobsTimedOut = -1;
+    long long jobsCancelled = -1;
+    long long jobsRetried = -1;
 };
 
 /** Render records as a mussti-bench-v1 JSON document. */

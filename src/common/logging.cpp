@@ -19,6 +19,13 @@ namespace {
 std::atomic<int> fatal_silence_depth{0};
 
 /**
+ * Depth of guards that additionally asked for warn() suppression
+ * (ScopedFatalSilence(true)). Kept as a separate counter behind the
+ * same discipline so plain guards keep warns audible.
+ */
+std::atomic<int> warn_silence_depth{0};
+
+/**
  * One mutex in front of the stderr sink: a diagnostic line is emitted
  * as a single locked write, so concurrent warn()/fatal() from the
  * compile-service workers cannot interleave mid-line. Function-local
@@ -38,53 +45,63 @@ emitLine(const std::string &line)
     std::cerr << line << std::endl;
 }
 
+/**
+ * Timeout/Cancelled/Transient are expected control-flow outcomes of a
+ * managed compile job, not diagnostics — they never echo to stderr.
+ */
+bool
+quietCategory(ErrorCategory category)
+{
+    return category == ErrorCategory::Timeout ||
+           category == ErrorCategory::Cancelled ||
+           category == ErrorCategory::Transient;
+}
+
 } // namespace
 
-ScopedFatalSilence::ScopedFatalSilence()
+ScopedFatalSilence::ScopedFatalSilence(bool silence_warns)
+    : silenceWarns_(silence_warns)
 {
     fatal_silence_depth.fetch_add(1, std::memory_order_relaxed);
+    if (silenceWarns_)
+        warn_silence_depth.fetch_add(1, std::memory_order_relaxed);
 }
 
 ScopedFatalSilence::~ScopedFatalSilence()
 {
     fatal_silence_depth.fetch_sub(1, std::memory_order_relaxed);
+    if (silenceWarns_)
+        warn_silence_depth.fetch_sub(1, std::memory_order_relaxed);
 }
 
 namespace detail {
 
-namespace {
-
-const char *
-levelName(LogLevel level)
-{
-    switch (level) {
-      case LogLevel::Inform: return "info";
-      case LogLevel::Warn: return "warn";
-      case LogLevel::Fatal: return "fatal";
-      case LogLevel::Panic: return "panic";
-    }
-    return "?";
-}
-
-} // namespace
-
 void
-die(LogLevel level, const std::string &where, const std::string &message)
+die(ErrorCategory category, const std::string &code,
+    const std::string &message)
 {
-    if (level == LogLevel::Panic ||
-        fatal_silence_depth.load(std::memory_order_relaxed) == 0)
-        emitLine(std::string(levelName(level)) + ": " + where + message);
+    const bool is_panic = category == ErrorCategory::Internal;
+    const bool silenced = !is_panic &&
+        (quietCategory(category) ||
+         fatal_silence_depth.load(std::memory_order_relaxed) > 0);
+    if (!silenced)
+        emitLine(std::string(is_panic ? "panic" : "fatal") + ": " + message);
     // Throwing (rather than abort/exit) keeps death-path behaviour testable
-    // from gtest; the what() string carries the diagnostic.
-    if (level == LogLevel::Panic)
-        throw std::logic_error("panic: " + message);
-    throw std::runtime_error("fatal: " + message);
+    // from gtest; the what() string carries the diagnostic and the thrown
+    // type carries the structured category + code.
+    if (is_panic)
+        throw MusstiPanic(code, message);
+    throw MusstiFault(category, code, message);
 }
 
 void
 report(LogLevel level, const std::string &message)
 {
-    emitLine(std::string(levelName(level)) + ": " + message);
+    if (level == LogLevel::Warn &&
+        warn_silence_depth.load(std::memory_order_relaxed) > 0)
+        return;
+    emitLine(std::string(level == LogLevel::Warn ? "warn" : "info") + ": " +
+             message);
 }
 
 } // namespace detail

@@ -4,12 +4,19 @@
  * panic() for internal invariant violations (a bug in this library),
  * fatal() for user errors (bad configuration, malformed input), and
  * warn()/inform() for non-fatal diagnostics.
+ *
+ * Every fatal/panic path throws a structured error (common/error.h): a
+ * MusstiFault (std::runtime_error) or MusstiPanic (std::logic_error)
+ * carrying an ErrorCategory and a stable code string, so callers can
+ * route on taxonomy instead of parsing what() strings.
  */
 #ifndef MUSSTI_COMMON_LOGGING_H
 #define MUSSTI_COMMON_LOGGING_H
 
 #include <sstream>
 #include <string>
+
+#include "common/error.h"
 
 namespace mussti {
 
@@ -19,10 +26,10 @@ enum class LogLevel { Inform, Warn, Fatal, Panic };
 namespace detail {
 
 /**
- * Emit a message and, for Fatal/Panic, terminate.
- * Fatal exits with status 1; Panic aborts (core dump friendly).
+ * Emit a message (unless silenced or the category is a quiet control
+ * outcome) and throw the structured error for it.
  */
-[[noreturn]] void die(LogLevel level, const std::string &where,
+[[noreturn]] void die(ErrorCategory category, const std::string &code,
                       const std::string &message);
 
 /** Emit a non-fatal message to stderr. */
@@ -37,7 +44,14 @@ void report(LogLevel level, const std::string &message);
 [[noreturn]] inline void
 fatal(const std::string &message)
 {
-    detail::die(LogLevel::Fatal, "", message);
+    detail::die(ErrorCategory::InvalidInput, "input.fatal", message);
+}
+
+/** fatal() with an explicit stable error code. */
+[[noreturn]] inline void
+fatalCoded(const std::string &code, const std::string &message)
+{
+    detail::die(ErrorCategory::InvalidInput, code, message);
 }
 
 /**
@@ -47,7 +61,26 @@ fatal(const std::string &message)
 [[noreturn]] inline void
 panic(const std::string &message)
 {
-    detail::die(LogLevel::Panic, "", message);
+    detail::die(ErrorCategory::Internal, "internal.panic", message);
+}
+
+/** panic() with an explicit stable error code. */
+[[noreturn]] inline void
+panicCoded(const std::string &code, const std::string &message)
+{
+    detail::die(ErrorCategory::Internal, code, message);
+}
+
+/**
+ * Raise a structured error of any category. Timeout/Cancelled/Transient
+ * are quiet (expected control-flow outcomes, no stderr echo); the other
+ * categories echo like fatal()/panic().
+ */
+[[noreturn]] inline void
+raiseError(ErrorCategory category, const std::string &code,
+           const std::string &message)
+{
+    detail::die(category, code, message);
 }
 
 /** Non-fatal warning: something may be subtly wrong. */
@@ -73,15 +106,25 @@ inform(const std::string &message)
  * depth, so guards are thread-safe and a probe fanned out to worker
  * threads is muted as a whole). panic() is never silenced: an internal
  * bug must always be heard. Nestable.
+ *
+ * Pass silence_warns = true to also mute warn() for the guard's
+ * lifetime (same process-wide depth discipline): probe bursts that
+ * tolerate the fatal path usually don't want its warn() chatter from
+ * concurrent workers interleaved with their output either. Opt-in
+ * because warns elsewhere are genuine diagnostics. inform() and
+ * panic() are never muted.
  */
 class ScopedFatalSilence
 {
   public:
-    ScopedFatalSilence();
+    explicit ScopedFatalSilence(bool silence_warns = false);
     ~ScopedFatalSilence();
 
     ScopedFatalSilence(const ScopedFatalSilence &) = delete;
     ScopedFatalSilence &operator=(const ScopedFatalSilence &) = delete;
+
+  private:
+    bool silenceWarns_;
 };
 
 } // namespace mussti
@@ -97,7 +140,7 @@ class ScopedFatalSilence
             std::ostringstream oss_;                                        \
             oss_ << __FILE__ << ":" << __LINE__ << ": assertion `" #cond    \
                  << "` failed: " << msg;                                    \
-            ::mussti::panic(oss_.str());                                    \
+            ::mussti::panicCoded("internal.assert", oss_.str());            \
         }                                                                   \
     } while (0)
 
@@ -107,7 +150,7 @@ class ScopedFatalSilence
         if (!(cond)) {                                                      \
             std::ostringstream oss_;                                        \
             oss_ << "requirement `" #cond "` violated: " << msg;            \
-            ::mussti::fatal(oss_.str());                                    \
+            ::mussti::fatalCoded("input.require", oss_.str());              \
         }                                                                   \
     } while (0)
 

@@ -99,6 +99,26 @@ class ICompilerBackend
     }
 
     /**
+     * The full-service entry point: compileDelta plus a deadline/
+     * cancellation control the backend threads into its pipeline and
+     * scheduler loops. `control` may be null (uncontrolled). Backends
+     * that don't thread control any deeper still honour it at this
+     * boundary via the default's entry checkpoint; backends built on
+     * PassPipeline should override and pass it through so every pass
+     * boundary (and the routing loop) checks it.
+     */
+    virtual CompileResult
+    compileControlled(Circuit circuit,
+                      const std::optional<std::uint64_t> &seed,
+                      const std::shared_ptr<SchedulerWorkspace> &workspace,
+                      DeltaCompileIO &delta, const JobControl *control) const
+    {
+        if (control != nullptr)
+            control->checkpoint();
+        return compileDelta(std::move(circuit), seed, workspace, delta);
+    }
+
+    /**
      * Digest of everything besides the circuit and the per-job seed that
      * determines the output: backend identity, configuration, and
      * physical parameters. One third of the service's cache key.

@@ -5,12 +5,50 @@
 #include <string>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/scheduler_workspace.h"
 
 namespace mussti {
+
+namespace {
+
+CompileOutcome
+cancelledOutcome(const std::string &message)
+{
+    CompileOutcome outcome;
+    outcome.error = MusstiError(ErrorCategory::Cancelled, "job.cancelled",
+                                message);
+    return outcome;
+}
+
+} // namespace
+
+const CompileResult &
+CompileOutcome::value() const
+{
+    if (!result.has_value())
+        errorInfo().raise();
+    return *result;
+}
+
+CompileResult
+CompileOutcome::take()
+{
+    if (!result.has_value())
+        errorInfo().raise();
+    return std::move(*result);
+}
+
+const MusstiError &
+CompileOutcome::errorInfo() const
+{
+    MUSSTI_ASSERT(error.has_value(),
+                  "CompileOutcome carries neither result nor error");
+    return *error;
+}
 
 std::size_t
 CompileService::CacheKeyHash::operator()(const CacheKey &key) const
@@ -59,13 +97,36 @@ CompileService::CompileService(const CompileServiceConfig &config)
 
 CompileService::~CompileService()
 {
+    shutdown();
+}
+
+void
+CompileService::shutdown()
+{
+    std::deque<Job> orphaned;
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
+        if (stopping_) {
+            // Already shut down (or shutting down on another thread
+            // that owns the join below); nothing left to drain.
+            return;
+        }
         stopping_ = true;
+        shutdownFlag_.store(true, std::memory_order_relaxed);
+        orphaned.swap(queue_);
     }
     queueCv_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    workers_.clear();
+
+    // Queued-but-never-started jobs resolve Cancelled — a shutdown must
+    // not abandon promises (a waiter would deadlock on a
+    // broken_promise-free future) nor silently run work nobody awaits.
+    for (Job &job : orphaned)
+        deliver(std::move(job),
+                cancelledOutcome("compile service shut down before the "
+                                 "job started"));
 }
 
 std::vector<CompileResult>
@@ -77,6 +138,17 @@ CompileService::compileSweep(std::vector<CompileRequest> requests,
             requests[i].seed = deriveJobSeed(base_seed, i);
     }
     return compileAll(std::move(requests));
+}
+
+std::vector<CompileOutcome>
+CompileService::compileSweepOutcomes(std::vector<CompileRequest> requests,
+                                     std::uint64_t base_seed)
+{
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!requests[i].seed.has_value())
+            requests[i].seed = deriveJobSeed(base_seed, i);
+    }
+    return compileAllOutcomes(std::move(requests));
 }
 
 std::uint64_t
@@ -122,16 +194,45 @@ CompileService::submit(CompileRequest request)
 {
     MUSSTI_REQUIRE(request.backend != nullptr,
                    "compile request without a backend");
-    Job job{std::move(request), std::promise<CompileResult>{}};
+    Job job{std::move(request), {}, {}, false};
     std::future<CompileResult> future = job.promise.get_future();
+    enqueueOrCancel(std::move(job));
+    return future;
+}
+
+std::future<CompileOutcome>
+CompileService::submitOutcome(CompileRequest request)
+{
+    Job job{std::move(request), {}, {}, true};
+    std::future<CompileOutcome> future = job.outcomePromise.get_future();
+    if (job.request.backend == nullptr) {
+        CompileOutcome outcome;
+        outcome.error = MusstiError(ErrorCategory::InvalidInput,
+                                    "input.no-backend",
+                                    "compile request without a backend");
+        deliver(std::move(job), std::move(outcome));
+        return future;
+    }
+    enqueueOrCancel(std::move(job));
+    return future;
+}
+
+void
+CompileService::enqueueOrCancel(Job job)
+{
     {
         std::lock_guard<std::mutex> lock(queueMutex_);
-        MUSSTI_REQUIRE(!stopping_,
-                       "submit on a stopping CompileService");
-        queue_.push_back(std::move(job));
+        if (!stopping_) {
+            queue_.push_back(std::move(job));
+            queueCv_.notify_one();
+            return;
+        }
     }
-    queueCv_.notify_one();
-    return future;
+    // Submit after shutdown: resolve immediately instead of racing the
+    // worker teardown — the caller gets a ready Cancelled outcome (or
+    // a future that throws it, on the legacy path).
+    deliver(std::move(job),
+            cancelledOutcome("submit after compile service shutdown"));
 }
 
 std::vector<CompileResult>
@@ -149,6 +250,21 @@ CompileService::compileAll(std::vector<CompileRequest> requests)
     return results;
 }
 
+std::vector<CompileOutcome>
+CompileService::compileAllOutcomes(std::vector<CompileRequest> requests)
+{
+    std::vector<std::future<CompileOutcome>> futures;
+    futures.reserve(requests.size());
+    for (CompileRequest &request : requests)
+        futures.push_back(submitOutcome(std::move(request)));
+
+    std::vector<CompileOutcome> outcomes;
+    outcomes.reserve(futures.size());
+    for (std::future<CompileOutcome> &future : futures)
+        outcomes.push_back(future.get());
+    return outcomes;
+}
+
 void
 CompileService::workerLoop()
 {
@@ -159,8 +275,8 @@ CompileService::workerLoop()
             queueCv_.wait(lock, [this] {
                 return stopping_ || !queue_.empty();
             });
-            if (queue_.empty())
-                return; // stopping_ and fully drained
+            if (stopping_)
+                return; // shutdown() drains what is left of the queue
             job.emplace(std::move(queue_.front()));
             queue_.pop_front();
         }
@@ -171,64 +287,195 @@ CompileService::workerLoop()
 void
 CompileService::execute(Job job)
 {
-    try {
-        CacheKey key;
-        key.circuitHash = job.request.circuit.contentHash();
-        key.configDigest = job.request.backend->configDigest();
-        key.hasSeed = job.request.seed.has_value();
-        key.seed = job.request.seed.value_or(0);
+    CompileOutcome outcome = runJob(job.request);
+    deliver(std::move(job), std::move(outcome));
+}
 
-        if (config_.cacheCapacity > 0) {
-            if (auto cached = cacheLookup(key)) {
-                cacheHits_.fetch_add(1);
-                job.promise.set_value(std::move(*cached));
-                return;
+CompileOutcome
+CompileService::runJob(CompileRequest &request)
+{
+    CompileOutcome outcome;
+    const int max_attempts = std::max(1, config_.maxAttempts);
+    for (int attempt = 1;; ++attempt) {
+        outcome.attempts = attempt;
+        try {
+            JobControl control;
+            control.deadline = request.deadline;
+            control.cancel = request.cancel.get();
+            control.shutdown = &shutdownFlag_;
+            // A job whose deadline already passed (or whose token fired
+            // while queued) resolves without compiling anything.
+            control.checkpoint();
+            FaultInjector::maybeThrow(FaultSite::WorkerDequeue);
+
+            CacheKey key;
+            key.circuitHash = request.circuit.contentHash();
+            key.configDigest = request.backend->configDigest();
+            key.hasSeed = request.seed.has_value();
+            key.seed = request.seed.value_or(0);
+
+            if (config_.cacheCapacity > 0) {
+                if (auto cached = cacheLookup(key)) {
+                    cacheHits_.fetch_add(1);
+                    outcome.result = std::move(*cached);
+                    outcome.error.reset();
+                    return outcome;
+                }
             }
+
+            // One scheduler arena per worker thread: consecutive jobs
+            // on a worker reuse warm buffers (a pure allocation cache —
+            // results are bit-identical, pinned by test_compile_service
+            // / test_scheduler_workspace). Thread-local rather than
+            // per-service so the arena survives as long as the worker.
+            thread_local auto workspace =
+                std::make_shared<SchedulerWorkspace>();
+
+            // Retries need the circuit again, so only the last allowed
+            // attempt may consume it.
+            Circuit circuit = attempt < max_attempts
+                                  ? request.circuit
+                                  : std::move(request.circuit);
+            CompileResult result = compileOnce(request, std::move(circuit),
+                                               key, workspace, control);
+            jobsExecuted_.fetch_add(1);
+
+            // A failed job never reaches this store — the result tier
+            // only ever holds compiles that completed.
+            if (config_.cacheCapacity > 0 &&
+                !FaultInjector::fires(FaultSite::CacheStore))
+                cacheStore(key, result);
+            outcome.result = std::move(result);
+            outcome.error.reset();
+            return outcome;
+        } catch (...) {
+            outcome.result.reset();
+            outcome.error = describeCurrentException();
+            if (outcome.error->category() != ErrorCategory::Transient ||
+                attempt >= max_attempts)
+                return outcome;
+            if (!backoffBeforeRetry(request, attempt))
+                return outcome;
         }
-
-        // One scheduler arena per worker thread: consecutive jobs on a
-        // worker reuse warm buffers (a pure allocation cache — results
-        // are bit-identical, pinned by test_compile_service/
-        // test_scheduler_workspace). Thread-local rather than per-
-        // service so the arena survives as long as the worker does.
-        thread_local auto workspace =
-            std::make_shared<SchedulerWorkspace>();
-
-        CompileResult result = [&] {
-            if (config_.snapshotCacheCapacity == 0) {
-                return job.request.seed
-                           ? job.request.backend->compileSeeded(
-                                 std::move(job.request.circuit),
-                                 *job.request.seed, workspace)
-                           : job.request.backend->compile(
-                                 std::move(job.request.circuit),
-                                 workspace);
-            }
-
-            // Snapshot tier on: offer hash-verified prefix snapshots
-            // as resume candidates and bank whatever this compile
-            // captures. Bit-identical to the plain path by contract.
-            DeltaCompileIO delta;
-            delta.candidates = probeSnapshots(key, job.request.circuit);
-            const bool had_candidates = !delta.candidates.empty();
-            CompileResult compiled = job.request.backend->compileDelta(
-                std::move(job.request.circuit), job.request.seed,
-                workspace, delta);
-            if (delta.resumed)
-                deltaResumes_.fetch_add(1);
-            else if (had_candidates)
-                deltaFallbacks_.fetch_add(1);
-            storeSnapshots(key, std::move(delta.captured));
-            return compiled;
-        }();
-        jobsExecuted_.fetch_add(1);
-
-        if (config_.cacheCapacity > 0)
-            cacheStore(key, result);
-        job.promise.set_value(std::move(result));
-    } catch (...) {
-        job.promise.set_exception(std::current_exception());
     }
+}
+
+CompileResult
+CompileService::compileOnce(
+    const CompileRequest &request, Circuit circuit, const CacheKey &key,
+    const std::shared_ptr<SchedulerWorkspace> &workspace,
+    const JobControl &control)
+{
+    DeltaCompileIO delta;
+    const bool tier_on =
+        config_.snapshotCacheCapacity > 0 &&
+        !deltaQuarantined_.load(std::memory_order_relaxed);
+    delta.allowCapture = tier_on;
+    if (tier_on)
+        delta.candidates = probeSnapshots(key, circuit);
+    const bool had_candidates = !delta.candidates.empty();
+
+    CompileResult compiled = request.backend->compileControlled(
+        std::move(circuit), request.seed, workspace, delta, &control);
+
+    if (tier_on) {
+        if (delta.resumed) {
+            deltaResumes_.fetch_add(1);
+            deltaFallbackStreak_.store(0, std::memory_order_relaxed);
+        } else if (had_candidates) {
+            deltaFallbacks_.fetch_add(1);
+            noteDeltaFallback();
+        }
+        // Snapshots are only banked here, after the compile finished:
+        // a job that failed mid-run contributes nothing to the tier.
+        // Re-read the quarantine flag — if THIS job's fallback tripped
+        // it, its captures must not repopulate the tier just cleared.
+        if (!deltaQuarantined_.load(std::memory_order_relaxed) &&
+            !FaultInjector::fires(FaultSite::CacheStore))
+            storeSnapshots(key, std::move(delta.captured));
+    }
+    return compiled;
+}
+
+bool
+CompileService::backoffBeforeRetry(const CompileRequest &request,
+                                   int attempt) const
+{
+    if (shutdownFlag_.load(std::memory_order_relaxed))
+        return false;
+    if (request.cancel != nullptr &&
+        request.cancel->load(std::memory_order_relaxed))
+        return false;
+
+    long long us = std::max<long long>(0, config_.retryBackoffBaseUs);
+    for (int i = 1; i < attempt && us < config_.retryBackoffMaxUs; ++i)
+        us *= 2;
+    us = std::min(us, std::max<long long>(0, config_.retryBackoffMaxUs));
+
+    if (request.deadline.has_value()) {
+        const auto wake = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(us);
+        if (wake >= *request.deadline)
+            return false; // The retry would start already timed out.
+    }
+    if (us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return true;
+}
+
+void
+CompileService::noteDeltaFallback()
+{
+    const int threshold = config_.deltaQuarantineThreshold;
+    if (threshold <= 0)
+        return;
+    const int streak =
+        deltaFallbackStreak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak < threshold)
+        return;
+    if (deltaQuarantined_.exchange(true, std::memory_order_relaxed))
+        return;
+    deltaQuarantines_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        snapshots_.clear();
+        snapshotLru_.clear();
+        prefixIndex_.clear();
+        snapshotBytes_ = 0;
+    }
+    warn("delta snapshot tier quarantined after " +
+         std::to_string(streak) +
+         " consecutive resume fallbacks; compiling cold from here on");
+}
+
+void
+CompileService::deliver(Job job, CompileOutcome outcome)
+{
+    if (outcome.attempts > 1)
+        jobsRetried_.fetch_add(
+            static_cast<std::uint64_t>(outcome.attempts - 1));
+    if (!outcome.ok() && outcome.error.has_value()) {
+        switch (outcome.error->category()) {
+          case ErrorCategory::Timeout:
+            jobsTimedOut_.fetch_add(1);
+            break;
+          case ErrorCategory::Cancelled:
+            jobsCancelled_.fetch_add(1);
+            break;
+          default:
+            jobsFailed_.fetch_add(1);
+            break;
+        }
+    }
+
+    if (job.tolerant) {
+        job.outcomePromise.set_value(std::move(outcome));
+        return;
+    }
+    if (outcome.ok())
+        job.promise.set_value(std::move(*outcome.result));
+    else
+        job.promise.set_exception(outcome.errorInfo().toExceptionPtr());
 }
 
 std::optional<CompileResult>
@@ -374,6 +621,13 @@ CompileService::cacheStats() const
     stats.snapshotEvictions = snapshotEvictions_.load();
     stats.deltaResumes = deltaResumes_.load();
     stats.deltaFallbacks = deltaFallbacks_.load();
+    stats.jobsFailed = jobsFailed_.load();
+    stats.jobsTimedOut = jobsTimedOut_.load();
+    stats.jobsCancelled = jobsCancelled_.load();
+    stats.jobsRetried = jobsRetried_.load();
+    stats.deltaQuarantines = deltaQuarantines_.load();
+    stats.deltaQuarantined =
+        deltaQuarantined_.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(cacheMutex_);
         stats.snapshotCount = snapshots_.size();

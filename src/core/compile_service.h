@@ -17,11 +17,21 @@
  * compileDelta call as resume candidates, so the recompile costs time
  * proportional to the edited suffix instead of the whole circuit —
  * with a bit-identical result either way.
+ *
+ * Failure is a first-class outcome (see "Failure semantics" in
+ * src/core/README.md): every job resolves to a CompileOutcome carrying
+ * either a result or a structured MusstiError; requests may carry a
+ * deadline and a cancellation token (checked cooperatively at pass
+ * boundaries and inside the scheduler's routing loop); Transient
+ * failures are retried with bounded deterministic backoff; and neither
+ * cache tier is ever populated by a failed job. Shutdown drains queued
+ * jobs with Cancelled outcomes instead of abandoning their promises.
  */
 #ifndef MUSSTI_CORE_COMPILE_SERVICE_H
 #define MUSSTI_CORE_COMPILE_SERVICE_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,12 +45,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
 #include "core/backend.h"
 #include "core/schedule_snapshot.h"
 
 namespace mussti {
 
-/** Pool and cache sizing. */
+/** Pool, cache, and retry/quarantine policy sizing. */
 struct CompileServiceConfig
 {
     /** Worker threads; <= 0 selects the hardware concurrency. */
@@ -52,15 +63,44 @@ struct CompileServiceConfig
     /**
      * Delta-compile checkpoints kept (LRU evicted); 0 disables the
      * snapshot tier entirely — jobs then run through the plain
-     * compile/compileSeeded path. With the tier on, every job routes
-     * through ICompilerBackend::compileDelta: snapshots captured by
-     * past compiles are offered as resume candidates to future jobs
-     * that share an input prefix (same config digest and seed), turning
-     * an append-or-reparameterize recompile into work proportional to
-     * the edited suffix. Results stay bit-identical by contract;
-     * backends without a delta path are unaffected.
+     * compile path. With the tier on, every job routes through
+     * ICompilerBackend::compileControlled with a delta exchange:
+     * snapshots captured by past compiles are offered as resume
+     * candidates to future jobs that share an input prefix (same
+     * config digest and seed), turning an append-or-reparameterize
+     * recompile into work proportional to the edited suffix. Results
+     * stay bit-identical by contract; backends without a delta path
+     * are unaffected.
      */
     std::size_t snapshotCacheCapacity = 64;
+
+    /**
+     * Total attempts per job for Transient-classed failures (1 = no
+     * retry). Failures in any other category never retry.
+     */
+    int maxAttempts = 3;
+
+    /**
+     * Backoff before retry k is retryBackoffBaseUs * 2^(k-1)
+     * microseconds, capped at retryBackoffMaxUs — deterministic, no
+     * jitter, so a scripted fault sequence replays identically.
+     * A retry is abandoned (the Transient error becomes the outcome)
+     * when the job's deadline would expire inside the backoff, or its
+     * cancellation token / the service shutdown flag is already set.
+     */
+    long long retryBackoffBaseUs = 200;
+    long long retryBackoffMaxUs = 20000;
+
+    /**
+     * Quarantine the delta snapshot tier after this many CONSECUTIVE
+     * resume fallbacks (candidate-backed compiles that still scheduled
+     * cold) with no successful resume in between; 0 never quarantines.
+     * A quarantined tier is cleared and bypassed — jobs compile cold,
+     * which is bit-identical by the delta contract, so a corrupted or
+     * persistently useless snapshot store degrades throughput, never
+     * correctness. A successful resume resets the streak.
+     */
+    int deltaQuarantineThreshold = 32;
 };
 
 /** One unit of work for the service. */
@@ -75,6 +115,47 @@ struct CompileRequest
      * backend->compile() call).
      */
     std::optional<std::uint64_t> seed;
+
+    /**
+     * Absolute deadline. Checked before the job starts, at every pass
+     * boundary, and every JobControl::checkEveryGates routing steps;
+     * past it the job resolves with a Timeout error.
+     */
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+
+    /**
+     * Cancellation token (may be null). Set it to true at any time —
+     * the job resolves Cancelled at its next cooperative checkpoint,
+     * or immediately if still queued when checked. One token may be
+     * shared by many requests to cancel them as a group.
+     */
+    std::shared_ptr<const std::atomic<bool>> cancel;
+};
+
+/**
+ * How one job ended: exactly one of `result` (success) or `error`
+ * (structured failure) is set. The batch-tolerant APIs return these in
+ * submission order, so one bad circuit in a sweep costs one outcome,
+ * not the batch.
+ */
+struct CompileOutcome
+{
+    std::optional<CompileResult> result;
+    std::optional<MusstiError> error;
+
+    /** Compile attempts consumed (> 1 means Transient retries). */
+    int attempts = 1;
+
+    bool ok() const { return result.has_value(); }
+
+    /** The result; raises the structured error if the job failed. */
+    const CompileResult &value() const;
+
+    /** Move the result out; raises the structured error on failure. */
+    CompileResult take();
+
+    /** The error; panics if the job succeeded. */
+    const MusstiError &errorInfo() const;
 };
 
 /** Fixed-size worker pool compiling jobs with result memoisation. */
@@ -87,29 +168,54 @@ class CompileService
     CompileService(const CompileService &) = delete;
     CompileService &operator=(const CompileService &) = delete;
 
-    /** Enqueue one job; the future yields the result (or exception). */
+    /**
+     * Enqueue one job; the future yields the result (or throws the
+     * structured error — a MusstiFault/MusstiPanic). After shutdown()
+     * the future is immediately ready with a Cancelled error (it does
+     * not race worker teardown).
+     */
     std::future<CompileResult> submit(CompileRequest request);
 
     std::future<CompileResult>
     submit(std::shared_ptr<const ICompilerBackend> backend,
            Circuit circuit)
     {
-        return submit({std::move(backend), std::move(circuit), {}});
+        return submit({std::move(backend), std::move(circuit), {}, {}, {}});
     }
 
     std::future<CompileResult>
     submit(std::shared_ptr<const ICompilerBackend> backend,
            Circuit circuit, std::uint64_t seed)
     {
-        return submit({std::move(backend), std::move(circuit), seed});
+        return submit({std::move(backend), std::move(circuit), seed, {}, {}});
     }
+
+    /**
+     * Enqueue one job on the error-tolerant path: the future always
+     * yields a CompileOutcome and never throws — failures (including
+     * submit-after-shutdown, which resolves Cancelled immediately)
+     * arrive as the outcome's structured error.
+     */
+    std::future<CompileOutcome> submitOutcome(CompileRequest request);
 
     /**
      * Compile a batch, returning results in submission order. Jobs run
      * concurrently across the pool; the call blocks until all finish.
+     * The first failed job's error is thrown (legacy all-or-nothing
+     * semantics); use compileAllOutcomes to keep the survivors.
      */
     std::vector<CompileResult>
     compileAll(std::vector<CompileRequest> requests);
+
+    /**
+     * Error-tolerant batch: outcomes in submission order, one per
+     * request, never throws. One malformed circuit in a 1000-job batch
+     * yields 999 results plus one structured error; the surviving
+     * results are bit-identical to the batch without the bad job, at
+     * any thread count.
+     */
+    std::vector<CompileOutcome>
+    compileAllOutcomes(std::vector<CompileRequest> requests);
 
     /**
      * Batch sweep: compileAll with deterministic per-job seeding. Every
@@ -124,6 +230,19 @@ class CompileService
     std::vector<CompileResult>
     compileSweep(std::vector<CompileRequest> requests,
                  std::uint64_t base_seed);
+
+    /** Error-tolerant compileSweep (same seeding, outcomes per job). */
+    std::vector<CompileOutcome>
+    compileSweepOutcomes(std::vector<CompileRequest> requests,
+                         std::uint64_t base_seed);
+
+    /**
+     * Stop the pool: reject new submissions (ready Cancelled outcomes),
+     * resolve every still-queued job with a Cancelled outcome, signal
+     * in-flight jobs through their cooperative shutdown checkpoint, and
+     * join the workers. Idempotent; the destructor calls it.
+     */
+    void shutdown();
 
     /**
      * Deterministic per-job seed derivation (SplitMix64 over the base
@@ -155,7 +274,7 @@ class CompileService
     /** Jobs served from the result cache. */
     std::uint64_t cacheHits() const { return cacheHits_.load(); }
 
-    /** Counters over both cache tiers (see cacheStats()). */
+    /** Counters over both cache tiers and the failure paths. */
     struct CacheStats
     {
         std::uint64_t resultHits = 0;   ///< Jobs served from the result cache.
@@ -169,13 +288,22 @@ class CompileService
                                           ///< still scheduled cold.
         std::size_t snapshotCount = 0;  ///< Snapshots currently cached.
         std::size_t snapshotBytes = 0;  ///< Their approximate footprint.
+
+        // ---- failure-path counters (jobsRetried counts extra
+        // attempts, so a job that succeeded on attempt 3 adds 2) ------
+        std::uint64_t jobsFailed = 0;    ///< Non-timeout/cancel failures.
+        std::uint64_t jobsTimedOut = 0;  ///< Jobs resolved Timeout.
+        std::uint64_t jobsCancelled = 0; ///< Jobs resolved Cancelled.
+        std::uint64_t jobsRetried = 0;   ///< Transient retry attempts.
+        std::uint64_t deltaQuarantines = 0; ///< Tier quarantine events.
+        bool deltaQuarantined = false;   ///< Tier currently quarantined.
     };
 
     /**
      * Point-in-time cache-effectiveness counters across the result tier
      * and the delta-compile snapshot tier. Monotonic over the service's
-     * lifetime except snapshotCount/snapshotBytes, which track current
-     * occupancy.
+     * lifetime except snapshotCount/snapshotBytes/deltaQuarantined,
+     * which track current state.
      */
     CacheStats cacheStats() const;
 
@@ -183,7 +311,9 @@ class CompileService
     struct Job
     {
         CompileRequest request;
-        std::promise<CompileResult> promise;
+        std::promise<CompileResult> promise;        ///< Legacy path.
+        std::promise<CompileOutcome> outcomePromise; ///< Tolerant path.
+        bool tolerant = false;
     };
 
     struct CacheKey
@@ -246,6 +376,38 @@ class CompileService
     void workerLoop();
     void execute(Job job);
 
+    /** Push the job, or deliver it Cancelled if the service stopped. */
+    void enqueueOrCancel(Job job);
+
+    /** Run one job to an outcome: cache, retry loop, delta exchange. */
+    CompileOutcome runJob(CompileRequest &request);
+
+    /** One compile attempt through the delta/controlled path. */
+    CompileResult
+    compileOnce(const CompileRequest &request, Circuit circuit,
+                const CacheKey &key,
+                const std::shared_ptr<SchedulerWorkspace> &workspace,
+                const JobControl &control);
+
+    /**
+     * Resolve the job's promise (whichever flavour) and book the
+     * failure/retry counters — the single accounting point every
+     * delivery funnels through.
+     */
+    void deliver(Job job, CompileOutcome outcome);
+
+    /**
+     * Sleep the deterministic backoff before retry `attempt + 1`.
+     * False when the retry is pointless (deadline would expire inside
+     * the backoff, token/shutdown already set) — the caller then keeps
+     * the Transient error as the outcome.
+     */
+    bool backoffBeforeRetry(const CompileRequest &request,
+                            int attempt) const;
+
+    /** Record a candidate-backed cold fallback; maybe quarantine. */
+    void noteDeltaFallback();
+
     std::optional<CompileResult> cacheLookup(const CacheKey &key);
     void cacheStore(const CacheKey &key, const CompileResult &result);
 
@@ -275,6 +437,13 @@ class CompileService
     std::condition_variable queueCv_;
     std::deque<Job> queue_;
     bool stopping_ = false;
+
+    /**
+     * Cooperative shutdown signal wired into every in-flight job's
+     * JobControl, so a long compile notices teardown at its next
+     * checkpoint instead of holding the join.
+     */
+    std::atomic<bool> shutdownFlag_{false};
 
     mutable std::mutex cacheMutex_; ///< Also taken by const cacheStats().
     std::unordered_map<CacheKey,
@@ -307,6 +476,14 @@ class CompileService
     std::atomic<std::uint64_t> snapshotEvictions_{0};
     std::atomic<std::uint64_t> deltaResumes_{0};
     std::atomic<std::uint64_t> deltaFallbacks_{0};
+
+    std::atomic<std::uint64_t> jobsFailed_{0};
+    std::atomic<std::uint64_t> jobsTimedOut_{0};
+    std::atomic<std::uint64_t> jobsCancelled_{0};
+    std::atomic<std::uint64_t> jobsRetried_{0};
+    std::atomic<std::uint64_t> deltaQuarantines_{0};
+    std::atomic<int> deltaFallbackStreak_{0};
+    std::atomic<bool> deltaQuarantined_{false};
 };
 
 } // namespace mussti

@@ -127,7 +127,8 @@ class MusstiSchedulePass : public CompilerPass
         DeltaRequest request;
         const DeltaRequest *delta = nullptr;
         if (config.deltaCompile && ctx.delta != nullptr) {
-            request.checkpointEvery = config.deltaCheckpointGates;
+            request.checkpointEvery =
+                ctx.delta->allowCapture ? config.deltaCheckpointGates : 0;
             request.candidates.reserve(ctx.delta->candidates.size());
             for (const auto &snap : ctx.delta->candidates) {
                 if (snap == nullptr ||
@@ -143,7 +144,8 @@ class MusstiSchedulePass : public CompilerPass
 
         auto output = scheduler.run(ctx.requireLowered(),
                                     ctx.requirePlacement(),
-                                    &schedulerWorkspaceOf(ctx), delta);
+                                    &schedulerWorkspaceOf(ctx), delta,
+                                    ctx.control);
         ctx.schedule = std::move(output.schedule);
         ctx.finalPlacement = std::move(output.finalPlacement);
         ctx.swapInsertions = output.swapInsertions;
@@ -218,9 +220,10 @@ class SabreTwoFoldPass : public CompilerPass
         SchedulerWorkspace &workspace = schedulerWorkspaceOf(ctx);
         const Circuit reversed = ctx.requireLowered().reversed();
         auto backward = scheduler.run(reversed, *ctx.finalPlacement,
-                                      &workspace);
+                                      &workspace, nullptr, ctx.control);
         auto refined = scheduler.run(ctx.requireLowered(),
-                                     backward.finalPlacement, &workspace);
+                                     backward.finalPlacement, &workspace,
+                                     nullptr, ctx.control);
         const Metrics refined_metrics = evaluator.evaluate(
             refined.schedule, device.zoneInfos());
 
@@ -306,6 +309,17 @@ MusstiCompiler::compileDelta(
     return makePipeline().compile(std::move(circuit), params_,
                                   seed.value_or(config_.seed), workspace,
                                   &delta);
+}
+
+CompileResult
+MusstiCompiler::compileControlled(
+    Circuit circuit, const std::optional<std::uint64_t> &seed,
+    const std::shared_ptr<SchedulerWorkspace> &workspace,
+    DeltaCompileIO &delta, const JobControl *control) const
+{
+    return makePipeline().compile(std::move(circuit), params_,
+                                  seed.value_or(config_.seed), workspace,
+                                  &delta, control);
 }
 
 const std::string &

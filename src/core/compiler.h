@@ -90,6 +90,18 @@ class MusstiCompiler : public ICompilerBackend
                  const std::shared_ptr<SchedulerWorkspace> &workspace,
                  DeltaCompileIO &delta) const override;
 
+    /**
+     * compileDelta plus cooperative deadline/cancellation: the control
+     * is checkpointed at every pass boundary and every
+     * JobControl::checkEveryGates routing steps of each scheduler leg.
+     */
+    CompileResult
+    compileControlled(Circuit circuit,
+                      const std::optional<std::uint64_t> &seed,
+                      const std::shared_ptr<SchedulerWorkspace> &workspace,
+                      DeltaCompileIO &delta,
+                      const JobControl *control) const override;
+
     const std::string &name() const override;
 
     std::uint64_t configDigest() const override;

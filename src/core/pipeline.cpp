@@ -4,6 +4,7 @@
 
 #include "arch/eml_device.h"
 #include "arch/grid_device.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace mussti {
@@ -80,14 +81,18 @@ CompileResult
 PassPipeline::compile(Circuit circuit, const PhysicalParams &params,
                       std::uint64_t seed,
                       std::shared_ptr<SchedulerWorkspace> workspace,
-                      DeltaCompileIO *delta) const
+                      DeltaCompileIO *delta, const JobControl *control) const
 {
     const auto t0 = std::chrono::steady_clock::now();
     CompileContext ctx(std::move(circuit), params, seed);
     ctx.schedulerWorkspace = std::move(workspace);
     ctx.delta = delta;
+    ctx.control = control;
 
     for (const auto &pass : passes_) {
+        if (control != nullptr)
+            control->checkpoint();
+        FaultInjector::maybeThrow(FaultSite::PassBoundary);
         const auto p0 = std::chrono::steady_clock::now();
         pass->run(ctx);
         const auto p1 = std::chrono::steady_clock::now();

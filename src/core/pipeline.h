@@ -26,6 +26,7 @@
 #include "arch/placement.h"
 #include "arch/target_device.h"
 #include "circuit/circuit.h"
+#include "core/job_control.h"
 #include "core/schedule_snapshot.h"
 #include "sim/evaluator.h"
 #include "sim/params.h"
@@ -71,6 +72,15 @@ struct DeltaCompileIO
 
     /** The compile resumed from one of the candidates. */
     bool resumed = false;
+
+    /**
+     * Capture permission: when false the scheduling pass takes no
+     * checkpoints even if the backend's config enables delta
+     * compilation. The service clears it when the snapshot tier is
+     * disabled or quarantined, so cold compiles don't pay capture cost
+     * for snapshots nobody will store.
+     */
+    bool allowCapture = true;
 };
 
 /** Everything a compilation produces. */
@@ -161,6 +171,13 @@ struct CompileContext
      */
     DeltaCompileIO *delta = nullptr;
 
+    /**
+     * Deadline/cancellation control for this job (may be null). The
+     * pipeline checkpoints it at every pass boundary; the scheduling
+     * passes thread it into the routing loop.
+     */
+    const JobControl *control = nullptr;
+
     std::vector<PassTiming> trace; ///< Filled by PassPipeline.
 
     // ---- invariant helpers (passes call these on entry) --------------
@@ -227,13 +244,17 @@ class PassPipeline
      * repeated compilations reuse warm buffers (results are identical
      * either way; see core/scheduler_workspace.h for the contract).
      * `delta`, when given, is wired into the context for the scheduling
-     * pass (resume candidates in, captured checkpoints out).
+     * pass (resume candidates in, captured checkpoints out). `control`,
+     * when given, is checkpointed before every pass (and inside the
+     * scheduler's routing loop) so deadlines and cancellation take
+     * effect at pass granularity or finer.
      */
     CompileResult
     compile(Circuit circuit, const PhysicalParams &params,
             std::uint64_t seed,
             std::shared_ptr<SchedulerWorkspace> workspace = nullptr,
-            DeltaCompileIO *delta = nullptr) const;
+            DeltaCompileIO *delta = nullptr,
+            const JobControl *control = nullptr) const;
 
   private:
     std::vector<std::unique_ptr<CompilerPass>> passes_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/alloc_counter.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "core/lru.h"
 #include "core/router.h"
@@ -600,7 +601,8 @@ captureSnapshot(const PassState &st,
 MusstiScheduler::RunOutput
 MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
                      SchedulerWorkspace *workspace,
-                     const DeltaRequest *delta) const
+                     const DeltaRequest *delta,
+                     const JobControl *control) const
 {
     MUSSTI_REQUIRE(initial.allPlaced(),
                    "initial mapping leaves qubits unplaced");
@@ -620,9 +622,15 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
     // bounded by the horizon (the weight table reads depths up to
     // lookAhead); otherwise skip resuming, never produce a wrong
     // schedule.
-    const bool resumable =
+    bool resumable =
         delta != nullptr && !delta->candidates.empty() &&
         config_.lookAhead <= config_.nextUseHorizon;
+    // An injected resume fault degrades, never corrupts: the run falls
+    // back to a cold compile of the whole circuit (bit-identical by the
+    // delta contract). Consulted only when a resume was actually on the
+    // table, so the site's visit counter tracks real resume attempts.
+    if (resumable && FaultInjector::fires(FaultSite::SnapshotResume))
+        resumable = false;
     const bool capture = delta != nullptr && delta->checkpointEvery > 0;
 
     std::vector<int> retired_order = std::move(ws.retiredOrderScratch);
@@ -704,6 +712,15 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
     // scheduling work itself.
     const std::uint64_t allocs_at_start = AllocCounter::now();
 
+    // Cooperative deadline/cancellation: a countdown re-armed every
+    // checkEveryGates routing steps. The checkpoint itself is relaxed
+    // atomic loads plus (deadline only) one clock read — it allocates
+    // nothing unless it fires, so the loop stays steady-state
+    // allocation-free under control.
+    const int control_every =
+        control != nullptr ? std::max(1, control->checkEveryGates) : 0;
+    int control_countdown = control_every;
+
     while (!st->dag.empty()) {
         // Gate selection, phase 1: drain every immediately executable
         // frontier gate ("prioritize executable gates").
@@ -714,6 +731,11 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
         if (st->dag.empty())
             break;
 
+        if (control_every > 0 && --control_countdown <= 0) {
+            control_countdown = control_every;
+            control->checkpoint();
+        }
+
         // Between the drain and phase 2 is the one point a checkpoint
         // is resumable from: the worklist is empty and every frontier
         // gate is proven non-executable, so a resumed run's first drain
@@ -723,6 +745,14 @@ MusstiScheduler::run(const Circuit &lowered, const Placement &initial,
                                       st->dag.remaining();
             if (retired_count >= next_capture_at) {
                 const std::uint64_t before = AllocCounter::now();
+                if (FaultInjector::fires(FaultSite::SnapshotCapture)) {
+                    // An injected capture fault drops every checkpoint
+                    // of this run and stops capturing: the job itself
+                    // still succeeds, the snapshot tier just learns
+                    // nothing from it.
+                    snapshots.clear();
+                    capture_open = false;
+                } else
                 if (captureSnapshot(*st, retired_order, last_node_index,
                                     swap_insertions, routing_steps,
                                     snapshots)) {

@@ -16,6 +16,7 @@
 #include "arch/placement.h"
 #include "circuit/circuit.h"
 #include "core/config.h"
+#include "core/job_control.h"
 #include "core/schedule_snapshot.h"
 #include "core/scheduler_workspace.h"
 #include "sim/params.h"
@@ -122,11 +123,15 @@ class MusstiScheduler
      * either way. `delta`, when given, may request snapshot capture
      * and/or a resume from a prior run's snapshot — a successful resume
      * produces the bit-identical schedule in time proportional to the
-     * unshared suffix.
+     * unshared suffix. `control`, when given, is checkpointed every
+     * `control->checkEveryGates` routing steps — a relaxed atomic load
+     * (plus a clock read when a deadline is set), never an allocation,
+     * so the zero-steady-state-alloc invariant holds with control on.
      */
     RunOutput run(const Circuit &lowered, const Placement &initial,
                   SchedulerWorkspace *workspace = nullptr,
-                  const DeltaRequest *delta = nullptr) const;
+                  const DeltaRequest *delta = nullptr,
+                  const JobControl *control = nullptr) const;
 
   private:
     const EmlDevice &device_;

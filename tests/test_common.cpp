@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/csv.h"
+#include "common/error.h"
 #include "common/log_fidelity.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -266,6 +267,177 @@ TEST(Logging, ScopedFatalSilenceStillThrows)
         EXPECT_NE(std::string(err.what()).find("quiet user error"),
                   std::string::npos);
     }
+}
+
+TEST(Logging, ScopedFatalSilenceDefaultKeepsWarns)
+{
+    testing::internal::CaptureStderr();
+    {
+        const ScopedFatalSilence quiet;
+        warn("still audible");
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("still audible"), std::string::npos);
+}
+
+TEST(Logging, ScopedFatalSilenceCanMuteWarns)
+{
+    testing::internal::CaptureStderr();
+    {
+        const ScopedFatalSilence quiet(/*silence_warns=*/true);
+        warn("muted warning");
+        inform("never muted");
+    }
+    warn("audible again");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("muted warning"), std::string::npos) << err;
+    EXPECT_NE(err.find("never muted"), std::string::npos) << err;
+    EXPECT_NE(err.find("audible again"), std::string::npos) << err;
+}
+
+TEST(ErrorTaxonomy, FatalCarriesInvalidInputCategory)
+{
+    const ScopedFatalSilence quiet;
+    try {
+        fatal("bad knob");
+        FAIL();
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::InvalidInput);
+        EXPECT_EQ(err.code(), "input.fatal");
+        EXPECT_EQ(err.message(), "bad knob");
+    }
+}
+
+TEST(ErrorTaxonomy, RequireMacroMapsToInvalidInput)
+{
+    const ScopedFatalSilence quiet;
+    try {
+        MUSSTI_REQUIRE(false, "rejected value " << 7);
+        FAIL();
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::InvalidInput);
+        EXPECT_EQ(err.code(), "input.require");
+        EXPECT_NE(err.message().find("rejected value 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, PanicAndAssertMapToInternal)
+{
+    try {
+        panic("bug");
+        FAIL();
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Internal);
+        EXPECT_EQ(err.code(), "internal.panic");
+    }
+    try {
+        MUSSTI_ASSERT(1 == 2, "broken invariant");
+        FAIL();
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Internal);
+        EXPECT_EQ(err.code(), "internal.assert");
+        EXPECT_NE(err.message().find("broken invariant"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, LegacyHandlersStillCatchByStandardType)
+{
+    // The dual-inheritance contract: every fatal is a runtime_error,
+    // every panic a logic_error, and BOTH are MusstiError.
+    const ScopedFatalSilence quiet;
+    EXPECT_THROW(fatalCoded("input.fatal", "x"), std::runtime_error);
+    EXPECT_THROW(panicCoded("internal.panic", "x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), MusstiError);
+    EXPECT_THROW(panic("x"), MusstiError);
+}
+
+TEST(ErrorTaxonomy, RaiseErrorRoundTripsEveryCategory)
+{
+    const ScopedFatalSilence quiet;
+    const ErrorCategory cats[] = {
+        ErrorCategory::InvalidInput, ErrorCategory::ResourceExhausted,
+        ErrorCategory::Timeout, ErrorCategory::Cancelled,
+        ErrorCategory::Transient,
+    };
+    for (const ErrorCategory cat : cats) {
+        try {
+            raiseError(cat, "test.code", "round trip");
+            FAIL() << errorCategoryName(cat);
+        } catch (const MusstiError &err) {
+            EXPECT_EQ(err.category(), cat);
+            EXPECT_EQ(err.code(), "test.code");
+            EXPECT_EQ(err.message(), "round trip");
+        }
+    }
+}
+
+TEST(ErrorTaxonomy, QuietCategoriesDoNotEchoToStderr)
+{
+    // Timeout/Cancelled/Transient are expected control-flow outcomes;
+    // they must not spam the console even without a silence guard.
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(raiseError(ErrorCategory::Timeout,
+                            "job.deadline-exceeded", "t"),
+                 std::runtime_error);
+    EXPECT_THROW(raiseError(ErrorCategory::Cancelled, "job.cancelled",
+                            "c"),
+                 std::runtime_error);
+    EXPECT_THROW(raiseError(ErrorCategory::Transient, "fault.injected",
+                            "f"),
+                 std::runtime_error);
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ErrorTaxonomy, PayloadRaisesAsMatchingConcreteType)
+{
+    const MusstiError timeout(ErrorCategory::Timeout,
+                              "job.deadline-exceeded", "too slow");
+    EXPECT_THROW(timeout.raise(), std::runtime_error);
+    const MusstiError bug(ErrorCategory::Internal, "internal.x", "bug");
+    EXPECT_THROW(bug.raise(), std::logic_error);
+    try {
+        timeout.raise();
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Timeout);
+        EXPECT_EQ(err.code(), "job.deadline-exceeded");
+    }
+}
+
+TEST(ErrorTaxonomy, DescribeCurrentExceptionClassifies)
+{
+    // Structured errors pass through losslessly.
+    try {
+        raiseError(ErrorCategory::Transient, "fault.injected", "x");
+    } catch (...) {
+        const MusstiError err = describeCurrentException();
+        EXPECT_EQ(err.category(), ErrorCategory::Transient);
+        EXPECT_EQ(err.code(), "fault.injected");
+    }
+    // Foreign exceptions are wrapped as Internal.
+    try {
+        throw std::runtime_error("foreign");
+    } catch (...) {
+        const MusstiError err = describeCurrentException();
+        EXPECT_EQ(err.category(), ErrorCategory::Internal);
+        EXPECT_EQ(err.code(), "internal.uncaught");
+        EXPECT_NE(err.message().find("foreign"), std::string::npos);
+    }
+}
+
+TEST(ErrorTaxonomy, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::InvalidInput),
+                 "InvalidInput");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::ResourceExhausted),
+                 "ResourceExhausted");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Timeout), "Timeout");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Cancelled),
+                 "Cancelled");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Transient),
+                 "Transient");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal), "Internal");
 }
 
 } // namespace

@@ -6,9 +6,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <vector>
 
 #include "baselines/backend_factory.h"
+#include "common/error.h"
+#include "common/logging.h"
 #include "core/compile_service.h"
 #include "core/compiler.h"
 #include "workloads/workloads.h"
@@ -226,6 +231,197 @@ TEST(CompileService, CompileErrorsPropagateThroughFutures)
     EXPECT_THROW(future.get(), std::runtime_error);
 }
 
+TEST(CompileService, ErrorCategoryRoundTripsThroughFutures)
+{
+    const ScopedFatalSilence quiet;
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+    const auto backend = makeGridBackend("murali", GridConfig{2, 2, 4});
+
+    // Legacy future: the thrown exception carries the full taxonomy.
+    auto future = service.submit(backend, makeGhz(32));
+    try {
+        (void)future.get();
+        FAIL() << "expected a structured failure";
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::InvalidInput);
+        EXPECT_EQ(err.code(), "input.require");
+    }
+
+    // Tolerant future: the same taxonomy, as a value.
+    CompileOutcome outcome =
+        service.submitOutcome({backend, makeGhz(32), {}, {}, {}}).get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.errorInfo().category(),
+              ErrorCategory::InvalidInput);
+    EXPECT_EQ(outcome.errorInfo().code(), "input.require");
+    EXPECT_THROW((void)outcome.value(), std::runtime_error);
+    EXPECT_EQ(service.cacheStats().jobsFailed, 2u);
+}
+
+TEST(CompileService, OutcomeBatchKeepsSurvivorsInSubmissionOrder)
+{
+    // One bad circuit in a batch costs one outcome, not the batch —
+    // and the pattern plus the survivors are identical at 1 and 4
+    // threads.
+    const ScopedFatalSilence quiet;
+    const auto good = makeMusstiBackend();
+    const auto bad = makeGridBackend("murali", GridConfig{2, 2, 4});
+
+    auto makeRequests = [&] {
+        std::vector<CompileRequest> requests;
+        requests.push_back({good, makeBenchmark("ghz", 30), {}, {}, {}});
+        requests.push_back({bad, makeGhz(32), {}, {}, {}});
+        requests.push_back({good, makeBenchmark("adder", 30), {}, {}, {}});
+        requests.push_back({bad, makeGhz(40), {}, {}, {}});
+        requests.push_back({good, makeBenchmark("qft", 24), {}, {}, {}});
+        requests.push_back({good, makeBenchmark("bv", 40), {}, {}, {}});
+        return requests;
+    };
+
+    CompileServiceConfig one_thread;
+    one_thread.numThreads = 1;
+    one_thread.cacheCapacity = 0;
+    CompileServiceConfig four_threads;
+    four_threads.numThreads = 4;
+    four_threads.cacheCapacity = 0;
+
+    CompileService serial(one_thread);
+    CompileService parallel(four_threads);
+    const auto a = serial.compileAllOutcomes(makeRequests());
+    const auto b = parallel.compileAllOutcomes(makeRequests());
+    ASSERT_EQ(a.size(), 6u);
+    ASSERT_EQ(b.size(), a.size());
+
+    const bool expect_ok[] = {true, false, true, false, true, true};
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ok(), expect_ok[i]) << "job " << i;
+        EXPECT_EQ(b[i].ok(), expect_ok[i]) << "job " << i;
+        if (expect_ok[i]) {
+            expectIdentical(a[i].value(), b[i].value());
+        } else {
+            EXPECT_EQ(a[i].errorInfo().category(),
+                      ErrorCategory::InvalidInput);
+            EXPECT_EQ(a[i].errorInfo().code(), b[i].errorInfo().code());
+        }
+    }
+    EXPECT_EQ(serial.cacheStats().jobsFailed, 2u);
+    EXPECT_EQ(parallel.cacheStats().jobsFailed, 2u);
+
+    // The sweep variant seeds survivors deterministically too.
+    const auto swept =
+        serial.compileSweepOutcomes(makeRequests(), /*base_seed=*/7);
+    ASSERT_EQ(swept.size(), 6u);
+    for (std::size_t i = 0; i < swept.size(); ++i)
+        EXPECT_EQ(swept[i].ok(), expect_ok[i]) << "job " << i;
+}
+
+TEST(CompileService, SubmitAfterShutdownResolvesCancelled)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+    const auto backend = makeMusstiBackend();
+    service.shutdown();
+
+    // Tolerant path: a ready Cancelled outcome, no race with teardown.
+    auto outcome_future =
+        service.submitOutcome({backend, makeGhz(8), {}, {}, {}});
+    ASSERT_EQ(outcome_future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    CompileOutcome outcome = outcome_future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.errorInfo().category(), ErrorCategory::Cancelled);
+    EXPECT_EQ(outcome.errorInfo().code(), "job.cancelled");
+
+    // Legacy path: the future throws the same structured error.
+    auto future = service.submit(backend, makeGhz(8));
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    try {
+        (void)future.get();
+        FAIL() << "expected Cancelled";
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Cancelled);
+    }
+    EXPECT_EQ(service.cacheStats().jobsCancelled, 2u);
+}
+
+TEST(CompileService, PreSetCancelTokenResolvesCancelled)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+    const auto token = std::make_shared<std::atomic<bool>>(true);
+
+    CompileOutcome outcome = service.submitOutcome(
+        {makeMusstiBackend(), makeGhz(16), {}, {}, token}).get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.errorInfo().category(), ErrorCategory::Cancelled);
+    EXPECT_EQ(outcome.errorInfo().code(), "job.cancelled");
+    EXPECT_EQ(service.jobsExecuted(), 0u); // never started compiling
+    EXPECT_EQ(service.cacheStats().jobsCancelled, 1u);
+}
+
+TEST(CompileService, ExpiredDeadlineResolvesTimeout)
+{
+    CompileServiceConfig service_config;
+    service_config.numThreads = 1;
+    CompileService service(service_config);
+
+    CompileRequest request{makeMusstiBackend(), makeGhz(16), {}, {}, {}};
+    request.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    CompileOutcome outcome =
+        service.submitOutcome(std::move(request)).get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.errorInfo().category(), ErrorCategory::Timeout);
+    EXPECT_EQ(outcome.errorInfo().code(), "job.deadline-exceeded");
+    EXPECT_EQ(outcome.attempts, 1); // Timeout never retries
+    EXPECT_EQ(service.jobsExecuted(), 0u);
+    EXPECT_EQ(service.cacheStats().jobsTimedOut, 1u);
+}
+
+TEST(CompileService, JobControlUnwindsTheCompilePipeline)
+{
+    // Drive the backend's controlled entry point directly: the
+    // checkpoint chain (entry, pass boundaries, routing loop) must
+    // unwind a real compile with the right quiet category.
+    const auto backend = makeMusstiBackend();
+
+    JobControl timed_out;
+    timed_out.deadline = std::chrono::steady_clock::now() -
+                         std::chrono::milliseconds(1);
+    DeltaCompileIO delta;
+    try {
+        (void)backend->compileControlled(makeBenchmark("ghz", 24), {},
+                                         nullptr, delta, &timed_out);
+        FAIL() << "expected Timeout";
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Timeout);
+    }
+
+    const std::atomic<bool> fired{true};
+    JobControl cancelled;
+    cancelled.cancel = &fired;
+    cancelled.checkEveryGates = 1;
+    DeltaCompileIO delta2;
+    try {
+        (void)backend->compileControlled(makeBenchmark("ghz", 24), {},
+                                         nullptr, delta2, &cancelled);
+        FAIL() << "expected Cancelled";
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::Cancelled);
+    }
+
+    // A null control compiles exactly like the plain path.
+    DeltaCompileIO delta3;
+    const CompileResult controlled = backend->compileControlled(
+        makeBenchmark("ghz", 24), {}, nullptr, delta3, nullptr);
+    expectIdentical(controlled, backend->compile(makeBenchmark("ghz", 24)));
+}
+
 TEST(CompileService, CacheEvictsLeastRecentlyUsed)
 {
     CompileServiceConfig service_config;
@@ -314,6 +510,14 @@ TEST(CompileService, CacheStatsTrackBothTiers)
     EXPECT_EQ(stats.deltaFallbacks, 0u);
     EXPECT_GT(stats.snapshotCount, 0u);
     EXPECT_GT(stats.snapshotBytes, 0u);
+
+    // A fault-free run books nothing on the failure paths.
+    EXPECT_EQ(stats.jobsFailed, 0u);
+    EXPECT_EQ(stats.jobsTimedOut, 0u);
+    EXPECT_EQ(stats.jobsCancelled, 0u);
+    EXPECT_EQ(stats.jobsRetried, 0u);
+    EXPECT_EQ(stats.deltaQuarantines, 0u);
+    EXPECT_FALSE(stats.deltaQuarantined);
 }
 
 TEST(CompileService, ParseThreadCountValidatesInput)

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "circuit/qasm.h"
+#include "common/error.h"
 #include "workloads/workloads.h"
 
 namespace mussti {
@@ -175,6 +176,52 @@ TEST(Qasm, DiagnosticsNameTheStatement)
         EXPECT_NE(std::string(err.what()).find("rz(pi/0)"),
                   std::string::npos)
             << "diagnostic should quote the statement: " << err.what();
+    }
+}
+
+TEST(Qasm, RejectsRepeatedTwoQubitOperand)
+{
+    // Fuzzer-found regression: "cx q[0],q[0]" used to sail past the
+    // range validation and trip Circuit::add's internal assertion — an
+    // Internal panic (std::logic_error) for what is a malformed
+    // program. It must be a structured InvalidInput rejection.
+    try {
+        fromQasm("qreg q[2]; cx q[0],q[0];");
+        FAIL() << "expected a parse failure";
+    } catch (const MusstiError &err) {
+        EXPECT_EQ(err.category(), ErrorCategory::InvalidInput);
+        EXPECT_NE(err.message().find("repeats operand"),
+                  std::string::npos)
+            << err.message();
+    }
+    // Same through rxx (the Ms spelling) and for a mid-program gate.
+    EXPECT_THROW(fromQasm("qreg q[4]; h q[1]; rxx(pi/2) q[3],q[3];"),
+                 std::runtime_error);
+}
+
+TEST(Qasm, ParseFailuresCarryInvalidInputCategory)
+{
+    // Every rejection of a malformed program is taxonomy-classified as
+    // the caller's fault, never as an internal bug.
+    const char *bad_programs[] = {
+        "h q[0];",                       // gate before qreg
+        "qreg q[2]; cx q[0] q[1];",      // missing comma
+        "qreg q[2]; cx q[0],q[5];",      // out of range
+        "qreg q[1]; rz(pi/0) q[0];",     // zero denominator
+        "qreg q[2]; gate foo a { }",     // unsupported construct
+    };
+    for (const char *program : bad_programs) {
+        try {
+            fromQasm(program);
+            FAIL() << "accepted: " << program;
+        } catch (const MusstiError &err) {
+            EXPECT_EQ(err.category(), ErrorCategory::InvalidInput)
+                << program;
+            EXPECT_EQ(err.code(), "input.require") << program;
+        } catch (const std::exception &err) {
+            FAIL() << "unstructured exception for: " << program
+                   << " — " << err.what();
+        }
     }
 }
 

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Mutation fuzzer for the OpenQASM 2.0 reader.
+ *
+ * Seeds a small corpus of valid programs (emitted by toQasm plus a
+ * hand-written one covering parameters, rxx, measure, and barrier) and
+ * applies deterministic byte- and token-level mutations. The oracle is
+ * the parser's failure contract: every mutated input must either parse
+ * (principled acceptance — many mutations keep the program valid) or
+ * raise a structured MusstiError with category InvalidInput. An
+ * Internal panic, an unstructured exception, a crash, or a hang on
+ * attacker-controlled text is a bug.
+ *
+ * Inputs that break the contract are printed verbatim so they can be
+ * promoted to named regressions in test_qasm.cpp (as the repeated-
+ * operand crasher was). Iteration counts scale with the
+ * MUSSTI_QASM_FUZZ_ITERS environment variable for CI soak runs.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuit/qasm.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "workloads/workloads.h"
+
+namespace mussti {
+namespace {
+
+/** Iteration count, overridable for CI soak runs. */
+int
+fuzzIters(int fallback)
+{
+    const char *env = std::getenv("MUSSTI_QASM_FUZZ_ITERS");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    const int parsed = std::atoi(env);
+    return parsed > 0 ? parsed : fallback;
+}
+
+std::vector<std::string>
+seedCorpus()
+{
+    std::vector<std::string> corpus;
+    corpus.push_back(toQasm(makeBenchmark("ghz", 8)));
+    corpus.push_back(toQasm(makeBenchmark("adder", 8)));
+    corpus.push_back(toQasm(makeBenchmark("qft", 6)));
+    corpus.push_back(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "// fuzz seed with every statement shape\n"
+        "qreg q[4];\n"
+        "creg c[4];\n"
+        "h q[0];\n"
+        "rz(pi/2) q[1];\n"
+        "ry(-0.25) q[2];\n"
+        "u(2*pi) q[3];\n"
+        "cx q[0],q[1];\n"
+        "rxx(-3*pi/2) q[2],q[3];\n"
+        "barrier q;\n"
+        "measure q[0] -> c[0];\n");
+    return corpus;
+}
+
+/**
+ * The oracle: parse must succeed or fail as structured InvalidInput.
+ * Returns false (after printing the input) on a contract violation.
+ */
+bool
+parsesPrincipled(const std::string &text)
+{
+    try {
+        const Circuit qc = fromQasm(text, "fuzz");
+        (void)qc; // accepted — the mutation kept the program valid
+        return true;
+    } catch (const MusstiError &err) {
+        if (err.category() == ErrorCategory::InvalidInput)
+            return true;
+        ADD_FAILURE() << "non-InvalidInput error (category "
+                      << err.categoryName() << ", code " << err.code()
+                      << ") for input:\n"
+                      << text;
+        return false;
+    } catch (const std::exception &err) {
+        ADD_FAILURE() << "unstructured exception (" << err.what()
+                      << ") for input:\n"
+                      << text;
+        return false;
+    }
+}
+
+/** Characters the grammar cares about, over-weighted in mutations. */
+const std::string kInterestingChars = "[](),;*/-+.0123456789 qx";
+
+std::string
+mutateBytes(const std::string &input, Rng &rng)
+{
+    std::string text = input;
+    const int edits = rng.intIn(1, 4);
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+        const std::size_t at = rng.uniform(text.size());
+        switch (rng.intIn(0, 4)) {
+          case 0: // replace with an interesting char
+            text[at] = kInterestingChars[rng.uniform(
+                kInterestingChars.size())];
+            break;
+          case 1: // replace with an arbitrary byte
+            text[at] = static_cast<char>(rng.uniform(256));
+            break;
+          case 2: // delete a short span
+            text.erase(at, rng.intIn(1, 8));
+            break;
+          case 3: // insert an interesting char
+            text.insert(text.begin() + static_cast<std::ptrdiff_t>(at),
+                        kInterestingChars[rng.uniform(
+                            kInterestingChars.size())]);
+            break;
+          case 4: // truncate (simulates a torn file)
+            text.resize(at);
+            break;
+        }
+    }
+    return text;
+}
+
+std::string
+mutateTokens(const std::string &input, Rng &rng)
+{
+    // Statement-level mutations: split on ';', then drop, duplicate,
+    // swap, or corrupt whole statements — near-valid programs that
+    // stress the semantic checks rather than the lexer.
+    std::vector<std::string> stmts;
+    std::string current;
+    for (const char c : input) {
+        current += c;
+        if (c == ';') {
+            stmts.push_back(current);
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        stmts.push_back(current);
+    if (stmts.empty())
+        return input;
+
+    const int edits = rng.intIn(1, 3);
+    for (int e = 0; e < edits && !stmts.empty(); ++e) {
+        const std::size_t at = rng.uniform(stmts.size());
+        switch (rng.intIn(0, 4)) {
+          case 0: // drop a statement (e.g. the qreg declaration)
+            stmts.erase(stmts.begin() +
+                        static_cast<std::ptrdiff_t>(at));
+            break;
+          case 1: // duplicate a statement (e.g. a second qreg)
+            stmts.insert(stmts.begin() +
+                         static_cast<std::ptrdiff_t>(at), stmts[at]);
+            break;
+          case 2: { // swap two statements (gate before qreg, ...)
+            const std::size_t other = rng.uniform(stmts.size());
+            std::swap(stmts[at], stmts[other]);
+            break;
+          }
+          case 3: { // rewrite an operand index, often out of range
+            const std::size_t lb = stmts[at].find('[');
+            const std::size_t rb = stmts[at].find(']');
+            if (lb != std::string::npos && rb != std::string::npos &&
+                rb > lb) {
+                const char *replacements[] = {"0", "3", "99",
+                                              "4294967295", "-1", "x"};
+                stmts[at] = stmts[at].substr(0, lb + 1) +
+                            replacements[rng.uniform(6)] +
+                            stmts[at].substr(rb);
+            }
+            break;
+          }
+          case 4: // corrupt the statement's bytes
+            stmts[at] = mutateBytes(stmts[at], rng);
+            break;
+        }
+    }
+    std::string out;
+    for (const std::string &stmt : stmts)
+        out += stmt;
+    return out;
+}
+
+TEST(QasmFuzz, ByteMutationsNeverPanic)
+{
+    // Expected failures by the thousand: mute the fatal echo (the
+    // exceptions still carry their diagnostics) and the warn chatter.
+    const ScopedFatalSilence quiet(/*silence_warns=*/true);
+    const auto corpus = seedCorpus();
+    const int iters = fuzzIters(500);
+    Rng rng(0x5eedULL);
+    for (int i = 0; i < iters; ++i) {
+        const std::string &seed = corpus[rng.uniform(corpus.size())];
+        if (!parsesPrincipled(mutateBytes(seed, rng)))
+            return; // the failing input was already printed
+    }
+}
+
+TEST(QasmFuzz, TokenMutationsNeverPanic)
+{
+    const ScopedFatalSilence quiet(/*silence_warns=*/true);
+    const auto corpus = seedCorpus();
+    const int iters = fuzzIters(500);
+    Rng rng(0xfaceULL);
+    for (int i = 0; i < iters; ++i) {
+        const std::string &seed = corpus[rng.uniform(corpus.size())];
+        if (!parsesPrincipled(mutateTokens(seed, rng)))
+            return;
+    }
+}
+
+TEST(QasmFuzz, StackedMutationsNeverPanic)
+{
+    // Several rounds of both mutators — far-from-valid inputs that
+    // stress the lexer's recovery rather than single semantic checks.
+    const ScopedFatalSilence quiet(/*silence_warns=*/true);
+    const auto corpus = seedCorpus();
+    const int iters = fuzzIters(300);
+    Rng rng(0xd00dULL);
+    for (int i = 0; i < iters; ++i) {
+        std::string text = corpus[rng.uniform(corpus.size())];
+        const int rounds = rng.intIn(2, 5);
+        for (int r = 0; r < rounds; ++r)
+            text = rng.chance(0.5) ? mutateBytes(text, rng)
+                                   : mutateTokens(text, rng);
+        if (!parsesPrincipled(text))
+            return;
+    }
+}
+
+TEST(QasmFuzz, CorpusSeedsParseCleanly)
+{
+    // The mutation baseline must itself be valid, or "principled
+    // acceptance" would be vacuous.
+    for (const std::string &seed : seedCorpus())
+        EXPECT_NO_THROW((void)fromQasm(seed, "seed"));
+}
+
+} // namespace
+} // namespace mussti
