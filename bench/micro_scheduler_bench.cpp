@@ -79,6 +79,9 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+#include <unistd.h>
+
 #include "arch/device_registry.h"
 #include "baselines/backend_factory.h"
 #include "common/alloc_counter.h"
@@ -86,6 +89,7 @@
 #include "core/compile_service.h"
 #include "core/compiler.h"
 #include "core/mapper.h"
+#include "core/pipeline.h"
 #include "core/scheduler.h"
 #include "core/scheduler_workspace.h"
 #include "workloads/workloads.h"
@@ -461,6 +465,99 @@ measureDelta(const DeltaTier &tier, bool append, int repeats, int soak,
     return record;
 }
 
+constexpr const char *kCacheSuite = "micro_scheduler/cache";
+
+/**
+ * Measure and verify the result-cache tier stack. A throwaway service
+ * compiles an Ising workload into a scratch disk-tier directory; a
+ * FRESH service on the same directory must then serve the identical
+ * request from the persistent tier — bit-identical fingerprint, zero
+ * recompiles — and a repeat on that second service must hit the
+ * in-memory tier. `wall_ms` times the disk-tier hit (deserialize +
+ * promote, no scheduling), and the record carries the per-tier
+ * hit/miss/evict/corrupt counters the JSON schema grew for this suite.
+ * Any miss, corrupt entry, or fingerprint drift clears `ok`.
+ */
+BenchRecord
+measureCacheTiers(bool &ok)
+{
+    namespace fs = std::filesystem;
+    const int qubits = 96;
+    const Circuit circuit = makeIsing(qubits, 6);
+    const auto backend = std::make_shared<MusstiCompiler>();
+
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("mussti_bench_cache_" + std::to_string(::getpid()));
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+    fs::create_directories(dir);
+
+    CompileServiceConfig svc;
+    svc.numThreads = 1;
+    svc.cacheCapacity = 8;
+    svc.diskCachePath = dir.string();
+
+    BenchRecord record;
+    record.suite = kCacheSuite;
+    record.name = "ising-disk-warm";
+    record.qubits = qubits;
+    record.repeats = 1;
+
+    std::uint64_t cold_fingerprint = 0;
+    {
+        CompileService seeder(svc);
+        cold_fingerprint =
+            resultFingerprint(seeder.submit(backend, circuit).get());
+    }
+
+    CompileService service(svc); // fresh process stand-in, same dir
+    const auto t0 = std::chrono::steady_clock::now();
+    const CompileResult warm = service.submit(backend, circuit).get();
+    const auto t1 = std::chrono::steady_clock::now();
+    record.wallMs = toMs(t1 - t0);
+    service.submit(backend, circuit).get(); // now a memory-tier hit
+
+    const CompileService::CacheStats stats = service.cacheStats();
+    record.cacheMemHits = static_cast<long long>(stats.memoryTier.hits);
+    record.cacheMemMisses =
+        static_cast<long long>(stats.memoryTier.misses);
+    record.cacheMemEvictions =
+        static_cast<long long>(stats.memoryTier.evictions);
+    record.cacheDiskHits = static_cast<long long>(stats.diskTier.hits);
+    record.cacheDiskMisses =
+        static_cast<long long>(stats.diskTier.misses);
+    record.cacheDiskEvictions =
+        static_cast<long long>(stats.diskTier.evictions);
+    record.cacheDiskCorrupt =
+        static_cast<long long>(stats.diskTier.corrupt);
+
+    if (resultFingerprint(warm) != cold_fingerprint) {
+        std::printf("FAIL: %s/%s disk-tier result drifted from the "
+                    "compiled one\n", kCacheSuite, record.name.c_str());
+        ok = false;
+    }
+    if (stats.diskTier.hits < 1 || stats.memoryTier.hits < 1 ||
+        stats.resultMisses != 0 || stats.diskTier.corrupt != 0) {
+        std::printf("FAIL: %s/%s tier counters wrong (mem %llu/%llu, "
+                    "disk %llu/%llu, corrupt %llu, recompiles %llu)\n",
+                    kCacheSuite, record.name.c_str(),
+                    static_cast<unsigned long long>(
+                        stats.memoryTier.hits),
+                    static_cast<unsigned long long>(
+                        stats.memoryTier.misses),
+                    static_cast<unsigned long long>(stats.diskTier.hits),
+                    static_cast<unsigned long long>(
+                        stats.diskTier.misses),
+                    static_cast<unsigned long long>(
+                        stats.diskTier.corrupt),
+                    static_cast<unsigned long long>(stats.resultMisses));
+        ok = false;
+    }
+    fs::remove_all(dir, ignored);
+    return record;
+}
+
 const BenchRecord *
 findBaseline(const std::vector<BenchRecord> &baseline,
              const BenchRecord &record)
@@ -622,9 +719,11 @@ main(int argc, char **argv)
                           record.deltaSpeedup);
             speedup_cell = buf;
         }
+        // steadyAllocs < 0 is the "not measured" sentinel (suites that
+        // never enter a scheduling loop, like the cache tier).
         if (assert_zero_allocs &&
             record.suite.rfind("micro_scheduler/", 0) == 0 &&
-            record.steadyAllocs != 0) {
+            record.steadyAllocs > 0) {
             std::printf("FAIL: %s/%s performs %lld steady-state heap "
                         "allocations in the scheduling loop (want 0)\n",
                         record.suite.c_str(), record.name.c_str(),
@@ -672,6 +771,13 @@ main(int argc, char **argv)
                    measureDelta(tier, append, repeats, soak, delta_ok));
         }
     }
+
+    // Cache-tier suite: one record proving the persistent disk tier
+    // round-trips a compile bit-identically across services, with the
+    // per-tier counters in the JSON. Wall time is informational; the
+    // correctness checks are a hard gate.
+    bool cache_ok = true;
+    submit("cache", measureCacheTiers(cache_ok));
 
     // Grid-router suite (informational; the --require-speedup gate
     // stays on the MUSS-TI tiers).
@@ -732,5 +838,5 @@ main(int argc, char **argv)
         }
     }
 
-    return gate_ok && allocs_ok && delta_ok ? 0 : 1;
+    return gate_ok && allocs_ok && delta_ok && cache_ok ? 0 : 1;
 }

@@ -38,6 +38,7 @@
 #include "common/string_util.h"
 #include "core/compile_service.h"
 #include "core/compiler.h"
+#include "core/pipeline.h"
 #include "sim/trace.h"
 #include "sim/validator.h"
 #include "workloads/workloads.h"
@@ -186,6 +187,8 @@ main(int argc, char **argv)
               << " us\n"
               << "fidelity     : " << result.metrics.fidelity()
               << " (log10 " << result.metrics.log10Fidelity() << ")\n"
+              << "fingerprint  : 0x" << std::hex
+              << resultFingerprint(result) << std::dec << "\n"
               << "compile time : " << result.compileTimeSec << " s\n";
 
     if (trace) {

@@ -1,40 +1,13 @@
 #include "common/bench_json.h"
 
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <optional>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/logging.h"
-#include "common/string_util.h"
 
 namespace mussti {
-
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 namespace {
 
@@ -46,207 +19,8 @@ number(double value)
     return buf;
 }
 
-/** Value of one hex digit, or -1 for any other character. */
-int
-hexDigit(char c)
-{
-    if (c >= '0' && c <= '9')
-        return c - '0';
-    if (c >= 'a' && c <= 'f')
-        return c - 'a' + 10;
-    if (c >= 'A' && c <= 'F')
-        return c - 'A' + 10;
-    return -1;
-}
-
-/** Append a BMP code point as UTF-8 (1-3 bytes). */
-void
-appendUtf8(std::string &out, int code)
-{
-    if (code < 0x80) {
-        out += static_cast<char>(code);
-    } else if (code < 0x800) {
-        out += static_cast<char>(0xC0 | (code >> 6));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
-        out += static_cast<char>(0xE0 | (code >> 12));
-        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-        out += static_cast<char>(0x80 | (code & 0x3F));
-    }
-}
-
-/**
- * Minimal recursive-descent JSON reader, just enough to round-trip the
- * mussti-bench-v1 schema without external dependencies. fatal() (not
- * panic) on malformed input: a bad file is a user error.
- */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    char
-    peek()
-    {
-        skipWs();
-        MUSSTI_REQUIRE(pos_ < text_.size(),
-                       "bench JSON truncated at offset " << pos_);
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        MUSSTI_REQUIRE(peek() == c, "bench JSON expected `" << c
-                       << "` at offset " << pos_ << ", found `"
-                       << text_[pos_] << "`");
-        ++pos_;
-    }
-
-    bool
-    consumeIf(char c)
-    {
-        if (pos_ < text_.size() && peek() == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            MUSSTI_REQUIRE(pos_ < text_.size(), "unterminated string");
-            const char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                MUSSTI_REQUIRE(pos_ < text_.size(), "unterminated escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'u': {
-                    MUSSTI_REQUIRE(pos_ + 4 <= text_.size(),
-                                   "truncated \\u escape");
-                    const std::string hex = text_.substr(pos_, 4);
-                    // Explicit digit walk: stoi's prefix semantics would
-                    // accept whitespace/sign forms like `\u 041`/`\u+041`.
-                    int code = 0;
-                    for (const char h : hex) {
-                        const int digit = hexDigit(h);
-                        MUSSTI_REQUIRE(digit >= 0,
-                                       "malformed \\u escape `" << hex
-                                       << "` (want 4 hex digits)");
-                        code = code * 16 + digit;
-                    }
-                    MUSSTI_REQUIRE(code < 0xD800 || code > 0xDFFF,
-                                   "unsupported surrogate \\u escape `"
-                                   << hex << "` in bench JSON");
-                    pos_ += 4;
-                    appendUtf8(out, code);
-                    break;
-                  }
-                  default:
-                    fatal("unsupported JSON escape in bench file");
-                }
-            } else {
-                out += c;
-            }
-        }
-    }
-
-    double
-    parseNumber()
-    {
-        skipWs();
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        MUSSTI_REQUIRE(pos_ > start, "bench JSON expected a number at "
-                       "offset " << start);
-        const std::string token = text_.substr(start, pos_ - start);
-        // The character-class scan accepts sequences stod does not
-        // (".e", "-", "e5"); keep the promised fatal() contract.
-        const std::optional<double> value = parseDoubleStrict(token);
-        MUSSTI_REQUIRE(value.has_value(),
-                       "bench JSON malformed number `" << token
-                       << "` at offset " << start);
-        return *value;
-    }
-
-    /** Skip any balanced value (for unknown keys). */
-    void
-    skipValue()
-    {
-        const char c = peek();
-        if (c == 't' || c == 'f' || c == 'n') {
-            // Bare literals an unknown key may carry.
-            for (const char *lit : {"true", "false", "null"}) {
-                if (text_.compare(pos_, std::strlen(lit), lit) == 0) {
-                    pos_ += std::strlen(lit);
-                    return;
-                }
-            }
-            fatal("bench JSON malformed literal at offset " +
-                  std::to_string(pos_));
-        } else if (c == '"') {
-            (void)parseString();
-        } else if (c == '{') {
-            ++pos_;
-            if (!consumeIf('}')) {
-                do {
-                    (void)parseString();
-                    expect(':');
-                    skipValue();
-                } while (consumeIf(','));
-                expect('}');
-            }
-        } else if (c == '[') {
-            ++pos_;
-            if (!consumeIf(']')) {
-                do {
-                    skipValue();
-                } while (consumeIf(','));
-                expect(']');
-            }
-        } else {
-            (void)parseNumber();
-        }
-    }
-
-    bool
-    atEnd()
-    {
-        skipWs();
-        return pos_ >= text_.size();
-    }
-
-  private:
-    const std::string &text_;
-    std::size_t pos_ = 0;
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-};
-
 BenchPassTiming
-parsePassTiming(JsonParser &p)
+parsePassTiming(JsonReader &p)
 {
     BenchPassTiming timing;
     p.expect('{');
@@ -265,7 +39,7 @@ parsePassTiming(JsonParser &p)
 }
 
 BenchRecord
-parseRecord(JsonParser &p)
+parseRecord(JsonReader &p)
 {
     BenchRecord record;
     p.expect('{');
@@ -317,6 +91,25 @@ parseRecord(JsonParser &p)
                 static_cast<long long>(p.parseNumber());
         } else if (key == "jobs_retried") {
             record.jobsRetried = static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_mem_hits") {
+            record.cacheMemHits = static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_mem_misses") {
+            record.cacheMemMisses =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_mem_evictions") {
+            record.cacheMemEvictions =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_disk_hits") {
+            record.cacheDiskHits = static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_disk_misses") {
+            record.cacheDiskMisses =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_disk_evictions") {
+            record.cacheDiskEvictions =
+                static_cast<long long>(p.parseNumber());
+        } else if (key == "cache_disk_corrupt") {
+            record.cacheDiskCorrupt =
+                static_cast<long long>(p.parseNumber());
         } else if (key == "pass_trace") {
             p.expect('[');
             if (!p.consumeIf(']')) {
@@ -385,6 +178,17 @@ benchResultsToJson(const std::vector<BenchRecord> &records,
                 << ", \"jobs_cancelled\": " << r.jobsCancelled
                 << ", \"jobs_retried\": " << r.jobsRetried;
         }
+        if (r.cacheMemHits >= 0) {
+            out << ", \"cache_mem_hits\": " << r.cacheMemHits
+                << ", \"cache_mem_misses\": " << r.cacheMemMisses
+                << ", \"cache_mem_evictions\": " << r.cacheMemEvictions;
+        }
+        if (r.cacheDiskHits >= 0) {
+            out << ", \"cache_disk_hits\": " << r.cacheDiskHits
+                << ", \"cache_disk_misses\": " << r.cacheDiskMisses
+                << ", \"cache_disk_evictions\": " << r.cacheDiskEvictions
+                << ", \"cache_disk_corrupt\": " << r.cacheDiskCorrupt;
+        }
         if (!r.passTrace.empty()) {
             out << ", \"pass_trace\": [";
             for (std::size_t j = 0; j < r.passTrace.size(); ++j) {
@@ -415,7 +219,7 @@ writeBenchResults(const std::string &path,
 std::vector<BenchRecord>
 parseBenchResults(const std::string &text, std::string *context_out)
 {
-    JsonParser p(text);
+    JsonReader p(text);
     std::vector<BenchRecord> records;
     std::string schema;
 

@@ -36,15 +36,11 @@
 #include <string>
 #include <vector>
 
-namespace mussti {
+// jsonEscape and the JsonReader the parser below is built on live in
+// common/json.h, shared with the lint renderer and the serve framing.
+#include "common/json.h"
 
-/**
- * JSON-escape a string for embedding in a double-quoted literal
- * (quotes, backslashes, and control characters; the fields this repo
- * emits are plain ASCII). Shared by the bench writer and the lint
- * report renderer so escaping never drifts between emitters.
- */
-std::string jsonEscape(const std::string &text);
+namespace mussti {
 
 /** One pass of a result's per-pass wall-clock breakdown. */
 struct BenchPassTiming
@@ -115,6 +111,22 @@ struct BenchRecord
     long long jobsTimedOut = -1;
     long long jobsCancelled = -1;
     long long jobsRetried = -1;
+
+    /**
+     * Per-tier result-cache counters (absent = -1): the in-memory LRU
+     * tier and the disk-backed persistent tier behind it (see
+     * core/result_cache.h). `cacheDiskCorrupt` counts entries that
+     * failed validation and were quarantined as misses — on a healthy
+     * store it reconciles to 0. Optional mussti-bench-v1 fields like
+     * the groups above; readers that predate them skip unknown keys.
+     */
+    long long cacheMemHits = -1;
+    long long cacheMemMisses = -1;
+    long long cacheMemEvictions = -1;
+    long long cacheDiskHits = -1;
+    long long cacheDiskMisses = -1;
+    long long cacheDiskEvictions = -1;
+    long long cacheDiskCorrupt = -1;
 };
 
 /** Render records as a mussti-bench-v1 JSON document. */

@@ -65,6 +65,8 @@ faultSiteName(FaultSite site)
       case FaultSite::SnapshotResume: return "snapshot-resume";
       case FaultSite::CacheStore: return "cache-store";
       case FaultSite::WorkerDequeue: return "worker-dequeue";
+      case FaultSite::TunerProbe: return "tuner-probe";
+      case FaultSite::TunerSweep: return "tuner-sweep";
     }
     return "?";
 }

@@ -42,9 +42,11 @@ enum class FaultSite {
     SnapshotResume,  ///< delta snapshot resume (degrades: cold fallback)
     CacheStore,      ///< result/snapshot cache store (degrades: store skipped)
     WorkerDequeue,   ///< service worker picking up a job (throws)
+    TunerProbe,      ///< tuner feasibility probe of one candidate (throws)
+    TunerSweep,      ///< tuner harvesting one sweep outcome (throws)
 };
 
-inline constexpr int kFaultSiteCount = 5;
+inline constexpr int kFaultSiteCount = 7;
 
 const char *faultSiteName(FaultSite site);
 

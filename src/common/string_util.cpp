@@ -55,6 +55,33 @@ parseIntArg(const std::string &text, const std::string &what)
     return *parsed;
 }
 
+int
+parseEnvThreadCount(const char *env_var, const char *text,
+                    int max_threads)
+{
+    const std::string var = env_var != nullptr ? env_var : "thread count";
+    if (text == nullptr || *text == '\0')
+        return 0;
+
+    const std::optional<int> value = parseIntStrict(text);
+    if (!value.has_value()) {
+        warn("ignoring unparsable " + var + " `" + text +
+             "` (want a positive integer); using hardware concurrency");
+        return 0;
+    }
+    if (*value <= 0) {
+        warn("ignoring non-positive " + var + " `" + text +
+             "`; using hardware concurrency");
+        return 0;
+    }
+    if (*value > max_threads) {
+        warn("clamping " + var + " " + std::to_string(*value) + " to " +
+             std::to_string(max_threads));
+        return max_threads;
+    }
+    return *value;
+}
+
 std::string
 trim(const std::string &text)
 {

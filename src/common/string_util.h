@@ -40,6 +40,18 @@ std::optional<int> parseIntStrict(const std::string &text);
  */
 int parseIntArg(const std::string &text, const std::string &what);
 
+/**
+ * Parse a worker-thread-count override from an environment variable.
+ * Returns 0 — "auto", i.e. hardware concurrency — for null/empty
+ * input, and the parsed value for a well-formed positive integer,
+ * clamped to `max_threads` with a warning that names `env_var` (so a
+ * process reading several knobs says which one was bad). Garbage or
+ * non-positive values (which std::atoi would silently turn into 0 or
+ * accept) are rejected with a logged warning and fall back to auto.
+ */
+int parseEnvThreadCount(const char *env_var, const char *text,
+                        int max_threads = 512);
+
 /** Lower-case an ASCII string. */
 std::string toLower(const std::string &text);
 

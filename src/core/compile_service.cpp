@@ -51,17 +51,6 @@ CompileOutcome::errorInfo() const
 }
 
 std::size_t
-CompileService::CacheKeyHash::operator()(const CacheKey &key) const
-{
-    Fnv1a hash;
-    hash.update(key.circuitHash);
-    hash.update(key.configDigest);
-    hash.update(key.seed);
-    hash.update(key.hasSeed);
-    return static_cast<std::size_t>(hash.digest());
-}
-
-std::size_t
 CompileService::SnapshotKeyHash::operator()(const SnapshotKey &key) const
 {
     Fnv1a hash;
@@ -85,6 +74,13 @@ CompileService::ProbeKeyHash::operator()(const ProbeKey &key) const
 CompileService::CompileService(const CompileServiceConfig &config)
     : config_(config)
 {
+    if (config.cacheCapacity > 0)
+        resultTiers_.push_back(
+            std::make_unique<MemoryResultCache>(config.cacheCapacity));
+    if (!config.diskCachePath.empty())
+        resultTiers_.push_back(std::make_unique<DiskResultCache>(
+            config.diskCachePath, config.diskCacheCapacity));
+
     int threads = config.numThreads;
     if (threads <= 0) {
         threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -167,26 +163,7 @@ CompileService::deriveJobSeed(std::uint64_t base_seed,
 int
 CompileService::parseThreadCount(const char *text)
 {
-    if (text == nullptr || *text == '\0')
-        return 0;
-
-    const std::optional<int> value = parseIntStrict(text);
-    if (!value.has_value()) {
-        warn(std::string("ignoring unparsable thread count `") + text +
-             "` (want a positive integer); using hardware concurrency");
-        return 0;
-    }
-    if (*value <= 0) {
-        warn(std::string("ignoring non-positive thread count `") + text +
-             "`; using hardware concurrency");
-        return 0;
-    }
-    if (*value > kMaxThreads) {
-        warn("clamping thread count " + std::to_string(*value) + " to " +
-             std::to_string(kMaxThreads));
-        return kMaxThreads;
-    }
-    return *value;
+    return parseEnvThreadCount("MUSSTI_BENCH_THREADS", text, kMaxThreads);
 }
 
 std::future<CompileResult>
@@ -194,7 +171,7 @@ CompileService::submit(CompileRequest request)
 {
     MUSSTI_REQUIRE(request.backend != nullptr,
                    "compile request without a backend");
-    Job job{std::move(request), {}, {}, false};
+    Job job{std::move(request), {}, {}, false, {}};
     std::future<CompileResult> future = job.promise.get_future();
     enqueueOrCancel(std::move(job));
     return future;
@@ -203,7 +180,7 @@ CompileService::submit(CompileRequest request)
 std::future<CompileOutcome>
 CompileService::submitOutcome(CompileRequest request)
 {
-    Job job{std::move(request), {}, {}, true};
+    Job job{std::move(request), {}, {}, true, {}};
     std::future<CompileOutcome> future = job.outcomePromise.get_future();
     if (job.request.backend == nullptr) {
         CompileOutcome outcome;
@@ -215,6 +192,24 @@ CompileService::submitOutcome(CompileRequest request)
     }
     enqueueOrCancel(std::move(job));
     return future;
+}
+
+void
+CompileService::submitWithCallback(CompileRequest request,
+                                   std::function<void(CompileOutcome)> done)
+{
+    MUSSTI_REQUIRE(done != nullptr,
+                   "submitWithCallback without a callback");
+    Job job{std::move(request), {}, {}, true, std::move(done)};
+    if (job.request.backend == nullptr) {
+        CompileOutcome outcome;
+        outcome.error = MusstiError(ErrorCategory::InvalidInput,
+                                    "input.no-backend",
+                                    "compile request without a backend");
+        deliver(std::move(job), std::move(outcome));
+        return;
+    }
+    enqueueOrCancel(std::move(job));
 }
 
 void
@@ -314,7 +309,7 @@ CompileService::runJob(CompileRequest &request)
             key.hasSeed = request.seed.has_value();
             key.seed = request.seed.value_or(0);
 
-            if (config_.cacheCapacity > 0) {
+            if (!resultTiers_.empty()) {
                 if (auto cached = cacheLookup(key)) {
                     cacheHits_.fetch_add(1);
                     outcome.result = std::move(*cached);
@@ -340,9 +335,9 @@ CompileService::runJob(CompileRequest &request)
                                                key, workspace, control);
             jobsExecuted_.fetch_add(1);
 
-            // A failed job never reaches this store — the result tier
-            // only ever holds compiles that completed.
-            if (config_.cacheCapacity > 0 &&
+            // A failed job never reaches this store — the result tiers
+            // only ever hold compiles that completed.
+            if (!resultTiers_.empty() &&
                 !FaultInjector::fires(FaultSite::CacheStore))
                 cacheStore(key, result);
             outcome.result = std::move(result);
@@ -468,6 +463,10 @@ CompileService::deliver(Job job, CompileOutcome outcome)
         }
     }
 
+    if (job.callback) {
+        job.callback(std::move(outcome));
+        return;
+    }
     if (job.tolerant) {
         job.outcomePromise.set_value(std::move(outcome));
         return;
@@ -481,29 +480,24 @@ CompileService::deliver(Job job, CompileOutcome outcome)
 std::optional<CompileResult>
 CompileService::cacheLookup(const CacheKey &key)
 {
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    const auto it = cache_.find(key);
-    if (it == cache_.end())
-        return std::nullopt;
-    // Refresh recency.
-    lruOrder_.splice(lruOrder_.begin(), lruOrder_, it->second.second);
-    return it->second.first;
+    for (std::size_t i = 0; i < resultTiers_.size(); ++i) {
+        if (auto hit = resultTiers_[i]->lookup(key)) {
+            // Promote into the faster tiers the walk passed, so e.g. a
+            // disk hit after a restart is memory-speed from now on.
+            for (std::size_t j = 0; j < i; ++j)
+                resultTiers_[j]->store(key, *hit);
+            return hit;
+        }
+    }
+    return std::nullopt;
 }
 
 void
 CompileService::cacheStore(const CacheKey &key,
                            const CompileResult &result)
 {
-    std::lock_guard<std::mutex> lock(cacheMutex_);
-    if (cache_.find(key) != cache_.end())
-        return; // A concurrent identical job already stored it.
-    while (cache_.size() >= config_.cacheCapacity && !lruOrder_.empty()) {
-        cache_.erase(lruOrder_.back());
-        lruOrder_.pop_back();
-        resultEvictions_.fetch_add(1);
-    }
-    lruOrder_.push_front(key);
-    cache_.emplace(key, std::make_pair(result, lruOrder_.begin()));
+    for (auto &tier : resultTiers_)
+        tier->store(key, result);
 }
 
 std::vector<std::shared_ptr<const ScheduleSnapshot>>
@@ -615,7 +609,13 @@ CompileService::cacheStats() const
     CacheStats stats;
     stats.resultHits = cacheHits_.load();
     stats.resultMisses = jobsExecuted_.load();
-    stats.resultEvictions = resultEvictions_.load();
+    for (const auto &tier : resultTiers_) {
+        if (std::string(tier->name()) == "memory")
+            stats.memoryTier = tier->stats();
+        else if (std::string(tier->name()) == "disk")
+            stats.diskTier = tier->stats();
+    }
+    stats.resultEvictions = stats.memoryTier.evictions;
     stats.snapshotHits = snapshotHits_.load();
     stats.snapshotMisses = snapshotMisses_.load();
     stats.snapshotEvictions = snapshotEvictions_.load();

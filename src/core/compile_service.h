@@ -35,18 +35,21 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.h"
 #include "core/backend.h"
+#include "core/result_cache.h"
 #include "core/schedule_snapshot.h"
 
 namespace mussti {
@@ -57,8 +60,28 @@ struct CompileServiceConfig
     /** Worker threads; <= 0 selects the hardware concurrency. */
     int numThreads = 0;
 
-    /** Cached results kept (LRU evicted); 0 disables the cache. */
+    /**
+     * Results kept in the in-memory LRU tier; 0 disables that tier.
+     * The result cache is a tier stack (core/result_cache.h): memory
+     * first, then — when diskCachePath is set — the persistent disk
+     * tier. A hit anywhere serves the job and promotes the entry into
+     * the tiers in front of it.
+     */
     std::size_t cacheCapacity = 128;
+
+    /**
+     * Directory of the disk-backed persistent result tier; empty
+     * disables it. Identical compiles from different processes (or a
+     * restarted server) sharing this directory never recompile: the
+     * cache key discipline — circuit content hash x backend config
+     * digest x seed — makes a disk hit bit-identical to recompiling.
+     * Corrupt or truncated entries degrade to misses and are
+     * quarantined, never surfaced as results or errors.
+     */
+    std::string diskCachePath;
+
+    /** Disk-tier entry bound (oldest evicted past it; 0 = unbounded). */
+    std::size_t diskCacheCapacity = 512;
 
     /**
      * Delta-compile checkpoints kept (LRU evicted); 0 disables the
@@ -199,6 +222,19 @@ class CompileService
     std::future<CompileOutcome> submitOutcome(CompileRequest request);
 
     /**
+     * Enqueue one job on the error-tolerant path with a completion
+     * callback instead of a future: `done` is invoked exactly once with
+     * the job's outcome, from whichever thread resolves it (a worker,
+     * or the submitting thread for immediate rejections). The hook the
+     * admission layer and the compile server stream results through —
+     * same queue, cache tiers, retry, deadline, and drain semantics as
+     * submitOutcome. The callback must not block for long and must not
+     * re-enter shutdown().
+     */
+    void submitWithCallback(CompileRequest request,
+                            std::function<void(CompileOutcome)> done);
+
+    /**
      * Compile a batch, returning results in submission order. Jobs run
      * concurrently across the pool; the call blocks until all finish.
      * The first failed job's error is thrown (legacy all-or-nothing
@@ -257,12 +293,12 @@ class CompileService
 
     /**
      * Parse a thread-count override (the MUSSTI_BENCH_THREADS
-     * environment variable). Returns 0 — "auto", i.e. hardware
-     * concurrency — for null/empty input, and the parsed value for a
-     * well-formed positive integer, clamped to kMaxThreads with a
-     * warning. Garbage or non-positive values (which std::atoi would
-     * silently turn into 0 or accept) are rejected with a logged
-     * warning and fall back to auto.
+     * environment variable): parseEnvThreadCount from
+     * common/string_util.h bound to that variable name and kMaxThreads.
+     * Returns 0 — "auto", i.e. hardware concurrency — for null/empty
+     * input, and the parsed value for a well-formed positive integer,
+     * clamped with a warning naming the variable. Garbage or
+     * non-positive values fall back to auto with a logged warning.
      */
     static int parseThreadCount(const char *text);
 
@@ -297,6 +333,17 @@ class CompileService
         std::uint64_t jobsRetried = 0;   ///< Transient retry attempts.
         std::uint64_t deltaQuarantines = 0; ///< Tier quarantine events.
         bool deltaQuarantined = false;   ///< Tier currently quarantined.
+
+        /**
+         * Per-tier result-cache counters (core/result_cache.h). The
+         * aggregate resultHits above counts jobs served by ANY tier;
+         * these break it down: memoryTier for the in-memory LRU,
+         * diskTier for the persistent tier (all-zero when the tier is
+         * not configured). diskTier.corrupt counts entries that failed
+         * validation and were quarantined as misses.
+         */
+        ResultTierStats memoryTier;
+        ResultTierStats diskTier;
     };
 
     /**
@@ -314,22 +361,13 @@ class CompileService
         std::promise<CompileResult> promise;        ///< Legacy path.
         std::promise<CompileOutcome> outcomePromise; ///< Tolerant path.
         bool tolerant = false;
+
+        /** Set on the callback path; replaces both promises. */
+        std::function<void(CompileOutcome)> callback;
     };
 
-    struct CacheKey
-    {
-        std::uint64_t circuitHash = 0;
-        std::uint64_t configDigest = 0;
-        std::uint64_t seed = 0;
-        bool hasSeed = false;
-
-        bool operator==(const CacheKey &other) const = default;
-    };
-
-    struct CacheKeyHash
-    {
-        std::size_t operator()(const CacheKey &key) const;
-    };
+    /** Result-tier coordinates (shared with core/result_cache.h). */
+    using CacheKey = ResultCacheKey;
 
     /**
      * Snapshot-tier key: the content hash of the input PREFIX the
@@ -408,7 +446,13 @@ class CompileService
     /** Record a candidate-backed cold fallback; maybe quarantine. */
     void noteDeltaFallback();
 
+    /**
+     * Walk the tier stack front to back; a hit is promoted into every
+     * tier in front of the one that served it. nullopt = global miss.
+     */
     std::optional<CompileResult> cacheLookup(const CacheKey &key);
+
+    /** Store a finished result into every tier. */
     void cacheStore(const CacheKey &key, const CompileResult &result);
 
     /**
@@ -445,13 +489,14 @@ class CompileService
      */
     std::atomic<bool> shutdownFlag_{false};
 
-    mutable std::mutex cacheMutex_; ///< Also taken by const cacheStats().
-    std::unordered_map<CacheKey,
-                       std::pair<CompileResult,
-                                 std::list<CacheKey>::iterator>,
-                       CacheKeyHash>
-        cache_;
-    std::list<CacheKey> lruOrder_; ///< Front = most recently used.
+    mutable std::mutex cacheMutex_; ///< Snapshot tier; also cacheStats().
+
+    /**
+     * Result-cache tier stack, fastest first (memory, then disk when
+     * configured). Fixed after construction; tiers self-synchronise,
+     * so lookups/stores run without cacheMutex_.
+     */
+    std::vector<std::unique_ptr<ResultCacheTier>> resultTiers_;
 
     // ---- snapshot tier (all guarded by cacheMutex_) ------------------
     std::unordered_map<SnapshotKey, SnapshotEntry, SnapshotKeyHash>
@@ -469,8 +514,7 @@ class CompileService
     std::size_t snapshotBytes_ = 0;
 
     std::atomic<std::uint64_t> jobsExecuted_{0};
-    std::atomic<std::uint64_t> cacheHits_{0};
-    std::atomic<std::uint64_t> resultEvictions_{0};
+    std::atomic<std::uint64_t> cacheHits_{0}; ///< Hits across all tiers.
     std::atomic<std::uint64_t> snapshotHits_{0};
     std::atomic<std::uint64_t> snapshotMisses_{0};
     std::atomic<std::uint64_t> snapshotEvictions_{0};

@@ -5,6 +5,7 @@
 #include "arch/eml_device.h"
 #include "arch/grid_device.h"
 #include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace mussti {
@@ -129,6 +130,48 @@ LowerSwapsPass::run(CompileContext &ctx) const
 {
     ctx.lowered = ctx.input.withSwapsDecomposed();
     ctx.loweredReady = true;
+}
+
+std::uint64_t
+resultFingerprint(const CompileResult &result)
+{
+    // Field-for-field the algorithm test_backend_golden pins its 13
+    // golden digests with (kept there as an independent copy on
+    // purpose: a drift in THIS function must fail those tests, not
+    // re-pin them).
+    Fnv1a h;
+    h.update(static_cast<std::uint64_t>(result.schedule.ops.size()));
+    for (const ScheduledOp &op : result.schedule.ops) {
+        h.update(static_cast<int>(op.kind));
+        h.update(op.q0);
+        h.update(op.q1);
+        h.update(op.zoneFrom);
+        h.update(op.zoneTo);
+        h.update(op.durationUs);
+        h.update(op.nbar);
+        h.update(op.circuitGate);
+        h.update(op.inserted);
+        h.update(op.enterFront);
+    }
+    for (const auto &chain : result.schedule.initialChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    for (const auto &chain : result.finalChains) {
+        h.update(static_cast<std::uint64_t>(chain.size()));
+        for (int q : chain)
+            h.update(q);
+    }
+    h.update(result.schedule.shuttleCount);
+    h.update(result.schedule.ionSwapCount);
+    h.update(result.schedule.insertedSwapGates);
+    h.update(result.swapInsertions);
+    h.update(result.evictions);
+    h.update(result.metrics.shuttleCount);
+    h.update(result.metrics.executionTimeUs);
+    h.update(result.metrics.lnFidelity);
+    return h.digest();
 }
 
 } // namespace mussti

@@ -118,6 +118,19 @@ struct CompileResult
 };
 
 /**
+ * Platform-stable FNV-1a digest over everything that makes a result's
+ * SCHEDULE what it is: every op field, initial and final chains, the
+ * shuttle/swap/eviction counters, and the headline metrics. Two results
+ * fingerprint equally iff the compiles were bit-identical — the
+ * determinism pin used by the golden backend tests, printed by
+ * compile_cli, and carried in every compile-server response so a client
+ * can assert server == local without shipping the schedule back.
+ * (Timing fields — compileTimeSec, passTrace — are excluded; they vary
+ * run to run by construction.)
+ */
+std::uint64_t resultFingerprint(const CompileResult &result);
+
+/**
  * Shared state of one compilation, created per job and owned by the
  * pipeline run — nothing in it is shared across concurrent compiles.
  */

@@ -5,6 +5,7 @@
 
 #include "arch/device_registry.h"
 #include "baselines/backend_factory.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/compiler.h"
@@ -13,6 +14,24 @@
 namespace mussti {
 
 namespace {
+
+/**
+ * Attempts the tuner gives a Transient-faulted probe or sweep job
+ * before declaring the candidate infeasible. Retries are deterministic:
+ * a probe is a pure function of the spec, and a retried sweep job
+ * recompiles under the seed of its original flat index, so the outcome
+ * set — and therefore the front — is identical whether a job resolved
+ * on round one or round three.
+ */
+constexpr int kTunerFaultAttempts = 3;
+
+/** Render a structured error for an infeasibleReason field. */
+std::string
+describeFailure(const MusstiError &error)
+{
+    return std::string(error.categoryName()) + " [" + error.code() +
+           "] " + error.message();
+}
 
 /** The backend one candidate spec compiles with. */
 std::shared_ptr<const ICompilerBackend>
@@ -146,18 +165,35 @@ tuneDeviceSpec(const TunerConfig &config, const SpecSearchSpace &space,
     // Feasibility probe: a candidate must host every workload. The
     // probe is quiet (tryCreate) — an out-of-range candidate is an
     // expected part of a sweep, not console noise — and deterministic,
-    // so the feasible set is identical on every run.
+    // so the feasible set is identical on every run. The TunerProbe
+    // fault site covers the probe: a Transient fault retries (the probe
+    // is pure, so a retry decides identically); anything persistent
+    // marks the candidate infeasible instead of aborting the tune.
     std::vector<std::size_t> feasible;
     for (std::size_t i = 0; i < outcome.candidates.size(); ++i) {
         TuneCandidate &candidate = outcome.candidates[i];
-        candidate.feasible = true;
-        for (const Circuit &circuit : circuits) {
-            std::string reason;
-            if (!DeviceRegistry::tryCreate(candidate.spec,
-                                           circuit.numQubits(),
-                                           &reason)) {
+        for (int attempt = 0;; ++attempt) {
+            try {
+                FaultInjector::maybeThrow(FaultSite::TunerProbe);
+                candidate.feasible = true;
+                for (const Circuit &circuit : circuits) {
+                    std::string reason;
+                    if (!DeviceRegistry::tryCreate(candidate.spec,
+                                                   circuit.numQubits(),
+                                                   &reason)) {
+                        candidate.feasible = false;
+                        candidate.infeasibleReason = reason;
+                        break;
+                    }
+                }
+                break;
+            } catch (...) {
+                const MusstiError error = describeCurrentException();
+                if (error.category() == ErrorCategory::Transient &&
+                    attempt + 1 < kTunerFaultAttempts)
+                    continue;
                 candidate.feasible = false;
-                candidate.infeasibleReason = reason;
+                candidate.infeasibleReason = describeFailure(error);
                 break;
             }
         }
@@ -170,35 +206,115 @@ tuneDeviceSpec(const TunerConfig &config, const SpecSearchSpace &space,
                    << outcome.candidates.front().spec.canonical() << ": "
                    << outcome.candidates.front().infeasibleReason);
 
-    // One sharded batch over the whole (feasible spec x workload) grid.
-    // Seeds derive from the flat job index, so the sweep replays
-    // identically at any thread count.
+    // One sharded batch over the whole (feasible spec x workload) grid,
+    // seeded EXPLICITLY by flat job index (the seeds compileSweep would
+    // derive): a job retried in a later round recompiles under the seed
+    // of its original position, so the resolved outcome set is a pure
+    // function of (requests, baseSeed) no matter which round each job
+    // lands in — or how many faults fired along the way.
     std::vector<CompileRequest> requests;
+    std::vector<std::size_t> owner; ///< flat job -> candidate index
     requests.reserve(feasible.size() * circuits.size());
     for (const std::size_t i : feasible) {
         const auto backend = backendFor(outcome.candidates[i].spec,
                                         config);
-        for (const Circuit &circuit : circuits)
-            requests.push_back({backend, circuit, {}});
+        for (const Circuit &circuit : circuits) {
+            CompileRequest request{backend, circuit, {}, {}, {}};
+            request.seed = CompileService::deriveJobSeed(config.baseSeed,
+                                                         requests.size());
+            requests.push_back(std::move(request));
+            owner.push_back(i);
+        }
     }
-    const std::vector<CompileResult> results =
-        service.compileSweep(std::move(requests), config.baseSeed);
 
+    // Outcome-tolerant sweep with bounded retry rounds. A job fails a
+    // round through the service (worker-side faults the service's own
+    // retry gave up on) or at the TunerSweep harvest site; Transient
+    // failures re-enter the next round, anything else is final. Jobs
+    // still failed after the last round poison their candidate:
+    // infeasible with the structured reason, excluded from the front.
+    std::vector<std::optional<CompileResult>> resolved(requests.size());
+    std::vector<std::size_t> unresolved(requests.size());
+    for (std::size_t i = 0; i < unresolved.size(); ++i)
+        unresolved[i] = i;
+
+    for (int round = 0;
+         round < kTunerFaultAttempts && !unresolved.empty(); ++round) {
+        std::vector<CompileRequest> batch;
+        batch.reserve(unresolved.size());
+        for (const std::size_t idx : unresolved)
+            batch.push_back(requests[idx]);
+        std::vector<CompileOutcome> outcomes =
+            service.compileAllOutcomes(std::move(batch));
+
+        std::vector<std::size_t> retry;
+        for (std::size_t k = 0; k < unresolved.size(); ++k) {
+            const std::size_t idx = unresolved[k];
+            std::optional<MusstiError> failure;
+            if (outcomes[k].ok()) {
+                try {
+                    FaultInjector::maybeThrow(FaultSite::TunerSweep);
+                    resolved[idx] = std::move(*outcomes[k].result);
+                } catch (...) {
+                    failure = describeCurrentException();
+                }
+            } else {
+                failure = std::move(*outcomes[k].error);
+            }
+            if (!failure)
+                continue;
+            if (failure->category() == ErrorCategory::Transient &&
+                round + 1 < kTunerFaultAttempts) {
+                retry.push_back(idx);
+            } else {
+                TuneCandidate &candidate =
+                    outcome.candidates[owner[idx]];
+                candidate.feasible = false;
+                if (candidate.infeasibleReason.empty())
+                    candidate.infeasibleReason =
+                        describeFailure(*failure);
+            }
+        }
+        unresolved = std::move(retry);
+    }
+    for (const std::size_t idx : unresolved) {
+        TuneCandidate &candidate = outcome.candidates[owner[idx]];
+        candidate.feasible = false;
+        if (candidate.infeasibleReason.empty())
+            candidate.infeasibleReason =
+                "sweep compile kept failing Transient after " +
+                std::to_string(kTunerFaultAttempts) + " rounds";
+    }
+
+    // Score the survivors (a candidate needs every workload resolved).
+    std::vector<std::size_t> scored;
+    for (const std::size_t i : feasible)
+        if (outcome.candidates[i].feasible)
+            scored.push_back(i);
     std::size_t next = 0;
     for (const std::size_t i : feasible) {
         TuneCandidate &candidate = outcome.candidates[i];
-        for (std::size_t w = 0; w < circuits.size(); ++w) {
-            const ScoreCard card = scoreCardOf(results[next++]);
+        for (std::size_t w = 0; w < circuits.size(); ++w, ++next) {
+            if (!candidate.feasible)
+                continue;
+            const ScoreCard card = scoreCardOf(*resolved[next]);
             candidate.perWorkload.push_back(card);
             candidate.total.accumulate(card);
         }
     }
+    MUSSTI_REQUIRE(!scored.empty(),
+                   "every feasible candidate of device search `"
+                   << config.search << "` failed its sweep compiles; "
+                   "e.g. " << outcome.candidates[feasible.front()]
+                                  .spec.canonical() << ": "
+                   << outcome.candidates[feasible.front()]
+                          .infeasibleReason);
 
     // Pareto front over the aggregated scores: a candidate survives
-    // unless some feasible candidate dominates it.
-    for (const std::size_t i : feasible) {
+    // unless some scored candidate dominates it.
+    for (const std::size_t i : scored) {
         bool dominated = false;
-        for (const std::size_t j : feasible) {
+        for (const std::size_t j : scored) {
             if (i != j && outcome.candidates[j].total.dominates(
                               outcome.candidates[i].total)) {
                 dominated = true;

@@ -9,10 +9,18 @@
  * The tuner closes that loop: it enumerates candidate DeviceSpecs from
  * a constrained search grammar (arch/spec_search.h), probes each for
  * feasibility, fans every feasible (spec x workload) job through the
- * CompileService as one sharded batch with derived per-job seeds
- * (CompileService::compileSweep), scores the results into compact
- * ScoreCards (sim/score_card.h), and returns a deterministic Pareto
- * front plus one recommended spec.
+ * CompileService as one sharded outcome-tolerant batch with per-flat-
+ * index derived seeds, scores the results into compact ScoreCards
+ * (sim/score_card.h), and returns a deterministic Pareto front plus
+ * one recommended spec.
+ *
+ * Fault tolerance: the probe and sweep paths carry fault-injection
+ * sites (TunerProbe, TunerSweep). Transient failures — injected or
+ * real — retry up to a fixed round bound; a retried sweep job
+ * recompiles under its original flat-index seed, so the front is
+ * bit-identical whether or not faults fired. Persistent failures mark
+ * just that candidate infeasible (with the structured reason) instead
+ * of aborting the tune.
  *
  * Determinism contract: a TuneOutcome is a pure function of the
  * TunerConfig — candidate order is the search grammar's enumeration

@@ -64,7 +64,21 @@ sampleRecords()
     d.snapshotMisses = 1;
     d.deltaResumes = 1;
     d.deltaFallbacks = 0;
-    return {a, b, c, d};
+
+    BenchRecord e; // a cache-tier row with per-tier result counters
+    e.suite = "micro_scheduler/cache";
+    e.name = "ising-disk-warm";
+    e.qubits = 96;
+    e.repeats = 1;
+    e.wallMs = 0.375;
+    e.cacheMemHits = 1;
+    e.cacheMemMisses = 1;
+    e.cacheMemEvictions = 0;
+    e.cacheDiskHits = 1;
+    e.cacheDiskMisses = 0;
+    e.cacheDiskEvictions = 2;
+    e.cacheDiskCorrupt = 1;
+    return {a, b, c, d, e};
 }
 
 void
@@ -91,6 +105,13 @@ expectSameRecords(const std::vector<BenchRecord> &x,
         EXPECT_EQ(x[i].snapshotMisses, y[i].snapshotMisses);
         EXPECT_EQ(x[i].deltaResumes, y[i].deltaResumes);
         EXPECT_EQ(x[i].deltaFallbacks, y[i].deltaFallbacks);
+        EXPECT_EQ(x[i].cacheMemHits, y[i].cacheMemHits);
+        EXPECT_EQ(x[i].cacheMemMisses, y[i].cacheMemMisses);
+        EXPECT_EQ(x[i].cacheMemEvictions, y[i].cacheMemEvictions);
+        EXPECT_EQ(x[i].cacheDiskHits, y[i].cacheDiskHits);
+        EXPECT_EQ(x[i].cacheDiskMisses, y[i].cacheDiskMisses);
+        EXPECT_EQ(x[i].cacheDiskEvictions, y[i].cacheDiskEvictions);
+        EXPECT_EQ(x[i].cacheDiskCorrupt, y[i].cacheDiskCorrupt);
         ASSERT_EQ(x[i].passTrace.size(), y[i].passTrace.size());
         for (std::size_t j = 0; j < x[i].passTrace.size(); ++j) {
             EXPECT_EQ(x[i].passTrace[j].pass, y[i].passTrace[j].pass);

@@ -426,6 +426,30 @@ TEST(ErrorTaxonomy, DescribeCurrentExceptionClassifies)
     }
 }
 
+TEST(StringUtil, ParseEnvThreadCountCoversEveryShape)
+{
+    const ScopedFatalSilence quiet(true); // the reject paths warn
+
+    // Absent or empty knob: auto (hardware concurrency).
+    EXPECT_EQ(parseEnvThreadCount("T", nullptr), 0);
+    EXPECT_EQ(parseEnvThreadCount("T", ""), 0);
+
+    // Well-formed positives pass through.
+    EXPECT_EQ(parseEnvThreadCount("T", "1"), 1);
+    EXPECT_EQ(parseEnvThreadCount("T", "8"), 8);
+
+    // Garbage and non-positive values fall back to auto instead of
+    // atoi's silent 0-threads.
+    EXPECT_EQ(parseEnvThreadCount("T", "banana"), 0);
+    EXPECT_EQ(parseEnvThreadCount("T", "3x"), 0);
+    EXPECT_EQ(parseEnvThreadCount("T", "0"), 0);
+    EXPECT_EQ(parseEnvThreadCount("T", "-4"), 0);
+
+    // Oversized requests clamp to the ceiling (default and custom).
+    EXPECT_EQ(parseEnvThreadCount("T", "100000"), 512);
+    EXPECT_EQ(parseEnvThreadCount("T", "9", 4), 4);
+}
+
 TEST(ErrorTaxonomy, CategoryNamesAreStable)
 {
     EXPECT_STREQ(errorCategoryName(ErrorCategory::InvalidInput),

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/fault_injection.h"
+#include "common/logging.h"
 #include "sim/score_card.h"
 #include "tune/tuner.h"
 
@@ -166,6 +168,112 @@ TEST(Tuner, ParseTuneWorkloadValidatesTokens)
         EXPECT_NE(std::string(err.what()).find("banana"),
                   std::string::npos) << err.what();
     }
+}
+
+/** Disarm on scope exit so a failing test cannot leak its script. */
+class ScopedFaultScript
+{
+  public:
+    explicit ScopedFaultScript(FaultScript script)
+    {
+        FaultInjector::arm(std::move(script));
+    }
+    ~ScopedFaultScript() { FaultInjector::disarm(); }
+};
+
+TEST(TunerFaults, TransientFaultsLeaveTheFrontBitIdentical)
+{
+    // The fault-tolerance contract: scripted Transient faults at the
+    // probe, the sweep harvest, AND the service's worker dequeue all
+    // retry deterministically, so the tuned front and recommendation
+    // are bit-identical to the unfaulted run.
+    TunerConfig config;
+    config.search = "eml:modules=2..3,cap=16";
+    config.workloads = {parseTuneWorkload("ghz:24")};
+    config.numThreads = 1; // pins the WorkerDequeue visit order
+    const TuneOutcome baseline = tuneDeviceSpec(config);
+
+    FaultScript script;
+    script.triggers = {
+        {FaultSite::TunerProbe, 0, ErrorCategory::Transient,
+         "fault.injected"},
+        {FaultSite::TunerSweep, 1, ErrorCategory::Transient,
+         "fault.injected"},
+        {FaultSite::WorkerDequeue, 0, ErrorCategory::Transient,
+         "fault.injected"},
+    };
+    const ScopedFaultScript armed(script);
+    const TuneOutcome faulted = tuneDeviceSpec(config);
+
+    EXPECT_EQ(FaultInjector::firedCount(FaultSite::TunerProbe), 1u);
+    EXPECT_EQ(FaultInjector::firedCount(FaultSite::TunerSweep), 1u);
+    EXPECT_EQ(FaultInjector::firedCount(FaultSite::WorkerDequeue), 1u);
+    ASSERT_FALSE(faulted.paretoFront.empty());
+    expectSameOutcome(baseline, faulted);
+}
+
+TEST(TunerFaults, PersistentProbeFaultMarksOnlyThatCandidateInfeasible)
+{
+    // A non-Transient probe failure is final: the candidate drops out
+    // with the structured reason, the rest of the tune proceeds.
+    const ScopedFatalSilence quiet; // ResourceExhausted echoes
+    FaultScript script;
+    script.triggers = {{FaultSite::TunerProbe, 0,
+                        ErrorCategory::ResourceExhausted,
+                        "fault.injected"}};
+    const ScopedFaultScript armed(script);
+
+    TunerConfig config;
+    config.search = "eml:modules=2..3,cap=16";
+    config.workloads = {parseTuneWorkload("ghz:24")};
+    config.numThreads = 1;
+    const TuneOutcome outcome = tuneDeviceSpec(config);
+
+    ASSERT_EQ(outcome.candidates.size(), 2u);
+    EXPECT_FALSE(outcome.candidates[0].feasible);
+    EXPECT_NE(outcome.candidates[0].infeasibleReason.find(
+                  "fault.injected"),
+              std::string::npos)
+        << outcome.candidates[0].infeasibleReason;
+    EXPECT_TRUE(outcome.candidates[1].feasible);
+    EXPECT_EQ(outcome.paretoFront, std::vector<std::size_t>{1});
+    EXPECT_EQ(outcome.recommended, 1);
+}
+
+TEST(TunerFaults, SweepJobFailingEveryRoundPoisonsOnlyItsCandidate)
+{
+    // 2 feasible candidates x 1 workload = flat jobs 0 and 1. Job 0's
+    // harvest faults Transient in every round (visits 0, then 2 and 3
+    // as the retry batches shrink to just it), exhausting the round
+    // bound; candidate 0 must drop out infeasible while candidate 1 is
+    // scored and recommended.
+    FaultScript script;
+    script.triggers = {
+        {FaultSite::TunerSweep, 0, ErrorCategory::Transient,
+         "fault.injected"},
+        {FaultSite::TunerSweep, 2, ErrorCategory::Transient,
+         "fault.injected"},
+        {FaultSite::TunerSweep, 3, ErrorCategory::Transient,
+         "fault.injected"},
+    };
+    const ScopedFaultScript armed(script);
+
+    TunerConfig config;
+    config.search = "eml:modules=2..3,cap=16";
+    config.workloads = {parseTuneWorkload("ghz:24")};
+    config.numThreads = 1;
+    const TuneOutcome outcome = tuneDeviceSpec(config);
+
+    EXPECT_EQ(FaultInjector::firedCount(FaultSite::TunerSweep), 3u);
+    ASSERT_EQ(outcome.candidates.size(), 2u);
+    EXPECT_FALSE(outcome.candidates[0].feasible);
+    EXPECT_NE(outcome.candidates[0].infeasibleReason.find("Transient"),
+              std::string::npos)
+        << outcome.candidates[0].infeasibleReason;
+    EXPECT_TRUE(outcome.candidates[0].perWorkload.empty());
+    EXPECT_TRUE(outcome.candidates[1].feasible);
+    EXPECT_EQ(outcome.paretoFront, std::vector<std::size_t>{1});
+    EXPECT_EQ(outcome.recommended, 1);
 }
 
 TEST(Tuner, ScoreCardDominanceIsStrictPareto)
